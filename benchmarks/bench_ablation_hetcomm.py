@@ -1,0 +1,86 @@
+"""Ablation: heterogeneous communication (the paper's future work).
+
+The paper's model assumes uniform links and flags inter-cluster
+communication as future work.  This benchmark quantifies what that
+assumption costs on a federated platform: two equal-power clusters, one
+behind a fast uplink and one behind a slow uplink, planned by
+
+* the **link-aware** planner (:mod:`repro.extensions.hetcomm`), and
+* the paper's **homogeneous planner** fed the *mean* bandwidth (the best
+  a uniform model can do),
+
+both scored under the extended (true) model.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import ascii_table, format_rate
+from repro.core.heuristic import HeuristicPlanner
+from repro.core.params import DEFAULT_PARAMS
+from repro.extensions.hetcomm import (
+    HetCommPlanner,
+    HetCommPlatform,
+    het_hierarchy_throughput,
+)
+from repro.platforms.pool import NodePool
+from repro.units import dgemm_mflop
+
+
+@pytest.mark.benchmark(group="ablation-hetcomm")
+def test_ablation_heterogeneous_links(benchmark, emit):
+    pool = NodePool.homogeneous(60, 265.0)
+    wapp = dgemm_mflop(200)
+    slow_links = (500.0, 50.0, 5.0, 0.5)
+
+    def run():
+        rows = []
+        for slow in slow_links:
+            platform = HetCommPlatform.clustered(
+                pool, [30, 30], [1000.0, slow]
+            )
+            aware = HetCommPlanner(DEFAULT_PARAMS).plan(platform, wapp)
+            mean_bw = (1000.0 + slow) / 2.0
+            naive_plan = HeuristicPlanner(
+                DEFAULT_PARAMS.with_bandwidth(mean_bw)
+            ).plan(pool, wapp)
+            naive_rho = het_hierarchy_throughput(
+                naive_plan.hierarchy, platform, DEFAULT_PARAMS, wapp
+            )
+            slow_agents = sum(
+                1
+                for agent in aware.hierarchy.agents
+                if platform.bandwidth_of(str(agent)) == slow
+            )
+            rows.append((slow, aware, naive_rho, slow_agents))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        ascii_table(
+            [
+                "slow uplink (Mb/s)", "link-aware rho", "uniform-model rho",
+                "aware advantage", "agents on slow uplink",
+            ],
+            [
+                [
+                    f"{slow:g}", format_rate(aware.throughput),
+                    format_rate(naive), f"{aware.throughput / naive:.2f}x",
+                    slow_agents,
+                ]
+                for slow, aware, naive, slow_agents in rows
+            ],
+            title="Ablation: federated platform (30 nodes @ 1 Gb/s + 30 "
+            "nodes behind a slow uplink), DGEMM 200x200",
+        )
+    )
+    for slow, aware, naive, slow_agents in rows:
+        # Link-awareness never loses, and never parks agents behind a
+        # crawling uplink.
+        assert aware.throughput >= naive - 1e-9
+        if slow <= 5.0:
+            assert slow_agents == 0
+    # The advantage must be material once uplinks truly diverge.
+    worst = rows[-1]
+    assert worst[1].throughput > 1.5 * worst[2]

@@ -1,0 +1,142 @@
+"""Ablations on the environment: bandwidth, heterogeneity, request grain.
+
+These sweeps exercise the planner across the model's parameter space and
+record how the *shape* of the chosen deployment responds — the structural
+claims the paper makes qualitatively (more hierarchy when scheduling is
+expensive relative to service; stars when service dominates; fewer nodes
+when demand is low).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import ascii_table, format_rate
+from repro.core.heuristic import HeuristicPlanner
+from repro.core.params import DEFAULT_PARAMS
+from repro.platforms.pool import NodePool
+from repro.units import dgemm_mflop
+
+
+@pytest.mark.benchmark(group="ablation-bandwidth")
+def test_ablation_bandwidth_sweep(benchmark, emit):
+    """Slower links make the agent tier the bottleneck sooner, pushing the
+    planner toward more agents and fewer servers per agent."""
+    pool = NodePool.uniform_random(100, low=60, high=400, seed=9)
+    wapp = dgemm_mflop(310)
+    bandwidths = (100.0, 300.0, 1000.0, 10_000.0)
+
+    def run():
+        out = []
+        for bandwidth in bandwidths:
+            params = DEFAULT_PARAMS.with_bandwidth(bandwidth)
+            plan = HeuristicPlanner(params).plan(pool, wapp)
+            out.append((bandwidth, plan))
+        return out
+
+    plans = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for bandwidth, plan in plans:
+        n, a, s, h = plan.hierarchy.shape_signature()
+        rows.append(
+            [f"{bandwidth:g}", n, a, s, h, format_rate(plan.throughput)]
+        )
+    emit(
+        ascii_table(
+            ["bandwidth (Mb/s)", "nodes", "agents", "servers", "height",
+             "rho (req/s)"],
+            rows,
+            title="Ablation: link bandwidth vs chosen deployment shape "
+            "(100 heterogeneous nodes, DGEMM 310)",
+        )
+    )
+    # Throughput is monotone in bandwidth.
+    rhos = [plan.throughput for _, plan in plans]
+    assert all(a <= b * (1 + 1e-9) for a, b in zip(rhos, rhos[1:]))
+
+
+@pytest.mark.benchmark(group="ablation-grain")
+def test_ablation_request_grain_sweep(benchmark, emit):
+    """The paper's three regimes as a single sweep: pair -> hierarchy ->
+    star as the request grain grows."""
+    pool = NodePool.uniform_random(100, low=60, high=400, seed=9)
+    sizes = (10, 50, 100, 200, 310, 500, 1000)
+
+    def run():
+        return [
+            (size, HeuristicPlanner(DEFAULT_PARAMS).plan(pool, dgemm_mflop(size)))
+            for size in sizes
+        ]
+
+    plans = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for size, plan in plans:
+        n, a, s, h = plan.hierarchy.shape_signature()
+        rows.append([size, n, a, s, h, format_rate(plan.throughput)])
+    emit(
+        ascii_table(
+            ["DGEMM size", "nodes", "agents", "servers", "height",
+             "rho (req/s)"],
+            rows,
+            title="Ablation: request grain vs chosen deployment shape",
+        )
+    )
+    by_size = dict(plans)
+    # Tiny grain: minimal deployment.  Huge grain: spanning star.
+    assert by_size[10].nodes_used == 2
+    assert len(by_size[1000].hierarchy.agents) == 1
+    assert by_size[1000].nodes_used == len(pool)
+    # Agent count is (weakly) maximal somewhere in the middle.
+    agent_counts = [len(p.hierarchy.agents) for _, p in plans]
+    assert max(agent_counts) > 1
+
+
+@pytest.mark.benchmark(group="ablation-heterogeneity")
+def test_ablation_heterogeneity_sweep(benchmark, emit):
+    """Growing power spread: the planner's margin over the positional
+    star baseline widens with heterogeneity (the paper's core message)."""
+    from repro.core.baselines import star_deployment
+    from repro.core.throughput import hierarchy_throughput
+
+    spreads = (0.0, 0.25, 0.5, 0.75)
+    base_power = 265.0
+    wapp = dgemm_mflop(310)
+
+    def run():
+        out = []
+        for spread in spreads:
+            low = base_power * (1.0 - spread)
+            high = base_power * (1.0 + spread)
+            pool = (
+                NodePool.homogeneous(150, base_power)
+                if spread == 0.0
+                else NodePool.uniform_random(150, low=low, high=high, seed=11)
+            )
+            plan = HeuristicPlanner(DEFAULT_PARAMS).plan(pool, wapp)
+            star_rho = hierarchy_throughput(
+                star_deployment(pool), DEFAULT_PARAMS, wapp
+            ).throughput
+            out.append((spread, pool.heterogeneity(), plan, star_rho))
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for spread, cv, plan, star_rho in results:
+        rows.append(
+            [
+                f"{spread:.2f}", f"{cv:.3f}",
+                format_rate(plan.throughput), format_rate(star_rho),
+                f"{plan.throughput / star_rho:.2f}x",
+            ]
+        )
+    emit(
+        ascii_table(
+            ["power spread", "pool cv", "automatic rho", "star rho",
+             "advantage"],
+            rows,
+            title="Ablation: pool heterogeneity vs automatic-planning "
+            "advantage (150 nodes, DGEMM 310)",
+        )
+    )
+    for _, _, plan, star_rho in results:
+        assert plan.throughput >= star_rho - 1e-9

@@ -1,0 +1,76 @@
+"""Ablation: multi-application hosting (the paper's last future-work item).
+
+One shared agent hierarchy, several applications with individual demands
+and dedicated server tiers.  The sweep grows a second application's
+demand on a fixed pool and reports the resource split, the point where
+the pool saturates, and the proportional scale-down beyond it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import ascii_table, format_rate
+from repro.core.params import DEFAULT_PARAMS
+from repro.extensions.multiapp import Application, MultiAppPlanner
+from repro.platforms.pool import NodePool
+from repro.units import dgemm_mflop
+
+
+@pytest.mark.benchmark(group="ablation-multiapp")
+def test_ablation_two_tenant_sweep(benchmark, emit):
+    pool = NodePool.homogeneous(60, 265.0)
+    base = Application("steady", dgemm_mflop(310), demand=80.0)
+    tenant_demands = (50.0, 300.0, 1200.0, 2500.0, 6000.0)
+
+    def run():
+        rows = []
+        for demand in tenant_demands:
+            tenant = Application("tenant", dgemm_mflop(100), demand=demand)
+            plan = MultiAppPlanner(DEFAULT_PARAMS).plan(pool, [base, tenant])
+            rows.append((demand, plan))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = []
+    for demand, plan in rows:
+        n, a, s, h = plan.hierarchy.shape_signature()
+        table.append(
+            [
+                f"{demand:g}",
+                format_rate(plan.rates["steady"]),
+                format_rate(plan.rates["tenant"]),
+                f"{plan.scale:.2f}",
+                len(plan.servers_of("steady")),
+                len(plan.servers_of("tenant")),
+                a,
+                n,
+            ]
+        )
+    emit(
+        ascii_table(
+            [
+                "tenant demand", "steady rate", "tenant rate", "scale",
+                "steady servers", "tenant servers", "agents", "nodes",
+            ],
+            table,
+            title="Ablation: two applications sharing one hierarchy "
+            "(60 nodes; 'steady' holds 80 req/s of DGEMM 310, the tenant "
+            "grows)",
+        )
+    )
+    # Low tenant demand: both fully satisfied with room to spare.
+    first = rows[0][1]
+    assert first.fully_satisfied
+    assert len(first.hierarchy) < len(pool)
+    # Demands keep their ratio even past saturation.
+    for demand, plan in rows:
+        assert plan.rates["tenant"] / plan.rates["steady"] == pytest.approx(
+            demand / 80.0, rel=1e-6
+        )
+    # Eventually the pool saturates and scale drops below 1.
+    assert rows[-1][1].scale < 1.0
+    # Monotone: more tenant demand never shrinks the deployment while
+    # still satisfiable.
+    sizes = [len(plan.hierarchy) for _, plan in rows if plan.fully_satisfied]
+    assert sizes == sorted(sizes)

@@ -1,0 +1,82 @@
+"""Microbenchmarks of the simulation substrate itself.
+
+Not a paper artifact — these keep the DES fast enough to regenerate the
+figures, and catch performance regressions in the event loop and the
+serial resource (the per-event cost multiplies into every experiment).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.baselines import star_deployment
+from repro.core.params import DEFAULT_PARAMS
+from repro.middleware.client import ClosedLoopClient
+from repro.middleware.system import MiddlewareSystem
+from repro.platforms.pool import NodePool
+from repro.sim.engine import Simulator
+from repro.sim.resources import SerialResource
+from repro.units import dgemm_mflop
+
+
+@pytest.mark.benchmark(group="engine")
+def test_engine_event_throughput(benchmark):
+    """Raw event loop: schedule/fire chains (ping-pong)."""
+
+    def run():
+        sim = Simulator()
+        count = 0
+
+        def tick():
+            nonlocal count
+            count += 1
+            if count < 100_000:
+                sim.schedule(0.001, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run()
+        return sim.events_processed
+
+    events = benchmark(run)
+    assert events == 100_000
+
+
+@pytest.mark.benchmark(group="engine")
+def test_resource_task_throughput(benchmark):
+    """Serial resource: back-to-back task submission/completion."""
+
+    def run():
+        sim = Simulator()
+        res = SerialResource(sim, "n")
+        remaining = [50_000]
+
+        def feed():
+            if remaining[0] > 0:
+                remaining[0] -= 1
+                res.submit(0.001, "compute", feed)
+
+        feed()
+        sim.run()
+        return res.tasks_done
+
+    done = benchmark(run)
+    assert done == 50_000
+
+
+@pytest.mark.benchmark(group="engine")
+def test_middleware_request_throughput(benchmark):
+    """Full request lifecycle cost on a 9-node star (events per request
+    dominate every figure's wall time)."""
+    hierarchy = star_deployment(NodePool.homogeneous(9, 265.0))
+
+    def run():
+        sim = Simulator()
+        system = MiddlewareSystem(sim, hierarchy, DEFAULT_PARAMS, dgemm_mflop(100))
+        clients = [ClosedLoopClient(system, f"c{i}") for i in range(20)]
+        for i, client in enumerate(clients):
+            sim.schedule(i * 0.001, client.start)
+        sim.run_until(2.0)
+        return system.total_completed()
+
+    completed = benchmark(run)
+    assert completed > 100

@@ -1,0 +1,108 @@
+"""Figures 2 and 3 — star hierarchies, DGEMM 10x10 (agent-bound regime).
+
+Figure 2 (paper): measured throughput vs. number of clients for a star
+with 1 SeD vs. 2 SeDs — both deployments saturate at the *agent*, and the
+second server slightly *hurts* (merging one more reply costs more than it
+adds).  Figure 3: predicted vs. measured maximum throughput for the same
+two hierarchies (paper: predicted 1460/1052 vs measured 295/283 — the gap
+comes from CPU cache effects on 10x10 matrices, which the DES does not
+model, so our measured values sit on the prediction; the *shape*, 2 SeDs
+<= 1 SeD in both columns, is the reproduction target).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import measure_load_curve
+from repro.analysis.report import ascii_chart, ascii_table, format_rate
+from repro.core.baselines import star_deployment
+from repro.core.params import DEFAULT_PARAMS
+from repro.core.throughput import hierarchy_throughput
+from repro.platforms.pool import NodePool
+from repro.units import dgemm_mflop
+
+WAPP = dgemm_mflop(10)
+CLIENT_COUNTS = (1, 2, 5, 10, 25, 50, 100, 150, 200)
+DURATION = 6.0
+
+
+def _deployments():
+    return {
+        "1 SeD": star_deployment(NodePool.homogeneous(2, 265.0)),
+        "2 SeDs": star_deployment(NodePool.homogeneous(3, 265.0)),
+    }
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2_load_curves_dgemm10(benchmark, emit):
+    def run():
+        return {
+            label: measure_load_curve(
+                h, DEFAULT_PARAMS, WAPP,
+                client_counts=CLIENT_COUNTS, duration=DURATION, label=label,
+            )
+            for label, h in _deployments().items()
+        }
+
+    curves = benchmark.pedantic(run, rounds=1, iterations=1)
+    chart = ascii_chart(
+        {
+            label: (curve.clients, curve.rates)
+            for label, curve in curves.items()
+        },
+        title="Figure 2: star with 1 vs 2 SeDs, DGEMM 10x10 "
+        "(measured requests/s vs clients)",
+    )
+    table = ascii_table(
+        ["clients"] + list(curves),
+        [
+            [c] + [format_rate(curves[lbl].rates[i]) for lbl in curves]
+            for i, c in enumerate(CLIENT_COUNTS)
+        ],
+    )
+    emit(chart + "\n" + table)
+
+    one, two = curves["1 SeD"], curves["2 SeDs"]
+    # Reproduction checks: agent-bound; the second SeD does not help.
+    assert two.peak_rate <= one.peak_rate * 1.01
+    # Both curves saturate (tail flat within 5%).
+    for curve in curves.values():
+        assert curve.rates[-1] == pytest.approx(curve.rates[-2], rel=0.05)
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_predicted_vs_measured_dgemm10(benchmark, emit):
+    def run():
+        rows = []
+        for label, h in _deployments().items():
+            predicted = hierarchy_throughput(h, DEFAULT_PARAMS, WAPP).throughput
+            measured = measure_load_curve(
+                h, DEFAULT_PARAMS, WAPP, client_counts=(150,),
+                duration=8.0, label=label,
+            ).peak_rate
+            rows.append((label, predicted, measured))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        ascii_table(
+            ["hierarchy", "predicted (req/s)", "measured (req/s)",
+             "paper predicted", "paper measured"],
+            [
+                [label, format_rate(p), format_rate(m), paper_p, paper_m]
+                for (label, p, m), (paper_p, paper_m) in zip(
+                    rows, [("1460", "295"), ("1052", "283")]
+                )
+            ],
+            title="Figure 3: predicted vs measured max throughput, "
+            "DGEMM 10x10 (paper values shown for shape comparison)",
+        )
+    )
+    (label1, p1, m1), (label2, p2, m2) = rows
+    # Shape: both columns rank 1 SeD >= 2 SeDs, as in the paper.
+    assert p1 >= p2
+    assert m1 >= m2 * 0.99
+    # DES measurement tracks the model (no cache effects to diverge on).
+    assert m1 == pytest.approx(p1, rel=0.05)
+    assert m2 == pytest.approx(p2, rel=0.05)

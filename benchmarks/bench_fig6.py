@@ -1,0 +1,98 @@
+"""Figure 6 — automatic vs intuitive deployments, DGEMM 310x310.
+
+Paper setup: 200 Orsay nodes heterogenized by background matrix products
+(§5.3), DGEMM 310x310 clients from Lyon.  Compared deployments: the
+heuristic's automatic hierarchy (156 nodes, three levels), a star over
+all 200 nodes, and a balanced 1 + 14x14 tree.  Result: automatic >
+balanced > star, with the star collapsing at its single agent.
+
+Reproduction: the same §5.3 treatment on a 128-node pool (scaled from 200
+to keep the DES affordable — the star-agent collapse that drives the
+figure needs >~100 nodes to manifest, and at 128 the model ranks the
+three deployments 434 > 332 > 217 req/s, the paper's ordering; the
+planner is additionally exercised at full 200-node scale in the ablation
+benchmarks, where only the analytic model is evaluated).  The balanced
+tree scales 14x14 -> 11x~10.5, the paper's sqrt sizing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import measure_load_curve
+from repro.analysis.report import ascii_chart, ascii_table, format_rate
+from repro.core.baselines import balanced_deployment, star_deployment
+from repro.core.heuristic import HeuristicPlanner
+from repro.core.params import DEFAULT_PARAMS
+from repro.core.throughput import hierarchy_throughput
+from repro.platforms.background import heterogenize
+from repro.platforms.pool import NodePool
+from repro.units import dgemm_mflop
+
+POOL_SIZE = 128
+MIDDLE_AGENTS = 11
+WAPP = dgemm_mflop(310)
+CLIENT_COUNTS = (20, 60, 120, 220, 320)
+DURATION = 6.0
+
+
+def _pool() -> NodePool:
+    return heterogenize(
+        NodePool.homogeneous(POOL_SIZE, 265.0, prefix="orsay"),
+        loaded_fraction=0.5,
+        seed=42,
+    )
+
+
+def _deployments(pool: NodePool):
+    automatic = HeuristicPlanner(DEFAULT_PARAMS).plan(pool, WAPP).hierarchy
+    return {
+        "automatic": automatic,
+        "balanced": balanced_deployment(pool, MIDDLE_AGENTS),
+        "star": star_deployment(pool),
+    }
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_automatic_vs_intuitive_dgemm310(benchmark, emit):
+    pool = _pool()
+    deployments = _deployments(pool)
+
+    def run():
+        return {
+            label: measure_load_curve(
+                h, DEFAULT_PARAMS, WAPP,
+                client_counts=CLIENT_COUNTS, duration=DURATION, label=label,
+            )
+            for label, h in deployments.items()
+        }
+
+    curves = benchmark.pedantic(run, rounds=1, iterations=1)
+    chart = ascii_chart(
+        {label: (c.clients, c.rates) for label, c in curves.items()},
+        title=f"Figure 6: DGEMM 310x310 on a heterogenized {POOL_SIZE}-node "
+        "pool (measured requests/s vs clients)",
+    )
+    shape_rows = []
+    for label, h in deployments.items():
+        n, a, s, height = h.shape_signature()
+        predicted = hierarchy_throughput(h, DEFAULT_PARAMS, WAPP).throughput
+        shape_rows.append(
+            [label, n, a, s, height, format_rate(predicted),
+             format_rate(curves[label].peak_rate)]
+        )
+    table = ascii_table(
+        ["deployment", "nodes", "agents", "servers", "height",
+         "predicted", "measured peak"],
+        shape_rows,
+    )
+    emit(chart + "\n" + table)
+
+    # Reproduction checks — the paper's ranking, in model and measurement.
+    assert curves["automatic"].peak_rate > curves["balanced"].peak_rate
+    assert curves["balanced"].peak_rate > curves["star"].peak_rate
+    # The automatic deployment is multi-level with >1 agent, like the
+    # paper's 156-node 3-level hierarchy.
+    auto = deployments["automatic"]
+    assert len(auto.agents) > 1
+    assert auto.height >= 2

@@ -1,0 +1,42 @@
+"""Table 3 — calibrated middleware parameter values.
+
+Paper methodology (§5.1): deploy 1 agent + 1 DGEMM server, run 100 serial
+clients, capture all traffic (tcpdump/Ethereal) for message sizes, record
+per-message processing times, fit Wrep against agent degree over star
+deployments (the paper reports correlation 0.97), and rate the node with
+a Linpack mini-benchmark.
+
+Reproduction: the same campaign against the simulated middleware.  The
+acceptance criterion is recovering the ground-truth parameter set the
+simulation ran with; the fit correlation is 1.0 here because the DES has
+no cache effects (the paper's 0.97 gap came from real hardware noise).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.calibration.table3 import calibrate, render_table3
+from repro.core.params import DEFAULT_PARAMS
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_calibration_campaign(benchmark, emit):
+    result = benchmark.pedantic(
+        lambda: calibrate(
+            DEFAULT_PARAMS,
+            capture_repetitions=100,
+            fit_degrees=(1, 2, 4, 8, 12, 16, 24, 32),
+            fit_repetitions=20,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(render_table3(result, reference=DEFAULT_PARAMS))
+
+    # Reproduction checks: the campaign recovers the ground truth.
+    assert result.params.wreq == pytest.approx(DEFAULT_PARAMS.wreq, rel=1e-6)
+    assert result.params.wfix == pytest.approx(DEFAULT_PARAMS.wfix, rel=1e-6)
+    assert result.params.wsel == pytest.approx(DEFAULT_PARAMS.wsel, rel=1e-6)
+    assert result.params.wpre == pytest.approx(DEFAULT_PARAMS.wpre, rel=1e-6)
+    assert result.fit_quality > 0.97  # the paper's floor

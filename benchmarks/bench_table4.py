@@ -1,0 +1,87 @@
+"""Table 4 — percentage of optimal throughput achieved by the heuristic.
+
+Paper setup: homogeneous clusters; the heterogeneous heuristic is scored
+against the provably-optimal homogeneous planner of [10] (complete
+spanning d-ary trees) for DGEMM sizes 10/100/310/1000 on pools of
+21/25/45/21 nodes.  Paper results: 100%, 100%, 89%, 100%, with degrees
+(opt/homo/heur) of 1/1/1, 2/2/2, 15/22/33 and 20/20/20.
+
+Reproduction notes: the paper's "Opt. Deg." came from exhaustive *testbed*
+measurements while "Homo. Deg." came from the model — they differ only
+because real hardware diverges from the model (cache effects at size
+310).  Our testbed IS the model's world, so the two columns coincide
+here and the interesting column is "Heur. Perf.", which must meet the
+paper's >= 89% floor on every row.  The DES cross-check column measures
+the heuristic's plan under saturating load.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import run_fixed_load
+from repro.analysis.report import ascii_table, format_rate
+from repro.core.heuristic import HeuristicPlanner
+from repro.core.homogeneous import HomogeneousPlanner
+from repro.core.params import DEFAULT_PARAMS
+from repro.platforms.pool import NodePool
+from repro.units import dgemm_mflop
+
+ROWS = (  # (dgemm size, pool size, paper's heuristic %)
+    (10, 21, 100.0),
+    (100, 25, 100.0),
+    (310, 45, 89.0),
+    (1000, 21, 100.0),
+)
+
+#: DES load levels per row, sized to saturate each regime cheaply.
+DES_CLIENTS = {10: 80, 100: 120, 310: 80, 1000: 40}
+
+
+@pytest.mark.benchmark(group="table4")
+def test_table4_percent_of_optimal(benchmark, emit):
+    def run():
+        table = []
+        for size, nodes, paper_pct in ROWS:
+            pool = NodePool.homogeneous(nodes, 265.0)
+            wapp = dgemm_mflop(size)
+            optimal = HomogeneousPlanner(DEFAULT_PARAMS).plan(pool, wapp)
+            heuristic = HeuristicPlanner(DEFAULT_PARAMS).plan(pool, wapp)
+            percent = 100.0 * heuristic.throughput / optimal.throughput
+            measured = run_fixed_load(
+                heuristic.hierarchy, DEFAULT_PARAMS, wapp,
+                clients=DES_CLIENTS[size],
+                duration=6.0 if size <= 100 else 12.0,
+            ).throughput
+            table.append(
+                (size, nodes, optimal.degree, heuristic.root_degree,
+                 percent, paper_pct, optimal.throughput,
+                 heuristic.throughput, measured)
+            )
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        ascii_table(
+            [
+                "DGEMM", "nodes", "opt deg", "heur deg",
+                "heur % of opt", "paper %", "opt rho", "heur rho",
+                "heur rho (DES)",
+            ],
+            [
+                [
+                    size, nodes, od, hd, f"{pct:.1f}%", f"{paper:.1f}%",
+                    format_rate(orho), format_rate(hrho), format_rate(mrho),
+                ]
+                for size, nodes, od, hd, pct, paper, orho, hrho, mrho in table
+            ],
+            title="Table 4: percent of optimal achieved by the heuristic "
+            "(homogeneous pools)",
+        )
+    )
+
+    for size, _nodes, _od, _hd, pct, paper_pct, _o, hrho, mrho in table:
+        # The paper's floor: >= 89% of optimal on every row.
+        assert pct >= paper_pct - 1e-6, f"DGEMM {size}: {pct:.1f}% < paper"
+        # The DES agrees with the model's score for the heuristic plan.
+        assert mrho == pytest.approx(hrho, rel=0.08)

@@ -1,0 +1,28 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper and prints
+it (run with ``pytest benchmarks/ --benchmark-only -s`` to see the
+artifacts).  The printed output is also attached to the benchmark's
+``extra_info`` so it survives in ``--benchmark-json`` exports.
+
+Simulated platforms are scaled-down versions of the paper's 200-node
+Grid'5000 slice (documented per benchmark); scaling preserves the shape
+of every comparison while keeping the DES affordable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def emit(benchmark, capsys):
+    """Print an artifact and attach it to the benchmark record."""
+
+    def _emit(text: str) -> None:
+        with capsys.disabled():
+            print()
+            print(text)
+        benchmark.extra_info["artifact"] = text
+
+    return _emit

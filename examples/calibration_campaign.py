@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""The §5.1 calibration campaign, end to end.
+
+The planner is only as good as its parameter set.  The paper calibrated
+DIET on Grid'5000 with packet captures, timing statistics, a linear fit
+of the reply-merge cost against agent degree, and a Linpack
+mini-benchmark.  This example runs the same campaign against the
+simulated middleware:
+
+1. wire-capture on a 1-agent/1-server deployment (100 serial clients);
+2. star-degree sweep fitting ``Wrep(d) = Wfix + Wsel*d``;
+3. node rating;
+4. assembly into a calibrated parameter set (Table 3), compared against
+   the ground truth the simulation ran with;
+5. planning with the *calibrated* parameters to close the loop.
+
+Run:  python examples/calibration_campaign.py
+"""
+
+from __future__ import annotations
+
+from repro import NodePool, dgemm_mflop, plan_deployment
+from repro.calibration import calibrate, render_table3
+from repro.core.params import DEFAULT_PARAMS
+
+
+def main() -> None:
+    # Ground truth: what the middleware actually costs.  The campaign
+    # below never reads these values — it measures them.
+    truth = DEFAULT_PARAMS
+
+    result = calibrate(
+        truth,
+        capture_repetitions=100,
+        fit_degrees=(1, 2, 4, 8, 12, 16, 24, 32),
+        fit_repetitions=20,
+    )
+    print(render_table3(result, reference=truth))
+    print(
+        f"Wrep fit: Wfix={result.wrep_fit.wfix:.4g} MFlop, "
+        f"Wsel={result.wrep_fit.wsel:.4g} MFlop/child, "
+        f"r={result.wrep_fit.r_value:.4f} "
+        "(the paper measured r=0.97 on real hardware)"
+    )
+
+    # Close the loop: plan with the calibrated parameters and check the
+    # plan matches what ground-truth parameters would have produced.
+    pool = NodePool.uniform_random(40, low=80.0, high=400.0, seed=5)
+    wapp = dgemm_mflop(310)
+    with_truth = plan_deployment(pool, wapp, params=truth)
+    with_calibrated = plan_deployment(pool, wapp, params=result.params)
+    print(
+        f"plan with ground truth : {with_truth.describe()}\n"
+        f"plan with calibration  : {with_calibrated.describe()}"
+    )
+    drift = abs(
+        with_calibrated.throughput - with_truth.throughput
+    ) / with_truth.throughput
+    print(f"throughput drift from calibration error: {drift:.3%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Demand-driven capacity planning.
+
+The heuristic's least-resources rule makes it a capacity planner: give it
+a client demand (requests/s) and it returns the *cheapest* deployment
+that satisfies it, leaving the remaining nodes free for other tenants.
+
+This example sweeps a demand range on a 100-node heterogeneous pool and
+reports, per demand level: nodes used, deployment shape, and delivered
+throughput — then verifies one plan in the simulator.  It also shows the
+clients -> rate conversion via Little's law for users who think in
+concurrent clients rather than request rates.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from __future__ import annotations
+
+from repro import NodePool, dgemm_mflop, plan_deployment
+from repro.analysis import ascii_table, run_fixed_load
+from repro.core.params import DEFAULT_PARAMS
+from repro.workloads import ClientDemand
+
+DGEMM_SIZE = 200
+DEMANDS = (5.0, 25.0, 100.0, 300.0, 1000.0)
+
+
+def main() -> None:
+    pool = NodePool.uniform_random(100, low=80.0, high=400.0, seed=21)
+    wapp = dgemm_mflop(DGEMM_SIZE)
+    print(f"pool: {pool.describe()}")
+    print(f"workload: DGEMM {DGEMM_SIZE}x{DGEMM_SIZE} ({wapp:g} MFlop/request)")
+
+    rows = []
+    plans = {}
+    for demand in DEMANDS:
+        deployment = plan_deployment(pool, wapp, demand=demand)
+        plans[demand] = deployment
+        n, a, s, h = deployment.hierarchy.shape_signature()
+        met = "yes" if deployment.throughput >= demand else "NO (best effort)"
+        rows.append(
+            [f"{demand:g}", n, a, s, h,
+             f"{deployment.throughput:.1f}", met]
+        )
+    print(
+        ascii_table(
+            ["demand (req/s)", "nodes", "agents", "servers", "height",
+             "delivered (req/s)", "demand met"],
+            rows,
+            title="Cheapest deployment per demand level",
+        )
+    )
+
+    # Thinking in clients instead?  Convert with Little's law.
+    demand = ClientDemand(clients=40)
+    rate = demand.as_rate(DEFAULT_PARAMS, wapp, reference_power=265.0)
+    print(
+        f"40 closed-loop clients can generate at most ~{rate:.1f} req/s "
+        "on this workload (Little's law with the unloaded latency)."
+    )
+
+    # Verify the 100 req/s plan in the simulator with saturating load.
+    target = 100.0
+    deployment = plans[target]
+    result = run_fixed_load(
+        deployment.hierarchy, DEFAULT_PARAMS, wapp,
+        clients=120, duration=15.0,
+    )
+    print(
+        f"verification: the {target:g} req/s plan delivers "
+        f"{result.throughput:.1f} req/s in the simulator using "
+        f"{deployment.nodes_used} of {len(pool)} nodes "
+        f"(bottleneck: {result.bottleneck_node} at "
+        f"{result.bottleneck_utilization:.0%})"
+    )
+
+
+if __name__ == "__main__":
+    main()

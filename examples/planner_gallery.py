@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""A gallery of planners and regimes on one pool.
+
+Shows how the chosen deployment morphs across the paper's three regimes
+(agent-bound, balanced, service-bound) and how the planning methods
+compare: the heterogeneous heuristic (both growth strategies and both
+agent-selection policies), the homogeneous-optimal d-ary planner, the
+exhaustive optimum (small pools), and the baselines.
+
+Run:  python examples/planner_gallery.py
+"""
+
+from __future__ import annotations
+
+from repro import NodePool, dgemm_mflop
+from repro.analysis import ascii_table
+from repro.core.heuristic import HeuristicPlanner
+from repro.core.homogeneous import HomogeneousPlanner
+from repro.core.optimal import exhaustive_plan
+from repro.core.params import DEFAULT_PARAMS
+from repro.core.planner import plan_deployment
+
+
+def regime_gallery() -> None:
+    """One heuristic, three regimes."""
+    pool = NodePool.uniform_random(60, low=80.0, high=400.0, seed=13)
+    rows = []
+    for size in (10, 50, 150, 310, 600, 1000):
+        plan = HeuristicPlanner(DEFAULT_PARAMS).plan(pool, dgemm_mflop(size))
+        n, a, s, h = plan.hierarchy.shape_signature()
+        rows.append(
+            [f"{size}x{size}", n, a, s, h,
+             f"{plan.throughput:.1f}", plan.report.bottleneck]
+        )
+    print(
+        ascii_table(
+            ["DGEMM", "nodes", "agents", "servers", "height",
+             "rho (req/s)", "bound by"],
+            rows,
+            title="Regime gallery: deployment shape vs request grain "
+            "(60 heterogeneous nodes)",
+        )
+    )
+
+
+def method_gallery() -> None:
+    """Every planning method on one small pool (exhaustive included)."""
+    pool = NodePool.heterogeneous(
+        [380.0, 350.0, 280.0, 220.0, 160.0, 120.0, 90.0, 60.0]
+    )
+    wapp = dgemm_mflop(200)
+    rows = []
+
+    methods = {
+        "heuristic (fixed-point)": lambda: HeuristicPlanner(
+            DEFAULT_PARAMS
+        ).plan(pool, wapp),
+        "heuristic (windowed agents)": lambda: HeuristicPlanner(
+            DEFAULT_PARAMS, agent_selection="windowed"
+        ).plan(pool, wapp),
+        "heuristic (incremental)": lambda: HeuristicPlanner(
+            DEFAULT_PARAMS, strategy="incremental"
+        ).plan(pool, wapp),
+        "homogeneous d-ary [10]": lambda: HomogeneousPlanner(
+            DEFAULT_PARAMS
+        ).plan(pool, wapp),
+        "exhaustive optimum": lambda: exhaustive_plan(
+            pool, DEFAULT_PARAMS, wapp
+        ),
+    }
+    for label, build in methods.items():
+        plan = build()
+        n, a, s, h = plan.hierarchy.shape_signature()
+        rows.append([label, n, a, s, h, f"{plan.throughput:.1f}"])
+    for label in ("star", "balanced", "chain"):
+        kwargs = {"middle_agents": 2} if label == "balanced" else (
+            {"agents": 2} if label == "chain" else {}
+        )
+        deployment = plan_deployment(pool, wapp, method=label, **kwargs)
+        n, a, s, h = deployment.hierarchy.shape_signature()
+        rows.append([label, n, a, s, h, f"{deployment.throughput:.1f}"])
+    print(
+        ascii_table(
+            ["method", "nodes", "agents", "servers", "height", "rho (req/s)"],
+            rows,
+            title="Method gallery: 8-node heterogeneous pool, DGEMM 200x200",
+        )
+    )
+
+
+if __name__ == "__main__":
+    regime_gallery()
+    print()
+    method_gallery()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The offline environment ships setuptools without the ``wheel`` package, so
+PEP 660 editable installs (which build a wheel) fail.  This shim enables the
+legacy path: ``pip install -e . --no-build-isolation --no-use-pep517``.
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

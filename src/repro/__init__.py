@@ -1,0 +1,76 @@
+"""repro — reproduction of *Automatic Middleware Deployment Planning on
+Heterogeneous Platforms* (Caron, Chouhan, Desprez; IPDPS 2008 / INRIA
+RR-6566).
+
+The library provides:
+
+* the paper's steady-state throughput model (:mod:`repro.core`),
+* the heterogeneous deployment heuristic and reference planners,
+* a synthetic platform substrate (:mod:`repro.platforms`),
+* a discrete-event simulated DIET-like middleware (:mod:`repro.sim`,
+  :mod:`repro.middleware`) standing in for the paper's Grid'5000 testbed,
+* plan serialization and a GoDIET-style launcher (:mod:`repro.deploy`),
+* workload and load-injection tooling (:mod:`repro.workloads`),
+* a calibration campaign reproducing Table 3 (:mod:`repro.calibration`),
+* experiment harnesses for every figure and table (:mod:`repro.analysis`).
+
+Quickstart::
+
+    from repro import NodePool, plan_deployment, dgemm_mflop
+
+    pool = NodePool.uniform_random(50, low=80, high=400, seed=7)
+    deployment = plan_deployment(pool, app_work=dgemm_mflop(310))
+    print(deployment.describe())
+"""
+
+from repro.core import (
+    HeuristicPlanner,
+    Hierarchy,
+    HomogeneousPlanner,
+    LevelSizes,
+    ModelParams,
+    Role,
+    ThroughputReport,
+    balanced_deployment,
+    chain_deployment,
+    hierarchy_throughput,
+    plan_deployment,
+    star_deployment,
+)
+from repro.platforms import (
+    BackgroundWorkload,
+    HomogeneousNetwork,
+    Node,
+    NodePool,
+    heterogenize,
+    rate_pool,
+)
+from repro.units import dgemm_mflop
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "ModelParams",
+    "LevelSizes",
+    "Hierarchy",
+    "Role",
+    "ThroughputReport",
+    "hierarchy_throughput",
+    "HeuristicPlanner",
+    "HomogeneousPlanner",
+    "plan_deployment",
+    "star_deployment",
+    "balanced_deployment",
+    "chain_deployment",
+    # platforms
+    "Node",
+    "NodePool",
+    "HomogeneousNetwork",
+    "BackgroundWorkload",
+    "heterogenize",
+    "rate_pool",
+    # workloads
+    "dgemm_mflop",
+]

@@ -1,0 +1,109 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark harness regenerates every table and figure of the paper as
+text: :func:`ascii_table` for tables, :func:`ascii_chart` for the load
+curves (one character column per sample, scaled rows).  Keeping output
+textual makes the benchmarks diff-able and keeps the library free of
+plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = ["ascii_table", "ascii_chart", "format_rate"]
+
+
+def format_rate(value: float) -> str:
+    """Compact requests/s formatting (3 significant-ish digits)."""
+    if value >= 100:
+        return f"{value:.0f}"
+    if value >= 10:
+        return f"{value:.1f}"
+    return f"{value:.2f}"
+
+
+def ascii_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render a boxed, column-aligned table."""
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return (
+            "| "
+            + " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+            + " |"
+        )
+
+    separator = "+" + "+".join("-" * (w + 2) for w in widths) + "+"
+    out: list[str] = []
+    if title:
+        out.append(title)
+    out.append(separator)
+    out.append(line(list(headers)))
+    out.append(separator)
+    for row in str_rows:
+        out.append(line(row))
+    out.append(separator)
+    return "\n".join(out)
+
+
+def ascii_chart(
+    series: dict[str, tuple[Sequence[float], Sequence[float]]],
+    height: int = 12,
+    width: int = 64,
+    title: str = "",
+    x_label: str = "clients",
+    y_label: str = "req/s",
+) -> str:
+    """Render one or more (x, y) series as a character plot.
+
+    Each series gets a marker (``*``, ``o``, ``+``, ``x``, ...); axes are
+    scaled to the combined data range.  Good enough to show the shape of
+    a load curve — which is exactly what the reproduction must match.
+    """
+    markers = "*o+x@#%&"
+    all_x = np.concatenate([np.asarray(x, dtype=float) for x, _ in series.values()])
+    all_y = np.concatenate([np.asarray(y, dtype=float) for _, y in series.values()])
+    if all_x.size == 0:
+        return "(no data)"
+    x_min, x_max = float(all_x.min()), float(all_x.max())
+    y_min, y_max = 0.0, float(all_y.max())
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (label, (xs, ys)) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        for x, y in zip(xs, ys):
+            col = int((float(x) - x_min) / x_span * (width - 1))
+            row = int((float(y) - y_min) / y_span * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    out: list[str] = []
+    if title:
+        out.append(title)
+    top_label = f"{y_max:.1f} {y_label}"
+    out.append(top_label)
+    for row in grid:
+        out.append("|" + "".join(row))
+    out.append("+" + "-" * width)
+    out.append(
+        f" {x_min:.0f}{' ' * max(1, width - len(f'{x_min:.0f}') - len(f'{x_max:.0f}'))}"
+        f"{x_max:.0f}  ({x_label})"
+    )
+    legend = "  ".join(
+        f"{markers[i % len(markers)]} = {label}"
+        for i, label in enumerate(series)
+    )
+    out.append(legend)
+    return "\n".join(out)

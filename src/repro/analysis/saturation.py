@@ -1,0 +1,75 @@
+"""Plateau detection on load curves.
+
+The paper's protocol adds clients "until the throughput of the platform
+stops improving".  Given a measured load curve, :func:`find_plateau`
+locates that point: the smallest client count whose rate is within a
+tolerance of the curve's eventual plateau level.  Harnesses use it both
+to report saturation loads and to decide whether a sweep explored enough
+load levels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+__all__ = ["find_plateau", "is_saturated"]
+
+
+def find_plateau(
+    clients: np.ndarray | list[int],
+    rates: np.ndarray | list[float],
+    tolerance: float = 0.05,
+    tail_points: int = 3,
+) -> tuple[int, float]:
+    """Locate the saturation point of a load curve.
+
+    The plateau level is the mean of the last ``tail_points`` samples;
+    the saturation point is the first client count whose rate reaches
+    ``(1 - tolerance)`` of that level.
+
+    Returns
+    -------
+    (clients_at_saturation, plateau_rate)
+
+    Raises
+    ------
+    SimulationError
+        If the curve is empty or still clearly rising at its end (the
+        sweep did not reach saturation).
+    """
+    clients_arr = np.asarray(clients, dtype=float)
+    rates_arr = np.asarray(rates, dtype=float)
+    if clients_arr.size == 0 or clients_arr.size != rates_arr.size:
+        raise SimulationError("load curve is empty or misaligned")
+    tail = rates_arr[-min(tail_points, rates_arr.size):]
+    plateau = float(tail.mean())
+    if plateau <= 0.0:
+        raise SimulationError("load curve never completed any request")
+    if not is_saturated(rates_arr, tolerance=tolerance, tail_points=tail_points):
+        raise SimulationError(
+            "load curve is still rising at its end; sweep more clients"
+        )
+    threshold = (1.0 - tolerance) * plateau
+    for c, r in zip(clients_arr, rates_arr):
+        if r >= threshold:
+            return int(c), plateau
+    return int(clients_arr[-1]), plateau
+
+
+def is_saturated(
+    rates: np.ndarray | list[float],
+    tolerance: float = 0.05,
+    tail_points: int = 3,
+) -> bool:
+    """True when the curve's tail has flattened.
+
+    The last point must not exceed the tail mean by more than the
+    tolerance — a cheap monotone-growth check.
+    """
+    rates_arr = np.asarray(rates, dtype=float)
+    if rates_arr.size < tail_points + 1:
+        return False
+    tail = rates_arr[-tail_points:]
+    return float(rates_arr[-1]) <= float(tail.mean()) * (1.0 + tolerance)

@@ -1,0 +1,34 @@
+"""Calibration campaigns — the simulated §5.1 measurement methodology.
+
+The paper obtained its Table 3 parameter values by deploying one agent and
+one DGEMM server, running 100 serial clients, capturing all traffic with
+tcpdump/Ethereal (message sizes), recording per-message processing times
+with DIET's statistics module, fitting ``Wrep`` against agent degree with
+a linear regression over star deployments (correlation 0.97), and rating
+node capacity with a Linpack mini-benchmark.
+
+This package reproduces every step against the simulation substrate:
+
+* :mod:`repro.calibration.capture` — the 1-agent/1-server wire capture;
+* :mod:`repro.calibration.fit` — the ``Wrep(d)`` degree sweep + fit;
+* :mod:`repro.calibration.linpack` — node capacity rating;
+* :mod:`repro.calibration.table3` — the full campaign assembling a
+  calibrated :class:`~repro.core.params.ModelParams` and rendering the
+  Table 3 report.
+"""
+
+from repro.calibration.capture import CaptureResult, run_capture_campaign
+from repro.calibration.fit import WrepFit, fit_wrep
+from repro.calibration.linpack import measure_mflops
+from repro.calibration.table3 import CalibrationResult, calibrate, render_table3
+
+__all__ = [
+    "CaptureResult",
+    "run_capture_campaign",
+    "WrepFit",
+    "fit_wrep",
+    "measure_mflops",
+    "CalibrationResult",
+    "calibrate",
+    "render_table3",
+]

@@ -1,0 +1,124 @@
+"""The 1-agent/1-server wire-capture campaign.
+
+    "To measure message sizes Sreq and Srep, we deployed an agent and a
+    single DGEMM server on the Lyon cluster and then launched 100 clients
+    serially from the same cluster.  We collected all network traffic ...
+    and analyzed the traffic to measure message sizes."
+
+:func:`run_capture_campaign` does the same on the simulated platform: a
+minimal deployment, ``repetitions`` back-to-back requests from a single
+serial client, tracing enabled, and post-processing of the trace into
+per-message-type size and per-activity processing-time statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.hierarchy import Hierarchy
+from repro.core.params import ModelParams
+from repro.errors import CalibrationError
+from repro.middleware.system import MiddlewareSystem
+from repro.sim.engine import Simulator
+from repro.sim.trace import TraceRecorder
+
+__all__ = ["CaptureResult", "run_capture_campaign"]
+
+
+@dataclass(frozen=True)
+class CaptureResult:
+    """Post-processed wire capture.
+
+    Attributes
+    ----------
+    message_sizes:
+        Mean observed size (Mb) per ``(node_role, message_type)``, e.g.
+        ``("agent", "sched_req")``.
+    processing_times:
+        Mean observed computation duration (s) per ``(node_role, what)``,
+        e.g. ``("agent", "merge")`` or ``("server", "prediction")``.
+    requests:
+        Number of completed requests in the capture.
+    trace:
+        The raw trace for further analysis.
+    """
+
+    message_sizes: dict[tuple[str, str], float]
+    processing_times: dict[tuple[str, str], float]
+    requests: int
+    trace: TraceRecorder = field(repr=False)
+
+
+def run_capture_campaign(
+    params: ModelParams,
+    node_power: float = 265.0,
+    app_work: float = 2.0,
+    repetitions: int = 100,
+    seed: int = 0,
+) -> CaptureResult:
+    """Deploy 1 agent + 1 server, run serial requests, capture everything.
+
+    Parameters
+    ----------
+    params:
+        The (ground-truth) middleware parameters driving the simulation —
+        the campaign's job is to *recover* them from observations.
+    node_power:
+        Power of both nodes (MFlop/s), as rated by the mini-benchmark.
+    app_work:
+        Service work used during the capture (a small DGEMM).
+    repetitions:
+        Serial client iterations (the paper used 100).
+    """
+    if repetitions < 1:
+        raise CalibrationError(
+            f"repetitions must be >= 1, got {repetitions}"
+        )
+    hierarchy = Hierarchy()
+    hierarchy.set_root("calib-agent", node_power)
+    hierarchy.add_server("calib-server", node_power, "calib-agent")
+
+    sim = Simulator()
+    trace = TraceRecorder()
+    system = MiddlewareSystem(
+        sim, hierarchy, params, app_work, trace=trace, seed=seed
+    )
+
+    remaining = {"count": repetitions}
+
+    def submit_next() -> None:
+        if remaining["count"] <= 0:
+            return
+        remaining["count"] -= 1
+        system.submit("calib-client", on_complete=lambda _req: submit_next())
+
+    submit_next()
+    sim.run()
+    if system.total_completed() != repetitions:
+        raise CalibrationError(
+            f"capture completed {system.total_completed()} of "
+            f"{repetitions} requests"
+        )
+
+    roles = {"calib-agent": "agent", "calib-server": "server"}
+    sizes: dict[tuple[str, str], list[float]] = {}
+    times: dict[tuple[str, str], list[float]] = {}
+    for record in trace:
+        role = roles.get(record.node)
+        if role is None:
+            continue
+        if record.kind in ("msg_recv", "msg_sent"):
+            key = (role, str(record.detail.get("msg")))
+            sizes.setdefault(key, []).append(float(record.detail["size_mb"]))
+        elif record.kind == "compute":
+            key = (role, str(record.detail.get("what")))
+            times.setdefault(key, []).append(float(record.detail["duration"]))
+
+    return CaptureResult(
+        message_sizes={k: float(np.mean(v)) for k, v in sizes.items()},
+        processing_times={k: float(np.mean(v)) for k, v in times.items()},
+        requests=repetitions,
+        trace=trace,
+    )

@@ -1,0 +1,138 @@
+"""Fitting the reply-processing cost ``Wrep(d) = Wfix + Wsel * d``.
+
+    "The parameter Wrep depends on the number of children attached to an
+    agent.  We measured the time required to process responses for a
+    variety of star deployments including an agent and different numbers
+    of servers.  A linear data fit provided a very accurate model ... with
+    a correlation coefficient of 0.97."
+
+:func:`fit_wrep` repeats that campaign: for each degree ``d`` it deploys a
+star with ``d`` servers, runs serial scheduling requests with tracing on,
+extracts the agent's reply-merge durations, converts them to MFlop with
+the rated node power, and runs a ``scipy.stats.linregress`` over degree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy import stats
+
+from repro.core.hierarchy import Hierarchy
+from repro.core.params import ModelParams
+from repro.errors import CalibrationError
+from repro.middleware.system import MiddlewareSystem
+from repro.sim.engine import Simulator
+from repro.sim.trace import TraceRecorder
+
+__all__ = ["WrepFit", "fit_wrep"]
+
+
+@dataclass(frozen=True)
+class WrepFit:
+    """Result of the linear ``Wrep`` fit.
+
+    Attributes
+    ----------
+    wfix:
+        Fitted intercept (MFlop).
+    wsel:
+        Fitted per-child slope (MFlop).
+    r_value:
+        Correlation coefficient of the fit (the paper reports 0.97).
+    degrees:
+        Degrees sampled.
+    mean_mflop:
+        Mean observed merge cost (MFlop) per sampled degree.
+    """
+
+    wfix: float
+    wsel: float
+    r_value: float
+    degrees: tuple[int, ...] = field(repr=False)
+    mean_mflop: tuple[float, ...] = field(repr=False)
+
+    def predict(self, degree: int) -> float:
+        """Fitted ``Wrep`` at a given degree (MFlop)."""
+        return self.wfix + self.wsel * degree
+
+
+def _measure_merge_cost(
+    params: ModelParams,
+    node_power: float,
+    degree: int,
+    repetitions: int,
+    seed: int,
+) -> float:
+    """Mean merge MFlop at one star degree, from traced durations."""
+    hierarchy = Hierarchy()
+    hierarchy.set_root("fit-agent", node_power)
+    for index in range(degree):
+        hierarchy.add_server(f"fit-server-{index:03d}", node_power, "fit-agent")
+
+    sim = Simulator()
+    trace = TraceRecorder()
+    # Scheduling-only traffic: app_work is irrelevant but must be positive.
+    system = MiddlewareSystem(
+        sim, hierarchy, params, app_work=1.0, trace=trace, seed=seed
+    )
+
+    remaining = {"count": repetitions}
+
+    def submit_next() -> None:
+        if remaining["count"] <= 0:
+            return
+        remaining["count"] -= 1
+        system.submit_schedule_only(
+            "fit-client", on_scheduled=lambda _req: submit_next()
+        )
+
+    submit_next()
+    sim.run()
+
+    durations = [
+        float(record.detail["duration"])
+        for record in trace.by_node("fit-agent")
+        if record.kind == "compute" and record.detail.get("what") == "merge"
+    ]
+    if len(durations) != repetitions:
+        raise CalibrationError(
+            f"degree {degree}: expected {repetitions} merge samples, "
+            f"got {len(durations)}"
+        )
+    return float(np.mean(durations)) * node_power
+
+
+def fit_wrep(
+    params: ModelParams,
+    node_power: float = 265.0,
+    degrees: tuple[int, ...] = (1, 2, 4, 8, 12, 16, 24, 32),
+    repetitions: int = 20,
+    seed: int = 0,
+) -> WrepFit:
+    """Run the star-degree sweep and fit ``Wrep(d)``.
+
+    Raises
+    ------
+    CalibrationError
+        If fewer than two degrees are sampled or any sweep loses samples.
+    """
+    if len(degrees) < 2:
+        raise CalibrationError(
+            f"need >= 2 degrees for a linear fit, got {degrees}"
+        )
+    if any(d < 1 for d in degrees):
+        raise CalibrationError(f"degrees must be >= 1, got {degrees}")
+    means = [
+        _measure_merge_cost(params, node_power, degree, repetitions, seed)
+        for degree in degrees
+    ]
+    result = stats.linregress(np.asarray(degrees, dtype=float), np.asarray(means))
+    return WrepFit(
+        wfix=float(result.intercept),
+        wsel=float(result.slope),
+        r_value=float(result.rvalue),
+        degrees=tuple(degrees),
+        mean_mflop=tuple(means),
+    )

@@ -1,0 +1,172 @@
+"""The full calibration campaign — regenerating Table 3.
+
+:func:`calibrate` chains every §5.1 measurement step:
+
+1. wire capture on a 1-agent/1-server deployment (message sizes,
+   ``Wreq``, ``Wpre``);
+2. star-degree sweep + linear fit for ``Wrep(d) = Wfix + Wsel*d``;
+3. Linpack-style node rating (converts times to MFlop).
+
+and assembles a calibrated :class:`~repro.core.params.ModelParams`.
+:func:`render_table3` prints the result in the paper's Table 3 layout,
+next to the ground-truth values the simulation ran with — the campaign's
+acceptance test is recovering them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.report import ascii_table
+from repro.calibration.capture import CaptureResult, run_capture_campaign
+from repro.calibration.fit import WrepFit, fit_wrep
+from repro.calibration.linpack import measure_mflops
+from repro.core.params import LevelSizes, ModelParams
+from repro.errors import CalibrationError
+from repro.platforms.node import Node
+
+__all__ = ["CalibrationResult", "calibrate", "render_table3"]
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """A calibrated parameter set plus campaign evidence."""
+
+    params: ModelParams
+    capture: CaptureResult
+    wrep_fit: WrepFit
+    rated_power: float
+
+    @property
+    def fit_quality(self) -> float:
+        """Correlation coefficient of the Wrep fit (paper: 0.97)."""
+        return self.wrep_fit.r_value
+
+
+def calibrate(
+    true_params: ModelParams,
+    node: Node | None = None,
+    capture_repetitions: int = 100,
+    fit_degrees: tuple[int, ...] = (1, 2, 4, 8, 12, 16, 24, 32),
+    fit_repetitions: int = 20,
+    rating_noise: float = 0.0,
+    seed: int = 0,
+) -> CalibrationResult:
+    """Run the full campaign against a platform driven by ``true_params``.
+
+    Parameters
+    ----------
+    true_params:
+        Ground truth the simulated middleware runs with; the campaign
+        only observes traffic and timings, never these values directly.
+    node:
+        The machine the campaign runs on (defaults to a 265 MFlop/s node,
+        the ballpark of the paper's Lyon machines under the mini-benchmark).
+    rating_noise:
+        Mini-benchmark noise; non-zero values study calibration
+        robustness.
+    """
+    node = node if node is not None else Node(power=265.0, name="calib-node")
+    rated_power = measure_mflops(node, noise=rating_noise, seed=seed)
+
+    capture = run_capture_campaign(
+        true_params,
+        node_power=rated_power,
+        repetitions=capture_repetitions,
+        seed=seed,
+    )
+    wrep = fit_wrep(
+        true_params,
+        node_power=rated_power,
+        degrees=fit_degrees,
+        repetitions=fit_repetitions,
+        seed=seed,
+    )
+
+    try:
+        agent_sizes = LevelSizes(
+            sreq=capture.message_sizes[("agent", "sched_req")],
+            srep=capture.message_sizes[("agent", "sched_rep")],
+        )
+        server_sizes = LevelSizes(
+            sreq=capture.message_sizes[("server", "sched_req")],
+            srep=capture.message_sizes[("server", "sched_rep")],
+        )
+        wreq = (
+            capture.processing_times[("agent", "request_processing")]
+            * rated_power
+        )
+        wpre = capture.processing_times[("server", "prediction")] * rated_power
+    except KeyError as exc:
+        raise CalibrationError(
+            f"capture is missing an expected observation: {exc}"
+        ) from exc
+
+    params = ModelParams(
+        wreq=wreq,
+        wfix=wrep.wfix,
+        wsel=wrep.wsel,
+        wpre=wpre,
+        agent_sizes=agent_sizes,
+        server_sizes=server_sizes,
+        bandwidth=true_params.bandwidth,
+    )
+    return CalibrationResult(
+        params=params,
+        capture=capture,
+        wrep_fit=wrep,
+        rated_power=rated_power,
+    )
+
+
+def render_table3(
+    result: CalibrationResult, reference: ModelParams | None = None
+) -> str:
+    """Render the calibrated values in the paper's Table 3 layout.
+
+    With ``reference`` given (the ground truth), a second row pair shows
+    it for comparison.
+    """
+    params = result.params
+
+    def agent_row(tag: str, p: ModelParams) -> list[str]:
+        return [
+            f"Agent{tag}",
+            f"{p.wreq:.3g}",
+            f"{p.wfix:.3g} + {p.wsel:.3g}*d",
+            "-",
+            f"{p.agent_sizes.srep:.3g}",
+            f"{p.agent_sizes.sreq:.3g}",
+        ]
+
+    def server_row(tag: str, p: ModelParams) -> list[str]:
+        return [
+            f"Server{tag}",
+            "-",
+            "-",
+            f"{p.wpre:.3g}",
+            f"{p.server_sizes.srep:.3g}",
+            f"{p.server_sizes.sreq:.3g}",
+        ]
+
+    rows = [agent_row(" (calibrated)", params), server_row(" (calibrated)", params)]
+    if reference is not None:
+        rows.append(agent_row(" (ground truth)", reference))
+        rows.append(server_row(" (ground truth)", reference))
+    table = ascii_table(
+        headers=[
+            "DIET element",
+            "Wreq (MFlop)",
+            "Wrep (MFlop)",
+            "Wpre (MFlop)",
+            "Srep (Mb)",
+            "Sreq (Mb)",
+        ],
+        rows=rows,
+        title=(
+            "Table 3: parameter values for middleware deployment "
+            f"(Wrep fit r = {result.fit_quality:.4f}, "
+            f"rated power = {result.rated_power:.1f} MFlop/s)"
+        ),
+    )
+    return table

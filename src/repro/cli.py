@@ -1,0 +1,288 @@
+"""Command-line interface: ``repro-deploy``.
+
+Subcommands mirror the paper's workflow:
+
+* ``plan``      — plan a deployment for a node pool and write the GoDIET
+  XML (Algorithm 1 end-to-end);
+* ``predict``   — evaluate a plan's model throughput (Eq. 16);
+* ``simulate``  — launch a plan on the simulated platform and measure its
+  sustained throughput under a client ramp (§5.1 protocol);
+* ``compare``   — rank the heuristic against the star/balanced baselines
+  on one pool (the Figure 6/7 experiment in miniature);
+* ``calibrate`` — run the §5.1 calibration campaign and print Table 3.
+
+Pool specification flags are shared: ``--nodes/--power`` builds a
+homogeneous pool, ``--powers`` an explicit heterogeneous one, ``--random``
+a seeded uniform pool, and ``--heterogenize`` applies the §5.3
+background-load treatment.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.compare import compare_deployments
+from repro.analysis.report import ascii_table, format_rate
+from repro.calibration.table3 import calibrate, render_table3
+from repro.core.params import DEFAULT_PARAMS
+from repro.core.planner import PLANNING_METHODS, plan_deployment
+from repro.deploy.godiet import GoDIET
+from repro.deploy.plan import DeploymentPlan
+from repro.deploy.xml_io import plan_from_xml, plan_to_xml
+from repro.errors import ReproError
+from repro.platforms.background import heterogenize
+from repro.platforms.pool import NodePool
+from repro.units import dgemm_mflop
+from repro.workloads.loadgen import ClientRamp
+
+__all__ = ["main", "build_parser"]
+
+
+def _add_pool_args(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("pool specification")
+    group.add_argument("--nodes", type=int, help="homogeneous pool size")
+    group.add_argument(
+        "--power", type=float, default=265.0,
+        help="homogeneous node power in MFlop/s (default 265)",
+    )
+    group.add_argument(
+        "--powers", type=str,
+        help="comma-separated per-node powers (heterogeneous pool)",
+    )
+    group.add_argument(
+        "--random", type=int, metavar="N",
+        help="random pool of N nodes with powers in [--low, --high]",
+    )
+    group.add_argument("--low", type=float, default=50.0)
+    group.add_argument("--high", type=float, default=400.0)
+    group.add_argument("--seed", type=int, default=0)
+    group.add_argument(
+        "--heterogenize", type=float, metavar="FRACTION",
+        help="degrade FRACTION of the nodes with background matrix "
+        "products (the paper's §5.3 treatment)",
+    )
+
+
+def _add_workload_args(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("workload")
+    group.add_argument(
+        "--dgemm", type=int, metavar="N",
+        help="square DGEMM dimension (Wapp = 2*N^3 flops)",
+    )
+    group.add_argument(
+        "--app-work", type=float, metavar="MFLOP",
+        help="explicit Wapp in MFlop (overrides --dgemm)",
+    )
+
+
+def _pool_from_args(args: argparse.Namespace) -> NodePool:
+    if args.powers:
+        powers = [float(p) for p in args.powers.split(",") if p.strip()]
+        pool = NodePool.heterogeneous(powers)
+    elif args.random:
+        pool = NodePool.uniform_random(
+            args.random, low=args.low, high=args.high, seed=args.seed
+        )
+    elif args.nodes:
+        pool = NodePool.homogeneous(args.nodes, args.power)
+    else:
+        raise ReproError(
+            "specify a pool with --nodes, --powers or --random"
+        )
+    if args.heterogenize is not None:
+        pool = heterogenize(
+            pool, loaded_fraction=args.heterogenize, seed=args.seed
+        )
+    return pool
+
+
+def _app_work_from_args(args: argparse.Namespace) -> float:
+    if args.app_work is not None:
+        return args.app_work
+    if args.dgemm is not None:
+        return dgemm_mflop(args.dgemm)
+    raise ReproError("specify a workload with --dgemm or --app-work")
+
+
+# ---------------------------------------------------------------------- #
+# subcommands
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    pool = _pool_from_args(args)
+    app_work = _app_work_from_args(args)
+    deployment = plan_deployment(
+        pool, app_work, demand=args.demand, method=args.method
+    )
+    plan = DeploymentPlan(
+        hierarchy=deployment.hierarchy,
+        params=deployment.params,
+        app_work=app_work,
+        method=deployment.method,
+        metadata={"pool": pool.describe()},
+    )
+    print(plan.describe())
+    if args.output:
+        Path(args.output).write_text(plan_to_xml(plan))
+        print(f"plan written to {args.output}")
+    if args.show_tree:
+        print(deployment.hierarchy.describe())
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    plan = plan_from_xml(Path(args.plan).read_text())
+    from repro.core.throughput import hierarchy_throughput
+
+    report = hierarchy_throughput(plan.hierarchy, plan.params, plan.app_work)
+    print(plan.describe())
+    print(
+        f"rho = {format_rate(report.throughput)} req/s "
+        f"({report.bottleneck}-bound; sched={format_rate(report.sched)}, "
+        f"service={format_rate(report.service)}; "
+        f"limiting node = {report.limiting_node})"
+    )
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    plan = plan_from_xml(Path(args.plan).read_text())
+    platform = GoDIET(seed=args.seed).launch(plan)
+    ramp = ClientRamp(
+        client_interval=args.client_interval,
+        max_clients=args.max_clients,
+        hold_duration=args.hold,
+    )
+    result = ramp.run(platform.system)
+    print(plan.describe())
+    print(
+        f"measured max sustained throughput: "
+        f"{format_rate(result.max_sustained)} req/s with "
+        f"{result.clients_at_peak} clients "
+        f"(predicted {format_rate(plan.predicted_throughput)} req/s)"
+    )
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    pool = _pool_from_args(args)
+    app_work = _app_work_from_args(args)
+    middle = max(1, int(round(len(pool) ** 0.5)) - 1)
+    deployments = {
+        "automatic": plan_deployment(pool, app_work).hierarchy,
+        "star": plan_deployment(pool, app_work, method="star").hierarchy,
+    }
+    try:
+        deployments["balanced"] = plan_deployment(
+            pool, app_work, method="balanced", middle_agents=middle
+        ).hierarchy
+    except ReproError:
+        pass  # pool too small for a balanced tree
+    rows = compare_deployments(
+        deployments,
+        DEFAULT_PARAMS,
+        app_work,
+        clients=args.clients,
+        duration=args.duration,
+        seed=args.seed,
+    )
+    print(
+        ascii_table(
+            headers=[
+                "deployment", "nodes", "agents", "servers", "height",
+                "predicted", "measured",
+            ],
+            rows=[
+                [
+                    row.label, row.nodes, row.agents, row.servers, row.height,
+                    format_rate(row.predicted), format_rate(row.measured),
+                ]
+                for row in rows
+            ],
+            title=f"Deployment comparison on {pool.describe()}",
+        )
+    )
+    return 0
+
+
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    result = calibrate(
+        DEFAULT_PARAMS,
+        capture_repetitions=args.repetitions,
+        seed=args.seed,
+    )
+    print(render_table3(result, reference=DEFAULT_PARAMS))
+    return 0
+
+
+# ---------------------------------------------------------------------- #
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the ``repro-deploy`` argument parser (all subcommands)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-deploy",
+        description=(
+            "Automatic middleware deployment planning on heterogeneous "
+            "platforms (Caron, Chouhan, Desprez 2008) — reproduction CLI"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_plan = sub.add_parser("plan", help="plan a deployment for a pool")
+    _add_pool_args(p_plan)
+    _add_workload_args(p_plan)
+    p_plan.add_argument("--demand", type=float, help="client demand (req/s)")
+    p_plan.add_argument(
+        "--method", choices=PLANNING_METHODS, default="heuristic"
+    )
+    p_plan.add_argument("--output", type=str, help="write plan XML here")
+    p_plan.add_argument(
+        "--show-tree", action="store_true", help="print the hierarchy"
+    )
+    p_plan.set_defaults(func=_cmd_plan)
+
+    p_predict = sub.add_parser("predict", help="model throughput of a plan")
+    p_predict.add_argument("plan", type=str, help="plan XML file")
+    p_predict.set_defaults(func=_cmd_predict)
+
+    p_sim = sub.add_parser("simulate", help="measure a plan in the DES")
+    p_sim.add_argument("plan", type=str, help="plan XML file")
+    p_sim.add_argument("--client-interval", type=float, default=0.2)
+    p_sim.add_argument("--max-clients", type=int, default=400)
+    p_sim.add_argument("--hold", type=float, default=15.0)
+    p_sim.add_argument("--seed", type=int, default=0)
+    p_sim.set_defaults(func=_cmd_simulate)
+
+    p_cmp = sub.add_parser(
+        "compare", help="heuristic vs star vs balanced on one pool"
+    )
+    _add_pool_args(p_cmp)
+    _add_workload_args(p_cmp)
+    p_cmp.add_argument("--clients", type=int, default=100)
+    p_cmp.add_argument("--duration", type=float, default=15.0)
+    p_cmp.set_defaults(func=_cmd_compare)
+
+    p_cal = sub.add_parser("calibrate", help="run the Table 3 campaign")
+    p_cal.add_argument("--repetitions", type=int, default=100)
+    p_cal.add_argument("--seed", type=int, default=0)
+    p_cal.set_defaults(func=_cmd_calibrate)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point: parse arguments, dispatch, map ReproError to exit 2."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,50 @@
+"""Core analytic models and deployment planners.
+
+This package contains the paper's primary contribution:
+
+* :mod:`repro.core.params` — the calibrated model parameter set (Table 3);
+* :mod:`repro.core.comm_model` / :mod:`repro.core.comp_model` — the per-node
+  communication and computation time models (Eqs. 1–10);
+* :mod:`repro.core.throughput` — scheduling / service / platform throughput
+  (Eqs. 11–16);
+* :mod:`repro.core.hierarchy` — the deployment-tree data structure;
+* :mod:`repro.core.heuristic` — the heterogeneous deployment heuristic
+  (Algorithm 1);
+* :mod:`repro.core.homogeneous` — the optimal complete-spanning-d-ary-tree
+  planner for homogeneous pools (reference [10] of the paper);
+* :mod:`repro.core.optimal` — exhaustive reference planners for small pools;
+* :mod:`repro.core.baselines` — star / balanced / chain deployments (§5.3);
+* :mod:`repro.core.planner` — the high-level planning façade.
+"""
+
+from repro.core.params import LevelSizes, ModelParams
+from repro.core.hierarchy import Hierarchy, Role
+from repro.core.throughput import (
+    agent_sched_throughput,
+    hierarchy_throughput,
+    server_sched_throughput,
+    service_throughput,
+    ThroughputReport,
+)
+from repro.core.heuristic import HeuristicPlanner
+from repro.core.homogeneous import HomogeneousPlanner
+from repro.core.baselines import balanced_deployment, chain_deployment, star_deployment
+from repro.core.planner import plan_deployment
+
+__all__ = [
+    "LevelSizes",
+    "ModelParams",
+    "Hierarchy",
+    "Role",
+    "agent_sched_throughput",
+    "server_sched_throughput",
+    "service_throughput",
+    "hierarchy_throughput",
+    "ThroughputReport",
+    "HeuristicPlanner",
+    "HomogeneousPlanner",
+    "star_deployment",
+    "balanced_deployment",
+    "chain_deployment",
+    "plan_deployment",
+]

@@ -1,0 +1,174 @@
+"""Baseline deployments — the "intuitive alternatives" of §5.3.
+
+The paper compares its automatically-generated hierarchy against:
+
+* a **star**: one node is the agent, every other node a server directly
+  attached to it;
+* a **balanced** two-level tree: one top agent over ``m`` middle agents,
+  servers spread as evenly as possible (on the 200-node Orsay pool the
+  authors used 1 + 14 agents with 14 servers each, one agent keeping 3);
+* (for ablations) a **chain** of agents ending in servers, and complete
+  d-ary trees via :func:`dary_deployment`, the building block of the
+  homogeneous-optimal planner of [10].
+
+Node placement is *positional*: baselines assign roles in pool order,
+exactly like a human writing a deployment file without performance
+modelling — which is the point of the comparison.  Pass a pool sorted by
+power to emulate a slightly smarter human.
+"""
+
+from __future__ import annotations
+
+from repro.core.hierarchy import Hierarchy
+from repro.errors import PlanningError
+from repro.platforms.pool import NodePool
+
+__all__ = [
+    "star_deployment",
+    "balanced_deployment",
+    "chain_deployment",
+    "dary_deployment",
+]
+
+
+def _require(pool: NodePool, minimum: int, what: str) -> None:
+    if len(pool) < minimum:
+        raise PlanningError(
+            f"{what} needs at least {minimum} nodes, pool has {len(pool)}"
+        )
+
+
+def star_deployment(pool: NodePool) -> Hierarchy:
+    """One agent (first pool node) with all remaining nodes as servers."""
+    _require(pool, 2, "a star deployment")
+    hierarchy = Hierarchy()
+    agent = pool[0]
+    hierarchy.set_root(agent.name, agent.power)
+    for node in list(pool)[1:]:
+        hierarchy.add_server(node.name, node.power, agent.name)
+    return hierarchy
+
+
+def balanced_deployment(pool: NodePool, middle_agents: int) -> Hierarchy:
+    """A two-level tree: root agent, ``middle_agents`` agents, servers below.
+
+    Servers are dealt round-robin across the middle agents, so counts
+    differ by at most one (the paper's 14x14 deployment with one agent
+    keeping only 3 servers is exactly this shape on 200 nodes).
+    """
+    if middle_agents < 1:
+        raise PlanningError(
+            f"balanced deployment needs >= 1 middle agent, got {middle_agents}"
+        )
+    # root + middles + at least 2 servers per middle agent (validity rule).
+    _require(pool, 1 + middle_agents + 2 * middle_agents, "this balanced deployment")
+    nodes = list(pool)
+    hierarchy = Hierarchy()
+    root = nodes[0]
+    hierarchy.set_root(root.name, root.power)
+    middles = nodes[1 : 1 + middle_agents]
+    for node in middles:
+        hierarchy.add_agent(node.name, node.power, root.name)
+    servers = nodes[1 + middle_agents :]
+    for index, node in enumerate(servers):
+        parent = middles[index % middle_agents]
+        hierarchy.add_server(node.name, node.power, parent.name)
+    return hierarchy
+
+
+def chain_deployment(pool: NodePool, agents: int) -> Hierarchy:
+    """A chain of ``agents`` agents; all remaining nodes are servers.
+
+    Each non-terminal agent has two children: the next agent in the chain
+    and one server; the terminal agent takes all remaining servers.  This
+    is the deepest valid hierarchy for a given agent count and serves as a
+    worst-case baseline in ablation benchmarks.
+    """
+    if agents < 1:
+        raise PlanningError(f"chain needs >= 1 agent, got {agents}")
+    # Each non-terminal agent consumes 1 server; terminal agent needs >= 1
+    # server (>= 2 if it is not the root).
+    minimum = agents + (agents - 1) + (2 if agents > 1 else 1)
+    _require(pool, minimum, f"a chain of {agents} agents")
+    nodes = list(pool)
+    hierarchy = Hierarchy()
+    hierarchy.set_root(nodes[0].name, nodes[0].power)
+    agent_nodes = nodes[:agents]
+    server_nodes = nodes[agents:]
+    for previous, current in zip(agent_nodes, agent_nodes[1:]):
+        hierarchy.add_agent(current.name, current.power, previous.name)
+    server_iter = iter(server_nodes)
+    # One server per non-terminal agent keeps every inner agent at degree 2.
+    for agent_node in agent_nodes[:-1]:
+        node = next(server_iter)
+        hierarchy.add_server(node.name, node.power, agent_node.name)
+    for node in server_iter:
+        hierarchy.add_server(node.name, node.power, agent_nodes[-1].name)
+    return hierarchy
+
+
+def dary_deployment(pool: NodePool, degree: int) -> Hierarchy:
+    """Complete spanning d-ary tree over the whole pool (reference [10]).
+
+    Nodes are placed in pool order, breadth-first: internal positions become
+    agents, leaves become servers.  ``degree == len(pool) - 1`` is a star.
+
+    ``degree == 1`` is special-cased: a spanning unary chain has the same
+    steady-state throughput as a single agent-server pair (the min over
+    identical agent rates) but violates the validity rule that non-root
+    agents have >= 2 children, so the minimal 1-agent/1-server deployment
+    is returned instead — matching the paper's Step 6/7 and its Table 4
+    "degree 1" rows.
+
+    For ``degree >= 2``, a partial last level can leave an inner agent with
+    a lone child; such agents are repaired by lifting the child to the
+    grandparent and demoting the agent to a server, preserving node count.
+    """
+    if degree < 1:
+        raise PlanningError(f"degree must be >= 1, got {degree}")
+    _require(pool, 2, "a d-ary deployment")
+    if degree == 1:
+        return star_deployment(pool.take(2))
+    nodes = list(pool)
+    n = len(nodes)
+    hierarchy = Hierarchy()
+    hierarchy.set_root(nodes[0].name, nodes[0].power)
+    # Breadth-first slot assignment: node i's parent is node (i-1)//degree.
+    parent_index = [(i - 1) // degree for i in range(n)]
+    children: dict[int, list[int]] = {i: [] for i in range(n)}
+    for i in range(1, n):
+        children[parent_index[i]].append(i)
+    # Internal iff it has children.
+    for i in range(1, n):
+        p = parent_index[i]
+        node = nodes[i]
+        if children[i]:
+            hierarchy.add_agent(node.name, node.power, nodes[p].name)
+        else:
+            hierarchy.add_server(node.name, node.power, nodes[p].name)
+    _repair_single_child_agents(hierarchy)
+    return hierarchy
+
+
+def _repair_single_child_agents(hierarchy: Hierarchy) -> None:
+    """Fix non-root agents holding a single child.
+
+    A partial last level can leave one inner agent with a lone child.  The
+    child (with its subtree, if any) moves up to the grandparent and the
+    agent is demoted to a server — preserving the node count while
+    restoring validity.  Repeats until a fixed point is reached.
+    """
+    changed = True
+    while changed:
+        changed = False
+        for agent in hierarchy.agents:
+            if agent == hierarchy.root:
+                continue
+            kids = hierarchy.children(agent)
+            if len(kids) == 1:
+                parent = hierarchy.parent(agent)
+                assert parent is not None
+                hierarchy.reattach(kids[0], parent)
+                hierarchy.demote(agent)
+                changed = True
+                break

@@ -1,0 +1,700 @@
+"""The heterogeneous deployment heuristic — Algorithm 1 of the paper.
+
+The heuristic builds a hierarchy from a pool of nodes sorted by scheduling
+power (``sort_nodes``).  Its driving quantities are the paper's
+
+* ``calc_sch_pow(node, d)`` — the scheduling rate of a node acting as an
+  agent with ``d`` children (strictly decreasing in ``d``), and
+* ``calc_hier_ser_pow(servers)`` — the service rate of a server set
+  (Eq. 15), increasing as servers are added.
+
+Algorithm 1 alternates between adding servers ("while scheduling power
+exceeds service power") and adding scheduling capacity (converting servers
+to agents with ``shift_nodes``, each new agent taking children up to the
+number it *supports*), stopping when demand is met, nodes run out, or
+throughput starts decreasing.  The loop therefore converges to a balance
+point: a scheduling rate ``t`` such that, giving every agent as many
+children as it supports at rate ``t``, the servers filling those child
+slots deliver a service power equal to ``t``.
+
+This module implements two strategies:
+
+``fixed_point`` (default)
+    Solves for the balance point directly.  For each candidate agent count
+    ``A`` (the ``A`` fastest nodes become agents), a binary search finds
+    the scheduling target ``t`` where the service power of the servers
+    that fit into the agents' supported child slots crosses ``t``; the
+    best ``A`` wins and the hierarchy is materialized by capacity-filling.
+    This is the deterministic fixed point the paper's interleaved loops
+    approach, and it inherits the paper's boundary behaviour exactly: one
+    agent + one server for tiny request grains (Step 6), a spanning star
+    when service power never catches scheduling power.
+
+``incremental``
+    A literal greedy reading of the pseudo-code: grow one node at a time,
+    each step choosing between attaching a server and promoting the
+    strongest server to an agent, with best-snapshot rollback.  Kept for
+    ablation (benchmarks compare both).
+
+Interpretation choices are catalogued in DESIGN.md §3.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.comm_model import agent_comm_time
+from repro.core.hierarchy import Hierarchy, NodeId
+from repro.core.params import ModelParams
+from repro.core.throughput import (
+    ThroughputReport,
+    agent_sched_throughput,
+    hierarchy_throughput,
+    server_sched_throughput,
+    service_throughput,
+)
+from repro.errors import PlanningError
+from repro.platforms.node import Node
+from repro.platforms.pool import NodePool
+
+__all__ = [
+    "calc_sch_pow",
+    "calc_hier_ser_pow",
+    "sort_nodes",
+    "supported_children",
+    "PlanStep",
+    "HeuristicPlan",
+    "HeuristicPlanner",
+]
+
+_REL_TOL = 1e-9
+STRATEGIES = ("fixed_point", "incremental")
+
+
+def calc_sch_pow(params: ModelParams, power: float, children: int) -> float:
+    """Scheduling power of a node acting as an agent with ``children`` children.
+
+    Paper procedure ``calc_sch_pow`` (Table 1); identical to
+    :func:`repro.core.throughput.agent_sched_throughput`.
+    """
+    return agent_sched_throughput(params, power, children)
+
+
+def calc_hier_ser_pow(
+    params: ModelParams, server_powers: list[float], app_work: float
+) -> float:
+    """Service power of a hierarchy whose servers have ``server_powers``.
+
+    Paper procedure ``calc_hier_ser_pow`` (Table 1): the rate at which the
+    server set completes application requests when load is split in the
+    steady-state proportions (Eq. 15).
+    """
+    return service_throughput(
+        params, server_powers, [app_work] * len(server_powers)
+    )
+
+
+def sort_nodes(pool: NodePool, params: ModelParams) -> list[Node]:
+    """Paper procedure ``sort_nodes``: rank nodes by agent suitability.
+
+    Nodes are ordered by descending ``calc_sch_pow`` with ``n_nodes - 1``
+    children (Steps 1–2 of Algorithm 1); with a common parameter set this
+    coincides with descending computing power, ties broken by name for
+    determinism.
+    """
+    children = max(1, len(pool) - 1)
+    return sorted(
+        pool,
+        key=lambda n: (calc_sch_pow(params, n.power, children), n.name),
+        reverse=True,
+    )
+
+
+def supported_children(
+    params: ModelParams, power: float, target_rate: float
+) -> int:
+    """Largest degree at which a node still schedules at ``target_rate``.
+
+    The agent rate is ``1 / (a + b*d)`` with
+
+    * ``a = (Wreq + Wfix)/w + (Sreq + Srep)/B`` (degree-independent), and
+    * ``b = Wsel/w + (Srep + Sreq)/B`` (per-child cost),
+
+    so the supported child count is ``floor((1/target - a) / b)``.  Returns
+    0 when the node cannot even sustain one child at the target rate.
+    """
+    if target_rate <= 0.0:
+        raise PlanningError(f"target_rate must be > 0, got {target_rate}")
+    fixed = (params.wreq + params.wfix) / power + agent_comm_time(params, 0)
+    per_child = params.wsel / power + params.agent_sizes.round_trip / params.bandwidth
+    budget = 1.0 / target_rate - fixed
+    if budget < per_child:
+        return 0
+    return int(math.floor(budget / per_child + _REL_TOL))
+
+
+@dataclass(frozen=True)
+class PlanStep:
+    """One growth step of the incremental strategy, for tracing/ablation."""
+
+    action: str  # "root", "server", "promote", "stop"
+    node: NodeId | None
+    parent: NodeId | None
+    throughput: float
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class HeuristicPlan:
+    """Result of a heuristic planning run."""
+
+    hierarchy: Hierarchy
+    report: ThroughputReport
+    strategy: str = "fixed_point"
+    steps: tuple[PlanStep, ...] = field(repr=False, default=())
+    demand: float | None = None
+
+    @property
+    def throughput(self) -> float:
+        return self.report.throughput
+
+    @property
+    def nodes_used(self) -> int:
+        return len(self.hierarchy)
+
+    @property
+    def root_degree(self) -> int:
+        """Degree of the root agent (the "Heur. Deg." column of Table 4)."""
+        return self.hierarchy.degree(self.hierarchy.root)
+
+    def describe(self) -> str:
+        shape = self.hierarchy.shape_signature()
+        demand = "unbounded" if self.demand is None else f"{self.demand:g} req/s"
+        return (
+            f"HeuristicPlan[{self.strategy}]: rho={self.throughput:.2f} req/s "
+            f"({self.report.bottleneck}-bound), nodes={shape[0]} "
+            f"(agents={shape[1]}, servers={shape[2]}, height={shape[3]}), "
+            f"demand={demand}"
+        )
+
+
+class HeuristicPlanner:
+    """Automatic deployment planner for heterogeneous pools (Algorithm 1).
+
+    Parameters
+    ----------
+    params:
+        Calibrated model parameters (Table 3 defaults).
+    strategy:
+        ``"fixed_point"`` (default) or ``"incremental"`` — see the module
+        docstring.
+    patience:
+        Incremental strategy only: consecutive non-improving growth steps
+        tolerated before stopping (``1`` reproduces the paper's literal
+        stop-at-first-decrease).
+    allow_promotion:
+        Incremental strategy only: with ``False`` the planner never runs
+        ``shift_nodes`` and can only grow a star — an ablation isolating
+        the value of multi-level hierarchies.
+    agent_selection:
+        Fixed-point strategy only.  ``"fastest"`` (default) takes the top
+        of the sorted node list as agents, exactly as Algorithm 1's
+        ``sort_nodes`` prescribes.  ``"windowed"`` additionally tries
+        windows of *slower* nodes as the agent tier: when the workload is
+        service-bound, spending the fastest nodes on scheduling wastes
+        them, and the paper's policy can lose unboundedly on adversarial
+        pools (e.g. one very fast node plus one slow one).  This is an
+        extension beyond the paper, benchmarked in the ablation suite.
+    """
+
+    def __init__(
+        self,
+        params: ModelParams,
+        strategy: str = "fixed_point",
+        patience: int = 4,
+        allow_promotion: bool = True,
+        agent_selection: str = "fastest",
+    ):
+        if strategy not in STRATEGIES:
+            raise PlanningError(
+                f"unknown strategy {strategy!r}; expected one of {STRATEGIES}"
+            )
+        if patience < 1:
+            raise PlanningError(f"patience must be >= 1, got {patience}")
+        if agent_selection not in ("fastest", "windowed"):
+            raise PlanningError(
+                f"unknown agent_selection {agent_selection!r}; "
+                "expected 'fastest' or 'windowed'"
+            )
+        self.params = params
+        self.strategy = strategy
+        self.patience = patience
+        self.allow_promotion = allow_promotion
+        self.agent_selection = agent_selection
+
+    # ------------------------------------------------------------------ #
+    # public API
+
+    def plan(
+        self,
+        pool: NodePool,
+        app_work: float,
+        demand: float | None = None,
+    ) -> HeuristicPlan:
+        """Build a deployment for ``pool`` running an ``app_work`` service.
+
+        Parameters
+        ----------
+        app_work:
+            Application work ``Wapp`` in MFlop.
+        demand:
+            Client demand in requests/s; growth stops at the cheapest
+            deployment meeting it.  ``None`` maximizes throughput.
+
+        Raises
+        ------
+        PlanningError
+            If the pool has fewer than two nodes.
+        """
+        if len(pool) < 2:
+            raise PlanningError(
+                f"planning needs >= 2 nodes, pool has {len(pool)}"
+            )
+        if app_work <= 0.0:
+            raise PlanningError(f"app_work must be > 0, got {app_work}")
+        if demand is not None and demand <= 0.0:
+            raise PlanningError(f"demand must be > 0, got {demand}")
+        ranked = sort_nodes(pool, self.params)
+
+        early = self._early_exit(ranked, app_work, demand)
+        if early is not None:
+            return early
+        if self.strategy == "fixed_point":
+            return self._plan_fixed_point(ranked, app_work, demand)
+        return self._plan_incremental(ranked, app_work, demand)
+
+    # ------------------------------------------------------------------ #
+    # Steps 3-7: the degenerate 1-agent/1-server case
+
+    def _early_exit(
+        self, ranked: list[Node], app_work: float, demand: float | None
+    ) -> HeuristicPlan | None:
+        params = self.params
+        root, first = ranked[0], ranked[1]
+        vir_max_sch_pow = calc_sch_pow(params, root.power, 1)
+        vir_max_ser_pow = calc_hier_ser_pow(params, [first.power], app_work)
+        min_ser_cv = (
+            vir_max_ser_pow if demand is None else min(vir_max_ser_pow, demand)
+        )
+        if vir_max_sch_pow >= min_ser_cv:
+            return None
+        hierarchy = Hierarchy()
+        hierarchy.set_root(root.name, root.power)
+        hierarchy.add_server(first.name, first.power, root.name)
+        report = hierarchy_throughput(hierarchy, params, app_work)
+        step = PlanStep(
+            "stop", None, None, report.throughput,
+            "scheduling-bound at degree 1: 1 agent + 1 server",
+        )
+        return HeuristicPlan(
+            hierarchy=hierarchy,
+            report=report,
+            strategy=self.strategy,
+            steps=(step,),
+            demand=demand,
+        )
+
+    # ------------------------------------------------------------------ #
+    # fixed-point strategy
+
+    def _agent_windows(self, n: int, n_agents: int) -> list[int]:
+        """Starting offsets of the agent window within the sorted nodes.
+
+        The paper's policy is offset 0 (the fastest nodes become agents).
+        The ``windowed`` extension also tries pushing the agent tier down
+        the ranking, freeing the fastest nodes to serve.
+        """
+        if self.agent_selection == "fastest":
+            return [0]
+        last = n - n_agents
+        raw = {0, last, last // 4, last // 2, (3 * last) // 4, 1, 2}
+        return sorted(o for o in raw if 0 <= o <= last)
+
+    def _plan_fixed_point(
+        self, ranked: list[Node], app_work: float, demand: float | None
+    ) -> HeuristicPlan:
+        n = len(ranked)
+        # Entries: (rho, used, n_agents, offset, target)
+        best: tuple[float, int, int, int, float] | None = None
+        cheapest: tuple[float, int, int, int, float] | None = None
+        max_agents = max(1, n // 2)
+        for n_agents in range(1, max_agents + 1):
+            for offset in self._agent_windows(n, n_agents):
+                agents = ranked[offset : offset + n_agents]
+                candidates = ranked[:offset] + ranked[offset + n_agents :]
+                solved = self._solve_for_agents(
+                    agents, candidates, app_work, demand
+                )
+                if solved is None:
+                    continue
+                rho, n_servers, target = solved
+                used = n_agents + n_servers
+                entry = (rho, used, n_agents, offset, target)
+                if best is None or (rho, -used) > (best[0], -best[1]):
+                    best = entry
+                if demand is not None and rho >= demand - _REL_TOL:
+                    if cheapest is None or used < cheapest[1]:
+                        cheapest = entry
+        if best is None:
+            raise PlanningError("no feasible agent/server split found")
+        rho, used, n_agents, offset, target = (
+            cheapest if cheapest is not None else best
+        )
+        agents = ranked[offset : offset + n_agents]
+        candidates = ranked[:offset] + ranked[offset + n_agents :]
+        hierarchy = self._materialize(
+            agents, candidates[: used - n_agents], target
+        )
+        self._repair(hierarchy)
+        hierarchy.validate(strict=True)
+        report = hierarchy_throughput(hierarchy, self.params, app_work)
+        return HeuristicPlan(
+            hierarchy=hierarchy,
+            report=report,
+            strategy="fixed_point",
+            steps=(),
+            demand=demand,
+        )
+
+    def _solve_for_agents(
+        self,
+        agents: list[Node],
+        candidates: list[Node],
+        app_work: float,
+        demand: float | None,
+    ) -> tuple[float, int, float] | None:
+        """Best (rho, n_servers, target_rate) for a fixed agent tier.
+
+        Binary-searches the scheduling target ``t``: lowering ``t`` lets
+        every agent support more children, admitting more servers and
+        raising service power.  The optimum is where service power crosses
+        ``t`` (or a boundary: all nodes used / minimum feasible servers).
+        """
+        params = self.params
+        n_agents = len(agents)
+        n = n_agents + len(candidates)
+        if not candidates:
+            return None
+        # Validity floor on server count: total child slots A-1+k must give
+        # the root >=1 and every non-root agent >=2 children.
+        k_min = 1 if n_agents == 1 else n_agents
+        k_cap = n - n_agents
+        if k_cap < k_min:
+            return None
+
+        # Feasibility ceiling on t: every non-root agent must support >= 2
+        # children, the root >= 1.
+        t_hi = calc_sch_pow(params, agents[0].power, 1)
+        for agent in agents[1:]:
+            t_hi = min(t_hi, calc_sch_pow(params, agent.power, 2))
+        if demand is not None:
+            # No point scheduling faster than the demand.
+            t_hi = min(t_hi, demand)
+
+        prefix_power = [0.0]
+        for node in candidates:
+            prefix_power.append(prefix_power[-1] + node.power)
+
+        def server_slots(t: float) -> int:
+            slots = 0
+            for agent in agents:
+                slots += min(supported_children(params, agent.power, t), n)
+                if slots > n:
+                    break
+            return max(0, min(slots - (n_agents - 1), k_cap))
+
+        def service_of(k: int) -> float:
+            # Servers are the k fastest candidates; Eq. 15 with scalar Wapp.
+            comm = params.service_sizes.round_trip / params.bandwidth
+            pred = k * params.wpre / app_work
+            rate = prefix_power[k] / app_work
+            return 1.0 / (comm + (1.0 + pred) / rate)
+
+        def floor_of(k: int) -> float:
+            return server_sched_throughput(params, candidates[k - 1].power)
+
+        def achievable(t: float) -> float | None:
+            """rho when targeting scheduling rate t, or None if infeasible."""
+            k = server_slots(t)
+            if k < k_min:
+                return None
+            return min(t, service_of(k), floor_of(k))
+
+        hi_value = achievable(t_hi)
+        if hi_value is not None and hi_value >= t_hi - _REL_TOL:
+            # Service already exceeds the fastest feasible scheduling rate:
+            # shrink the server set to the cheapest one sustaining t_hi.
+            k = server_slots(t_hi)
+            k_best = self._min_servers(
+                k_min, k, t_hi if demand is None else min(t_hi, demand),
+                service_of, floor_of,
+            )
+            return min(t_hi, service_of(k_best), floor_of(k_best)), k_best, t_hi
+
+        # Otherwise binary-search the crossing service(k(t)) == t.
+        t_lo = t_hi
+        value = None
+        for _ in range(200):
+            t_lo /= 2.0
+            value = achievable(t_lo)
+            if value is not None and value >= t_lo - _REL_TOL:
+                break
+            if t_lo < 1e-12:
+                return None
+        assert value is not None
+        lo, hi = t_lo, t_hi
+        for _ in range(64):
+            mid = 0.5 * (lo + hi)
+            v = achievable(mid)
+            if v is not None and v >= mid - _REL_TOL:
+                lo = mid
+            else:
+                hi = mid
+        k = server_slots(lo)
+        rho = min(lo, service_of(k), floor_of(k))
+        if demand is not None and rho > demand:
+            k = self._min_servers(k_min, k, demand, service_of, floor_of)
+            rho = min(lo, service_of(k), floor_of(k))
+        return rho, k, lo
+
+    @staticmethod
+    def _min_servers(k_min, k_max, target, service_of, floor_of) -> int:
+        """Smallest k in [k_min, k_max] with service(k) >= target, else k_max.
+
+        The least-resources rule: once the target rate is met, extra
+        servers are waste.  ``floor_of`` only improves as k shrinks (the
+        slowest chosen server gets faster), so it needs no re-check.
+        """
+        lo, hi = k_min, k_max
+        if service_of(hi) < target:
+            return hi
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if service_of(mid) >= target:
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo
+
+    def _materialize(
+        self,
+        agents: list[Node],
+        servers: list[Node],
+        target: float,
+    ) -> Hierarchy:
+        """Build the tree: capacity-fill agents at the target rate.
+
+        Agents attach breadth-first in power order (placement does not
+        change model throughput); every non-root agent is guaranteed two
+        children before leftover servers are dealt round-robin, mirroring
+        Algorithm 1's inner while loop that fills each converted agent up
+        to its supported child count.
+        """
+        params = self.params
+        total = len(agents) + len(servers)
+        capacity = {
+            a.name: max(
+                1 if i == 0 else 2,
+                min(
+                    supported_children(params, a.power, target),
+                    total,
+                ),
+            )
+            for i, a in enumerate(agents)
+        }
+        hierarchy = Hierarchy()
+        hierarchy.set_root(agents[0].name, agents[0].power)
+        free = {agents[0].name: capacity[agents[0].name]}
+        # Attach agents under the earliest placed agent with a free slot.
+        placed = [agents[0]]
+        for agent in agents[1:]:
+            parent = next(a for a in placed if free[a.name] > 0)
+            hierarchy.add_agent(agent.name, agent.power, parent.name)
+            free[parent.name] -= 1
+            free[agent.name] = capacity[agent.name]
+            placed.append(agent)
+        # Guarantee two children per non-root agent first (validity), then
+        # deal the rest round-robin across agents with spare capacity.
+        pending = list(servers)
+        for agent in placed[1:]:
+            while hierarchy.degree(agent.name) < 2 and pending:
+                node = pending.pop(0)
+                hierarchy.add_server(node.name, node.power, agent.name)
+                free[agent.name] -= 1
+        cursor = 0
+        while pending:
+            order = [a for a in placed if free[a.name] > 0]
+            if not order:
+                # Capacity exhausted (can only happen through the >=2
+                # guarantee overdrawing a slot); attach to the root.
+                order = [placed[0]]
+            target_agent = order[cursor % len(order)]
+            node = pending.pop(0)
+            hierarchy.add_server(node.name, node.power, target_agent.name)
+            free[target_agent.name] -= 1
+            cursor += 1
+        return hierarchy
+
+    # ------------------------------------------------------------------ #
+    # incremental strategy (ablation)
+
+    def _plan_incremental(
+        self, ranked: list[Node], app_work: float, demand: float | None
+    ) -> HeuristicPlan:
+        hierarchy = Hierarchy()
+        root, first = ranked[0], ranked[1]
+        hierarchy.set_root(root.name, root.power)
+        hierarchy.add_server(first.name, first.power, root.name)
+        rho = self._rho(hierarchy, app_work)
+        steps = [
+            PlanStep("root", root.name, None, rho, "seed root agent"),
+            PlanStep("server", first.name, root.name, rho, "seed server"),
+        ]
+        best = (rho, len(hierarchy), hierarchy.copy())
+        if demand is not None and rho >= demand:
+            steps.append(PlanStep("stop", None, None, rho, "demand met by seed"))
+            return self._finalize(hierarchy, app_work, steps, demand)
+
+        stale = 0
+        for node in ranked[2:]:
+            move = self._best_move(hierarchy, node, app_work)
+            if move is None:
+                break
+            action, parent, new_rho = move
+            if action == "server":
+                hierarchy.add_server(node.name, node.power, parent)
+            else:
+                hierarchy.promote(parent)
+                hierarchy.add_server(node.name, node.power, parent)
+            steps.append(PlanStep(action, node.name, parent, new_rho))
+            rho = new_rho
+            if rho > best[0] * (1.0 + _REL_TOL):
+                best = (rho, len(hierarchy), hierarchy.copy())
+                stale = 0
+            else:
+                stale += 1
+            if demand is not None and rho >= demand:
+                best = (rho, len(hierarchy), hierarchy.copy())
+                steps.append(PlanStep("stop", None, None, rho, "demand met"))
+                break
+            if stale >= self.patience:
+                steps.append(
+                    PlanStep(
+                        "stop", None, None, rho,
+                        f"no improvement for {stale} steps; rolling back",
+                    )
+                )
+                break
+        return self._finalize(best[2], app_work, steps, demand)
+
+    def _rho(self, hierarchy: Hierarchy, app_work: float) -> float:
+        return hierarchy_throughput(hierarchy, self.params, app_work).throughput
+
+    def _best_move(
+        self, hierarchy: Hierarchy, node: Node, app_work: float
+    ) -> tuple[str, NodeId, float] | None:
+        """Evaluate attaching ``node`` as a server vs. promoting under it."""
+        params = self.params
+        candidates: list[tuple[float, int, str, NodeId]] = []
+
+        # Move (a): attach under the agent with the most scheduling
+        # headroom — it keeps the hierarchy's min agent rate maximal among
+        # all attach choices.
+        agents = hierarchy.agents
+        target = max(
+            agents,
+            key=lambda a: (
+                agent_sched_throughput(
+                    params, hierarchy.power(a), hierarchy.degree(a) + 1
+                ),
+                str(a),
+            ),
+        )
+        trial = hierarchy.copy()
+        trial.add_server(node.name, node.power, target)
+        candidates.append((self._rho(trial, app_work), 0, "server", target))
+
+        # Move (b): promote the strongest server able to support >= 2
+        # children at the current service level (shift_nodes), attaching
+        # the new node beneath it.
+        if self.allow_promotion and hierarchy.servers:
+            service_now = calc_hier_ser_pow(
+                params,
+                [hierarchy.power(s) for s in hierarchy.servers],
+                app_work,
+            )
+            promotable = [
+                s
+                for s in hierarchy.servers
+                if supported_children(params, hierarchy.power(s), service_now)
+                >= 2
+            ]
+            if promotable:
+                strongest = max(
+                    promotable, key=lambda s: (hierarchy.power(s), str(s))
+                )
+                trial = hierarchy.copy()
+                trial.promote(strongest)
+                trial.add_server(node.name, node.power, strongest)
+                candidates.append(
+                    (self._rho(trial, app_work), 1, "promote", strongest)
+                )
+
+        if not candidates:
+            return None
+        rho, _, action, parent = max(candidates, key=lambda c: (c[0], -c[1]))
+        return action, parent, rho
+
+    def _finalize(
+        self,
+        hierarchy: Hierarchy,
+        app_work: float,
+        steps: list[PlanStep],
+        demand: float | None,
+    ) -> HeuristicPlan:
+        """Repair single-child agents, validate, and package the result."""
+        self._repair(hierarchy)
+        hierarchy.validate(strict=True)
+        report = hierarchy_throughput(hierarchy, self.params, app_work)
+        return HeuristicPlan(
+            hierarchy=hierarchy,
+            report=report,
+            strategy="incremental",
+            steps=tuple(steps),
+            demand=demand,
+        )
+
+    @staticmethod
+    def _repair(hierarchy: Hierarchy) -> None:
+        """Demote non-root agents left with fewer than two children.
+
+        Lone children are lifted to the grandparent and the agent rejoins
+        the server pool — never decreasing throughput (one fewer
+        constrained agent, one more server).
+        """
+        changed = True
+        while changed:
+            changed = False
+            for agent in hierarchy.agents:
+                if agent == hierarchy.root:
+                    continue
+                kids = hierarchy.children(agent)
+                if len(kids) < 2:
+                    parent = hierarchy.parent(agent)
+                    assert parent is not None
+                    for kid in kids:
+                        hierarchy.reattach(kid, parent)
+                    hierarchy.demote(agent)
+                    changed = True
+                    break

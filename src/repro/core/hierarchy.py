@@ -1,0 +1,384 @@
+"""Deployment hierarchy data structure.
+
+A deployment (Section 1 of the paper) is a tree of middleware elements
+mapped one-to-one onto compute nodes:
+
+* exactly one **root agent** with one or more children;
+* **non-root agents**, each with exactly one parent and — in a *final*
+  deployment — at least two children;
+* **servers** (SeDs), always leaves, each with an agent parent;
+* agent and server roles are never co-hosted on one node.
+
+:class:`Hierarchy` stores the tree as parent/children maps keyed by opaque
+node identifiers, together with each node's computing power (MFlop/s),
+which is all the throughput model needs.  Mutating operations keep the
+structure a tree at all times; the stricter "non-root agents have >= 2
+children" rule only applies to finished deployments and is checked by
+:meth:`Hierarchy.validate`.
+
+The adjacency-matrix export reproduces the paper's ``plot_hierarchy``
+procedure and feeds the XML writer used by the (simulated) GoDIET launcher.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterator, Mapping
+from enum import Enum
+
+import numpy as np
+
+from repro.errors import HierarchyError
+
+__all__ = ["Role", "Hierarchy"]
+
+NodeId = Hashable
+
+
+class Role(str, Enum):
+    """Middleware role hosted by a node."""
+
+    AGENT = "agent"
+    SERVER = "server"
+
+
+class Hierarchy:
+    """A mutable middleware deployment tree.
+
+    Nodes are added with :meth:`set_root` / :meth:`add_server` /
+    :meth:`add_agent`, and servers can be promoted in place with
+    :meth:`promote` (the paper's ``shift_nodes`` step, which converts a
+    server into an agent when the heuristic grows a new level).
+    """
+
+    def __init__(self) -> None:
+        self._power: dict[NodeId, float] = {}
+        self._role: dict[NodeId, Role] = {}
+        self._parent: dict[NodeId, NodeId | None] = {}
+        self._children: dict[NodeId, list[NodeId]] = {}
+        self._root: NodeId | None = None
+
+    # ------------------------------------------------------------------ #
+    # construction
+
+    def _check_new(self, node: NodeId, power: float) -> None:
+        if node in self._power:
+            raise HierarchyError(f"node {node!r} is already in the hierarchy")
+        if power <= 0.0:
+            raise HierarchyError(f"node {node!r} power must be > 0, got {power}")
+
+    def set_root(self, node: NodeId, power: float) -> None:
+        """Install ``node`` as the root agent of an empty hierarchy."""
+        if self._root is not None:
+            raise HierarchyError(f"hierarchy already has root {self._root!r}")
+        self._check_new(node, power)
+        self._power[node] = float(power)
+        self._role[node] = Role.AGENT
+        self._parent[node] = None
+        self._children[node] = []
+        self._root = node
+
+    def _attach(self, node: NodeId, power: float, parent: NodeId, role: Role) -> None:
+        self._check_new(node, power)
+        if parent not in self._power:
+            raise HierarchyError(f"parent {parent!r} is not in the hierarchy")
+        if self._role[parent] is not Role.AGENT:
+            raise HierarchyError(
+                f"parent {parent!r} is a server; only agents may have children"
+            )
+        self._power[node] = float(power)
+        self._role[node] = role
+        self._parent[node] = parent
+        self._children[node] = []
+        self._children[parent].append(node)
+
+    def add_server(self, node: NodeId, power: float, parent: NodeId) -> None:
+        """Attach ``node`` as a server (leaf) child of agent ``parent``."""
+        self._attach(node, power, parent, Role.SERVER)
+
+    def add_agent(self, node: NodeId, power: float, parent: NodeId) -> None:
+        """Attach ``node`` as a (for now childless) agent child of ``parent``."""
+        self._attach(node, power, parent, Role.AGENT)
+
+    def promote(self, node: NodeId) -> None:
+        """Convert server ``node`` into an agent in place (``shift_nodes``)."""
+        if node not in self._role:
+            raise HierarchyError(f"node {node!r} is not in the hierarchy")
+        if self._role[node] is not Role.SERVER:
+            raise HierarchyError(f"node {node!r} is not a server")
+        self._role[node] = Role.AGENT
+
+    def demote(self, node: NodeId) -> None:
+        """Convert a childless non-root agent back into a server."""
+        if node not in self._role:
+            raise HierarchyError(f"node {node!r} is not in the hierarchy")
+        if self._role[node] is not Role.AGENT:
+            raise HierarchyError(f"node {node!r} is not an agent")
+        if node == self._root:
+            raise HierarchyError("cannot demote the root agent")
+        if self._children[node]:
+            raise HierarchyError(f"agent {node!r} still has children")
+        self._role[node] = Role.SERVER
+
+    def reattach(self, node: NodeId, new_parent: NodeId) -> None:
+        """Move ``node`` (and its subtree) under ``new_parent``.
+
+        ``new_parent`` must be an agent outside the subtree of ``node``.
+        """
+        if node not in self._role:
+            raise HierarchyError(f"node {node!r} is not in the hierarchy")
+        if new_parent not in self._role:
+            raise HierarchyError(f"new parent {new_parent!r} is not in the hierarchy")
+        if node == self._root:
+            raise HierarchyError("cannot reattach the root")
+        if self._role[new_parent] is not Role.AGENT:
+            raise HierarchyError(f"new parent {new_parent!r} is not an agent")
+        if new_parent in self.subtree(node):
+            raise HierarchyError(
+                f"cannot reattach {node!r} under its own descendant {new_parent!r}"
+            )
+        old_parent = self._parent[node]
+        if old_parent == new_parent:
+            return
+        assert old_parent is not None
+        self._children[old_parent].remove(node)
+        self._children[new_parent].append(node)
+        self._parent[node] = new_parent
+
+    def remove_leaf(self, node: NodeId) -> None:
+        """Remove a leaf node (server or childless agent) from the tree."""
+        if node not in self._role:
+            raise HierarchyError(f"node {node!r} is not in the hierarchy")
+        if self._children[node]:
+            raise HierarchyError(f"node {node!r} has children; remove them first")
+        parent = self._parent[node]
+        if parent is None:
+            self._root = None
+        else:
+            self._children[parent].remove(node)
+        del self._power[node]
+        del self._role[node]
+        del self._parent[node]
+        del self._children[node]
+
+    # ------------------------------------------------------------------ #
+    # inspection
+
+    @property
+    def root(self) -> NodeId:
+        """The root agent.  Raises if the hierarchy is empty."""
+        if self._root is None:
+            raise HierarchyError("hierarchy is empty")
+        return self._root
+
+    @property
+    def is_empty(self) -> bool:
+        return self._root is None
+
+    def __len__(self) -> int:
+        return len(self._power)
+
+    def __contains__(self, node: NodeId) -> bool:
+        return node in self._power
+
+    def __iter__(self) -> Iterator[NodeId]:
+        """Iterate over nodes in breadth-first order from the root."""
+        if self._root is None:
+            return
+        queue: list[NodeId] = [self._root]
+        index = 0
+        while index < len(queue):
+            node = queue[index]
+            index += 1
+            yield node
+            queue.extend(self._children[node])
+
+    @property
+    def nodes(self) -> list[NodeId]:
+        """All node ids in breadth-first order."""
+        return list(self)
+
+    @property
+    def agents(self) -> list[NodeId]:
+        """All agent ids in breadth-first order."""
+        return [n for n in self if self._role[n] is Role.AGENT]
+
+    @property
+    def servers(self) -> list[NodeId]:
+        """All server ids in breadth-first order."""
+        return [n for n in self if self._role[n] is Role.SERVER]
+
+    @property
+    def powers(self) -> Mapping[NodeId, float]:
+        """Read-only view of node powers (MFlop/s)."""
+        return dict(self._power)
+
+    def power(self, node: NodeId) -> float:
+        return self._power[node]
+
+    def role(self, node: NodeId) -> Role:
+        return self._role[node]
+
+    def parent(self, node: NodeId) -> NodeId | None:
+        return self._parent[node]
+
+    def children(self, node: NodeId) -> tuple[NodeId, ...]:
+        return tuple(self._children[node])
+
+    def degree(self, node: NodeId) -> int:
+        """Number of children of ``node`` (the model's ``d``)."""
+        return len(self._children[node])
+
+    def depth(self, node: NodeId) -> int:
+        """Distance from the root (root has depth 0)."""
+        depth = 0
+        current: NodeId | None = node
+        while True:
+            current = self._parent[current]
+            if current is None:
+                return depth
+            depth += 1
+
+    @property
+    def height(self) -> int:
+        """Maximum node depth (a star has height 1)."""
+        if self._root is None:
+            return 0
+        return max(self.depth(n) for n in self)
+
+    def subtree(self, node: NodeId) -> list[NodeId]:
+        """Nodes of the subtree rooted at ``node`` in BFS order."""
+        queue = [node]
+        index = 0
+        while index < len(queue):
+            queue.extend(self._children[queue[index]])
+            index += 1
+        return queue
+
+    # ------------------------------------------------------------------ #
+    # validation / export
+
+    def validate(self, strict: bool = True) -> None:
+        """Check the paper's structural constraints.
+
+        With ``strict=True`` (a finished deployment) the check also enforces
+        that the root has >= 1 child, every non-root agent has >= 2 children
+        and at least one server exists.  With ``strict=False`` only tree
+        consistency and role/leaf rules are verified, allowing the planner's
+        intermediate states.
+        """
+        if self._root is None:
+            raise HierarchyError("hierarchy is empty")
+        seen = list(self)
+        if len(seen) != len(self._power):
+            raise HierarchyError("hierarchy contains unreachable nodes")
+        for node in seen:
+            role = self._role[node]
+            if role is Role.SERVER and self._children[node]:
+                raise HierarchyError(f"server {node!r} has children")
+            parent = self._parent[node]
+            if parent is not None and self._role[parent] is not Role.AGENT:
+                raise HierarchyError(f"node {node!r} has a server parent")
+        if not strict:
+            return
+        if not self._children[self._root]:
+            raise HierarchyError("root agent has no children")
+        if not self.servers:
+            raise HierarchyError("deployment has no servers")
+        for node in self.agents:
+            if node != self._root and len(self._children[node]) < 2:
+                raise HierarchyError(
+                    f"non-root agent {node!r} has "
+                    f"{len(self._children[node])} child(ren); needs >= 2"
+                )
+
+    def adjacency_matrix(self) -> tuple[np.ndarray, list[NodeId]]:
+        """The paper's ``plot_hierarchy`` output.
+
+        Returns
+        -------
+        (matrix, order):
+            ``matrix[i, j] == 1`` iff ``order[i]`` is the parent of
+            ``order[j]``; ``order`` lists nodes in BFS order.
+        """
+        order = self.nodes
+        index = {node: i for i, node in enumerate(order)}
+        matrix = np.zeros((len(order), len(order)), dtype=np.int8)
+        for node in order:
+            for child in self._children[node]:
+                matrix[index[node], index[child]] = 1
+        return matrix, order
+
+    def to_networkx(self):
+        """Export as a :class:`networkx.DiGraph` with role/power attributes."""
+        import networkx as nx
+
+        graph = nx.DiGraph()
+        for node in self:
+            graph.add_node(node, role=self._role[node].value, power=self._power[node])
+        for node in self:
+            for child in self._children[node]:
+                graph.add_edge(node, child)
+        return graph
+
+    def to_dot(self, title: str = "deployment") -> str:
+        """Export as a Graphviz DOT digraph.
+
+        Agents render as boxes, servers as ellipses; labels carry the
+        node name and its rated power.  Handy for eyeballing plans::
+
+            Path("plan.dot").write_text(hierarchy.to_dot())
+            # dot -Tpng plan.dot -o plan.png
+        """
+        lines = [f'digraph "{title}" {{', "  rankdir=TB;"]
+        for node in self:
+            shape = "box" if self._role[node] is Role.AGENT else "ellipse"
+            lines.append(
+                f'  "{node}" [shape={shape}, '
+                f'label="{node}\\n{self._power[node]:g} MFlop/s"];'
+            )
+        for node in self:
+            for child in self._children[node]:
+                lines.append(f'  "{node}" -> "{child}";')
+        lines.append("}")
+        return "\n".join(lines)
+
+    def copy(self) -> "Hierarchy":
+        """Deep copy of the tree (node ids are shared, structure is not)."""
+        clone = Hierarchy()
+        clone._power = dict(self._power)
+        clone._role = dict(self._role)
+        clone._parent = dict(self._parent)
+        clone._children = {n: list(c) for n, c in self._children.items()}
+        clone._root = self._root
+        return clone
+
+    # ------------------------------------------------------------------ #
+    # misc
+
+    def describe(self) -> str:
+        """Multi-line human-readable sketch of the tree."""
+        if self._root is None:
+            return "<empty hierarchy>"
+        lines: list[str] = []
+
+        def walk(node: NodeId, indent: int) -> None:
+            role = self._role[node].value
+            lines.append(
+                f"{'  ' * indent}{role} {node!r} "
+                f"(w={self._power[node]:g}, d={len(self._children[node])})"
+            )
+            for child in self._children[node]:
+                walk(child, indent + 1)
+
+        walk(self._root, 0)
+        return "\n".join(lines)
+
+    def shape_signature(self) -> tuple[int, int, int, int]:
+        """Compact shape: (n_nodes, n_agents, n_servers, height)."""
+        return (len(self), len(self.agents), len(self.servers), self.height)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        n, a, s, h = (
+            self.shape_signature() if self._root is not None else (0, 0, 0, 0)
+        )
+        return f"Hierarchy(nodes={n}, agents={a}, servers={s}, height={h})"

@@ -1,0 +1,220 @@
+"""Exhaustive reference planners for small pools.
+
+Finding the best hierarchy in general is NP-hard (the paper relates it to
+optimal broadcast trees), but the steady-state throughput (Eq. 16) depends
+only on
+
+* which nodes act as agents and with what degree, and
+* which nodes act as servers,
+
+never on *where* in the tree an agent attaches.  The search space for an
+exact optimum on ``n`` nodes is therefore "role assignments x degree
+multisets", which is enumerable for small ``n``.  This module provides
+that exact reference — used by the Table 4 benchmark and by property tests
+that bound how far the heuristic can fall from optimal.
+
+Validity recap: every agent needs ``degree >= 1``; *non-root* agents need
+``degree >= 2``; servers are leaves.  Hence a valid degree multiset over
+the agents sums to ``used_nodes - 1`` and contains at most one part equal
+to 1 (which must belong to the root).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+
+from repro.core.hierarchy import Hierarchy
+from repro.core.params import ModelParams
+from repro.core.throughput import (
+    ThroughputReport,
+    agent_sched_throughput,
+    hierarchy_throughput,
+    server_sched_throughput,
+    service_throughput,
+)
+from repro.errors import PlanningError
+from repro.platforms.pool import NodePool
+
+__all__ = ["ExhaustivePlan", "exhaustive_plan", "build_from_roles"]
+
+#: Exhaustive search is exponential; refuse pools larger than this.
+MAX_EXHAUSTIVE_NODES = 10
+
+
+@dataclass(frozen=True)
+class ExhaustivePlan:
+    """Provably-optimal deployment for a (small) pool."""
+
+    hierarchy: Hierarchy
+    report: ThroughputReport
+    nodes_used: int
+
+    @property
+    def throughput(self) -> float:
+        return self.report.throughput
+
+
+def _degree_multisets(total: int, parts: int) -> list[tuple[int, ...]]:
+    """Descending degree multisets for ``parts`` agents summing to ``total``.
+
+    Each part is >= 2 except that the final (smallest) part may be 1 — the
+    root's degree.  Returned tuples are sorted descending.
+    """
+    results: list[tuple[int, ...]] = []
+
+    def recurse(remaining: int, parts_left: int, maximum: int, acc: list[int]) -> None:
+        if parts_left == 0:
+            if remaining == 0:
+                results.append(tuple(acc))
+            return
+        if parts_left == 1:
+            # Smallest part: may be 1.
+            if 1 <= remaining <= maximum:
+                results.append(tuple(acc + [remaining]))
+            return
+        # Non-final parts are >= 2; keep the sequence non-increasing and
+        # reserve at least 2*(parts_left-2) + 1 for the rest.
+        reserve = 2 * (parts_left - 2) + 1
+        for part in range(min(maximum, remaining - reserve), 1, -1):
+            recurse(remaining - part, parts_left - 1, part, acc + [part])
+
+    if parts >= 1 and total >= 1:
+        recurse(total, parts, total, [])
+    return results
+
+
+def build_from_roles(
+    pool: NodePool,
+    agent_degrees: dict[str, int],
+    server_names: list[str],
+) -> Hierarchy:
+    """Construct a concrete hierarchy realizing a role/degree assignment.
+
+    If any agent has degree 1 it must be unique and becomes the root
+    (validity requires non-root agents to have >= 2 children); otherwise
+    the highest-power agent is the root.  Remaining agents attach greedily
+    to any agent with a free child slot (placement does not affect
+    throughput, see module docstring), then servers fill remaining slots.
+    """
+    if not agent_degrees:
+        raise PlanningError("at least one agent is required")
+    if not server_names:
+        raise PlanningError("at least one server is required")
+    total_slots = sum(agent_degrees.values())
+    if total_slots != len(agent_degrees) - 1 + len(server_names):
+        raise PlanningError(
+            f"degree sum {total_slots} does not place "
+            f"{len(agent_degrees) - 1} agents + {len(server_names)} servers"
+        )
+    singles = [a for a, d in agent_degrees.items() if d == 1]
+    if len(singles) > 1:
+        raise PlanningError(f"only the root may have degree 1, got {singles}")
+    by_power = sorted(
+        agent_degrees, key=lambda name: (pool[name].power, name), reverse=True
+    )
+    root = singles[0] if singles else by_power[0]
+    others = [a for a in by_power if a != root]
+    hierarchy = Hierarchy()
+    hierarchy.set_root(root, pool[root].power)
+    free: dict[str, int] = {root: agent_degrees[root]}
+    for agent in others:
+        parent = next((a for a in free if free[a] > 0), None)
+        if parent is None:
+            raise PlanningError("degree assignment leaves an agent unplaceable")
+        hierarchy.add_agent(agent, pool[agent].power, parent)
+        free[parent] -= 1
+        free[agent] = agent_degrees[agent]
+    for server in server_names:
+        parent = next((a for a in free if free[a] > 0), None)
+        if parent is None:
+            raise PlanningError("degree assignment leaves a server unplaceable")
+        hierarchy.add_server(server, pool[server].power, parent)
+        free[parent] -= 1
+    return hierarchy
+
+
+def _pair_degrees_to_agents(
+    pool: NodePool, agent_names: list[str], degrees: tuple[int, ...]
+) -> dict[str, int]:
+    """Assign a descending degree multiset to agents, fastest-first.
+
+    Agent scheduling rate decreases with degree, so pairing the largest
+    degree with the fastest agent maximizes the min agent rate (a classic
+    rearrangement argument).  When the multiset ends in a 1, that degree
+    goes to the *slowest* agent, which then serves as root.
+    """
+    ordered_agents = sorted(
+        agent_names, key=lambda a: (pool[a].power, a), reverse=True
+    )
+    return dict(zip(ordered_agents, degrees))
+
+
+def exhaustive_plan(
+    pool: NodePool,
+    params: ModelParams,
+    app_work: float,
+    demand: float | None = None,
+) -> ExhaustivePlan:
+    """Exact optimum over every valid deployment drawn from ``pool``.
+
+    Enumerates every role assignment (unused / agent / server per node) and
+    every valid degree multiset, evaluating Eq. 16 analytically.  With
+    ``demand`` given, the cheapest deployment meeting the demand wins;
+    otherwise the highest-throughput one (ties -> fewer nodes).
+
+    Raises
+    ------
+    PlanningError
+        If the pool exceeds :data:`MAX_EXHAUSTIVE_NODES` nodes or has no
+        valid deployment (fewer than 2 nodes).
+    """
+    n = len(pool)
+    if n > MAX_EXHAUSTIVE_NODES:
+        raise PlanningError(
+            f"exhaustive search limited to {MAX_EXHAUSTIVE_NODES} nodes, "
+            f"pool has {n}"
+        )
+    if n < 2:
+        raise PlanningError(f"planning needs >= 2 nodes, pool has {n}")
+
+    names = pool.names
+    best: tuple[float, int, dict[str, int], list[str]] | None = None
+    satisfying: tuple[float, int, dict[str, int], list[str]] | None = None
+
+    for roles in product((0, 1, 2), repeat=n):  # 0 unused, 1 agent, 2 server
+        agent_names = [names[i] for i in range(n) if roles[i] == 1]
+        server_names = [names[i] for i in range(n) if roles[i] == 2]
+        if not agent_names or not server_names:
+            continue
+        used = len(agent_names) + len(server_names)
+        server_powers = [pool[s].power for s in server_names]
+        service = service_throughput(
+            params, server_powers, [app_work] * len(server_powers)
+        )
+        server_floor = min(
+            server_sched_throughput(params, p) for p in server_powers
+        )
+        for degrees in _degree_multisets(used - 1, len(agent_names)):
+            assignment = _pair_degrees_to_agents(pool, agent_names, degrees)
+            sched = min(
+                agent_sched_throughput(params, pool[a].power, d)
+                for a, d in assignment.items()
+            )
+            rho = min(sched, server_floor, service)
+            entry = (rho, used, assignment, server_names)
+            if best is None or (rho, -used) > (best[0], -best[1]):
+                best = entry
+            if demand is not None and rho >= demand:
+                if satisfying is None or used < satisfying[1]:
+                    satisfying = entry
+
+    if best is None:
+        raise PlanningError("no valid deployment exists for this pool")
+    rho, used, assignment, server_names = (
+        satisfying if satisfying is not None else best
+    )
+    hierarchy = build_from_roles(pool, assignment, server_names)
+    hierarchy.validate(strict=True)
+    report = hierarchy_throughput(hierarchy, params, app_work)
+    return ExhaustivePlan(hierarchy=hierarchy, report=report, nodes_used=used)

@@ -1,0 +1,120 @@
+"""Model parameters for the middleware performance model.
+
+The paper calibrates its model against DIET 2.0 deployed on the Lyon site of
+Grid'5000 and reports the values in **Table 3**:
+
+=========  ==========  ============================  ==========  ==========  ==========
+element    Wreq         Wrep                          Wpre        Srep        Sreq
+           (MFlop)      (MFlop)                       (MFlop)     (Mb)        (Mb)
+=========  ==========  ============================  ==========  ==========  ==========
+Agent      1.7e-1       4.0e-3 + 5.4e-3 * d           --          5.4e-3      5.3e-3
+Server     --           --                            6.4e-3      6.4e-5      5.3e-5
+=========  ==========  ============================  ==========  ==========  ==========
+
+Message sizes are *level specific*: traffic on agent-to-agent (and
+client-to-agent) links is roughly two orders of magnitude larger than
+agent-to-server traffic, so :class:`ModelParams` carries one
+:class:`LevelSizes` per level and each model equation uses the sizes of the
+link level it describes.
+
+Bandwidth is not reported in Table 3; the experiments ran on a switched
+gigabit cluster, so the default is 1000 Mb/s.  All parameters are plain
+floats in the units of :mod:`repro.units` and are validated on construction.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+from repro.errors import ParameterError
+
+__all__ = ["LevelSizes", "ModelParams", "DEFAULT_PARAMS"]
+
+
+@dataclass(frozen=True)
+class LevelSizes:
+    """Request/reply message sizes (Mb) for one level of the hierarchy."""
+
+    sreq: float
+    srep: float
+
+    def __post_init__(self) -> None:
+        if self.sreq <= 0.0:
+            raise ParameterError(f"sreq must be > 0, got {self.sreq}")
+        if self.srep <= 0.0:
+            raise ParameterError(f"srep must be > 0, got {self.srep}")
+
+    @property
+    def round_trip(self) -> float:
+        """Total bits exchanged for one request/reply pair, in Mb."""
+        return self.sreq + self.srep
+
+
+@dataclass(frozen=True)
+class ModelParams:
+    """Complete calibrated parameter set for the throughput model.
+
+    Attributes
+    ----------
+    wreq:
+        MFlop an agent spends processing one incoming request (Eq. 5).
+    wfix, wsel:
+        Fixed and per-child MFlop of the agent reply-merge step:
+        ``Wrep(d) = wfix + wsel * d``.
+    wpre:
+        MFlop a server spends producing a performance prediction during the
+        scheduling phase.
+    agent_sizes:
+        Message sizes on client-agent and agent-agent links.
+    server_sizes:
+        Message sizes on agent-server links (scheduling phase).
+    service_sizes:
+        Message sizes on the client-server link during the service phase.
+        Table 3 does not report these separately; the paper's model reuses
+        the server-level sizes, which is the default here.
+    bandwidth:
+        Homogeneous link bandwidth ``B`` in Mb/s.
+    """
+
+    wreq: float = 1.7e-1
+    wfix: float = 4.0e-3
+    wsel: float = 5.4e-3
+    wpre: float = 6.4e-3
+    agent_sizes: LevelSizes = field(
+        default_factory=lambda: LevelSizes(sreq=5.3e-3, srep=5.4e-3)
+    )
+    server_sizes: LevelSizes = field(
+        default_factory=lambda: LevelSizes(sreq=5.3e-5, srep=6.4e-5)
+    )
+    service_sizes: LevelSizes | None = None
+    bandwidth: float = 1000.0
+
+    def __post_init__(self) -> None:
+        for name in ("wreq", "wfix", "wsel", "wpre"):
+            value = getattr(self, name)
+            if value < 0.0:
+                raise ParameterError(f"{name} must be >= 0, got {value}")
+        if self.bandwidth <= 0.0:
+            raise ParameterError(f"bandwidth must be > 0, got {self.bandwidth}")
+        if self.service_sizes is None:
+            # Frozen dataclass: bypass the frozen guard for the default fill-in.
+            object.__setattr__(self, "service_sizes", self.server_sizes)
+
+    def wrep(self, degree: int) -> float:
+        """Agent reply-processing work ``Wrep(d) = Wfix + Wsel * d`` (MFlop)."""
+        if degree < 0:
+            raise ParameterError(f"degree must be >= 0, got {degree}")
+        return self.wfix + self.wsel * degree
+
+    def replace(self, **changes: object) -> "ModelParams":
+        """Return a copy with the given fields replaced."""
+        return dataclasses.replace(self, **changes)
+
+    def with_bandwidth(self, bandwidth: float) -> "ModelParams":
+        """Return a copy with a different link bandwidth."""
+        return self.replace(bandwidth=bandwidth)
+
+
+#: Parameter values of Table 3 with the default gigabit interconnect.
+DEFAULT_PARAMS = ModelParams()

@@ -1,0 +1,29 @@
+"""Deployment plan serialization, validation and launching.
+
+The paper's tool chain writes the planned hierarchy to an XML file
+(``write_xml`` in Table 1) which GoDIET [5] consumes to launch the real
+platform.  This package mirrors that chain for the simulated platform:
+
+* :mod:`repro.deploy.plan` — the serializable deployment plan;
+* :mod:`repro.deploy.xml_io` — GoDIET-style XML writer/reader;
+* :mod:`repro.deploy.validation` — structural and resource checks;
+* :mod:`repro.deploy.godiet` — the launcher that turns a plan into a
+  running :class:`~repro.middleware.system.MiddlewareSystem`.
+"""
+
+from repro.deploy.plan import DeploymentPlan
+from repro.deploy.xml_io import hierarchy_to_xml, hierarchy_from_xml, plan_to_xml, plan_from_xml
+from repro.deploy.validation import check_plan, ValidationIssue
+from repro.deploy.godiet import GoDIET, DeployedPlatform
+
+__all__ = [
+    "DeploymentPlan",
+    "hierarchy_to_xml",
+    "hierarchy_from_xml",
+    "plan_to_xml",
+    "plan_from_xml",
+    "check_plan",
+    "ValidationIssue",
+    "GoDIET",
+    "DeployedPlatform",
+]

@@ -1,0 +1,71 @@
+"""The serializable deployment plan.
+
+A :class:`DeploymentPlan` bundles everything a launcher needs: the
+hierarchy (structure + node powers), the model parameters it was planned
+under, the application work, and provenance metadata (planner method,
+predicted throughput).  It is what ``write_xml`` serializes and what
+GoDIET consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.hierarchy import Hierarchy
+from repro.core.params import ModelParams
+from repro.core.throughput import hierarchy_throughput
+from repro.errors import DeploymentError
+
+__all__ = ["DeploymentPlan"]
+
+
+@dataclass(frozen=True)
+class DeploymentPlan:
+    """A planned deployment ready for launching or serialization.
+
+    Attributes
+    ----------
+    hierarchy:
+        The deployment tree (validated strictly on construction).
+    params:
+        Model parameters the plan was computed with.
+    app_work:
+        ``Wapp`` per request in MFlop.
+    method:
+        Planner that produced the plan (provenance).
+    metadata:
+        Free-form annotations (workload name, pool description, ...).
+    """
+
+    hierarchy: Hierarchy
+    params: ModelParams
+    app_work: float
+    method: str = "unknown"
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.app_work <= 0.0:
+            raise DeploymentError(
+                f"app_work must be > 0, got {self.app_work}"
+            )
+        self.hierarchy.validate(strict=True)
+
+    @property
+    def predicted_throughput(self) -> float:
+        """Model-predicted completed-request throughput (Eq. 16)."""
+        return hierarchy_throughput(
+            self.hierarchy, self.params, self.app_work
+        ).throughput
+
+    @property
+    def nodes_used(self) -> int:
+        return len(self.hierarchy)
+
+    def describe(self) -> str:
+        n, a, s, h = self.hierarchy.shape_signature()
+        return (
+            f"DeploymentPlan[{self.method}]: {n} nodes "
+            f"({a} agents, {s} servers, height {h}), "
+            f"Wapp={self.app_work:g} MFlop, "
+            f"predicted rho={self.predicted_throughput:.2f} req/s"
+        )

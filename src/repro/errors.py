@@ -1,0 +1,53 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can catch a single base class.  Sub-classes partition the failure domains:
+model parameterization, hierarchy structure, planning, deployment and
+simulation.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ParameterError",
+    "HierarchyError",
+    "PlanningError",
+    "DeploymentError",
+    "SimulationError",
+    "CalibrationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ParameterError(ReproError, ValueError):
+    """A model parameter is missing, non-positive, or inconsistent."""
+
+
+class HierarchyError(ReproError, ValueError):
+    """A deployment hierarchy violates the paper's structural constraints.
+
+    The constraints (Section 1 of the paper): exactly one root agent; every
+    server is a leaf with an agent parent; every non-root agent has exactly
+    one parent and at least two children; nodes are not shared between the
+    agent and server roles.
+    """
+
+
+class PlanningError(ReproError, RuntimeError):
+    """The planner could not produce a valid deployment (e.g. < 2 nodes)."""
+
+
+class DeploymentError(ReproError, RuntimeError):
+    """A deployment plan could not be instantiated on the platform."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class CalibrationError(ReproError, RuntimeError):
+    """A calibration campaign failed to produce a usable parameter fit."""

@@ -1,0 +1,63 @@
+"""Extensions beyond the paper.
+
+The paper closes with two planned directions: handling **heterogeneous
+communication** ("we plan to deal with heterogeneous communication in
+future works") and packaging the planner as a tool (ADePT).  This package
+implements the first:
+
+* :mod:`repro.extensions.hetcomm` — per-node access-link bandwidths, the
+  generalized throughput model, and a deployment planner for platforms
+  whose links differ (e.g. a federation of clusters behind different
+  uplinks).
+
+It also implements the *iterative improvement* workflow of the authors'
+prior work ([6], [7] in the paper's bibliography):
+
+* :mod:`repro.extensions.redeploy` — analyze an existing deployment,
+  identify its bottleneck with the throughput model, and remove it by
+  adding/moving resources, iterating to a fixed point.
+
+And the multi-application future-work item ("deploy several middlewares
+and/or applications on grid"):
+
+* :mod:`repro.extensions.multiapp` — one shared agent hierarchy hosting
+  several applications with per-application demands and dedicated server
+  tiers.
+
+The windowed agent-selection policy — the other extension this
+reproduction adds — lives directly in :mod:`repro.core.heuristic`
+(``agent_selection="windowed"``) since it shares all of Algorithm 1's
+machinery.
+"""
+
+from repro.extensions.hetcomm import (
+    HetCommPlatform,
+    HetCommPlanner,
+    het_agent_sched_throughput,
+    het_server_sched_throughput,
+    het_service_throughput,
+)
+from repro.extensions.multiapp import (
+    Application,
+    MultiAppPlan,
+    MultiAppPlanner,
+)
+from repro.extensions.redeploy import (
+    ImprovementAction,
+    ImprovementResult,
+    improve_deployment,
+)
+
+__all__ = [
+    "HetCommPlatform",
+    "HetCommPlanner",
+    "het_agent_sched_throughput",
+    "het_server_sched_throughput",
+    "het_service_throughput",
+    "ImprovementAction",
+    "ImprovementResult",
+    "improve_deployment",
+    "Application",
+    "MultiAppPlan",
+    "MultiAppPlanner",
+]

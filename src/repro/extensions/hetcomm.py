@@ -1,0 +1,506 @@
+"""Heterogeneous communication — the paper's stated future work.
+
+The paper's model assumes homogeneous links ("in case of cluster it is
+not so far from the reality but the results will be different when we
+consider communications between clusters.  We plan to deal with
+heterogeneous communication in future works").  This module supplies that
+generalization under the same single-port M(r,s,w) discipline:
+
+**Model.**  Each node ``i`` owns an access link of bandwidth ``b_i``; a
+message of size ``S`` costs ``S / b_i`` seconds *on node i's resource*
+(each endpoint pays its own access time — the natural extension of the
+paper's accounting, which already bills both endpoints separately).
+
+* Agent ``i`` with degree ``d``:
+  ``rate_i = 1 / ((Wreq + Wrep(d))/w_i + (Sreq + d*Srep)/b_i
+  + (d*Sreq + Srep)/b_i)`` — Eq. 14's agent term with ``B -> b_i``.
+* Server ``i``: per-request scheduling cost
+  ``a_i = Wpre/w_i + (Sreq_s + Srep_s)/b_i`` and per-served cost
+  ``s_i = Wapp_i/w_i + (Sreq_svc + Srep_svc)/b_i``.
+* Steady state (generalizing Eqs. 6–10): server ``i`` is busy
+  ``N*a_i + N_i*s_i = T`` per window; ``sum N_i = N`` gives
+
+  ``T/N = (1 + sum_i a_i/s_i) / (sum_i 1/s_i)``
+
+  and the hierarchy's service throughput is ``N/T``.  With all ``b_i``
+  equal this reduces to Eq. 15 (the homogeneous comm term moves inside
+  the per-server costs, which is where the single-port model says it
+  belongs; for the tiny Table 3 message sizes the difference is ≪ 1%).
+
+**Planner.**  :class:`HetCommPlanner` ports the fixed-point strategy of
+:class:`~repro.core.heuristic.HeuristicPlanner`: rank nodes by their
+degree-(n-1) agent rate, binary-search the scheduling target ``t`` per
+agent count, fill capacity, repair, validate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from collections.abc import Mapping, Sequence
+
+from repro.core.hierarchy import Hierarchy
+from repro.core.params import ModelParams
+from repro.errors import ParameterError, PlanningError
+from repro.platforms.node import Node
+from repro.platforms.pool import NodePool
+
+__all__ = [
+    "HetCommPlatform",
+    "HetCommPlanner",
+    "HetCommPlan",
+    "het_agent_sched_throughput",
+    "het_server_sched_throughput",
+    "het_service_throughput",
+    "het_hierarchy_throughput",
+]
+
+_REL_TOL = 1e-9
+
+
+def het_agent_sched_throughput(
+    params: ModelParams, power: float, bandwidth: float, degree: int
+) -> float:
+    """Agent scheduling rate with a per-node access link (req/s)."""
+    if power <= 0.0 or bandwidth <= 0.0:
+        raise ParameterError(
+            f"power and bandwidth must be > 0, got ({power}, {bandwidth})"
+        )
+    if degree < 1:
+        raise ParameterError(f"an agent needs >= 1 child, got {degree}")
+    sizes = params.agent_sizes
+    compute = (params.wreq + params.wrep(degree)) / power
+    comm = (
+        (sizes.sreq + degree * sizes.srep) / bandwidth
+        + (degree * sizes.sreq + sizes.srep) / bandwidth
+    )
+    return 1.0 / (compute + comm)
+
+
+def _server_costs(
+    params: ModelParams,
+    power: float,
+    bandwidth: float,
+    app_work: float,
+) -> tuple[float, float]:
+    """(a_i, s_i): per-request scheduling cost, per-served service cost."""
+    a = params.wpre / power + params.server_sizes.round_trip / bandwidth
+    s = app_work / power + params.service_sizes.round_trip / bandwidth
+    return a, s
+
+
+def het_server_sched_throughput(
+    params: ModelParams, power: float, bandwidth: float
+) -> float:
+    """Server prediction rate with a per-node access link (req/s)."""
+    if power <= 0.0 or bandwidth <= 0.0:
+        raise ParameterError(
+            f"power and bandwidth must be > 0, got ({power}, {bandwidth})"
+        )
+    a, _ = _server_costs(params, power, bandwidth, 1.0)
+    return 1.0 / a
+
+
+def het_service_throughput(
+    params: ModelParams,
+    powers: Sequence[float],
+    bandwidths: Sequence[float],
+    app_works: Sequence[float],
+) -> float:
+    """Service throughput of a server set with per-node links (req/s)."""
+    if not powers or len(powers) != len(bandwidths) != len(app_works):
+        if len(powers) != len(bandwidths) or len(powers) != len(app_works):
+            raise ParameterError(
+                "powers, bandwidths and app_works must align and be non-empty"
+            )
+    if not powers:
+        raise ParameterError("server set must not be empty")
+    sched_load = 0.0
+    serve_rate = 0.0
+    for power, bandwidth, wapp in zip(powers, bandwidths, app_works):
+        if power <= 0.0 or bandwidth <= 0.0 or wapp <= 0.0:
+            raise ParameterError(
+                f"all server parameters must be > 0, got "
+                f"({power}, {bandwidth}, {wapp})"
+            )
+        a, s = _server_costs(params, power, bandwidth, wapp)
+        sched_load += a / s
+        serve_rate += 1.0 / s
+    return serve_rate / (1.0 + sched_load)
+
+
+@dataclass(frozen=True)
+class HetCommPlatform:
+    """A node pool plus per-node access-link bandwidths (Mb/s)."""
+
+    pool: NodePool
+    bandwidths: Mapping[str, float]
+
+    def __post_init__(self) -> None:
+        missing = [n.name for n in self.pool if n.name not in self.bandwidths]
+        if missing:
+            raise ParameterError(f"bandwidth missing for nodes: {missing}")
+        for name, bandwidth in self.bandwidths.items():
+            if bandwidth <= 0.0:
+                raise ParameterError(
+                    f"bandwidth for {name!r} must be > 0, got {bandwidth}"
+                )
+
+    @classmethod
+    def uniform(cls, pool: NodePool, bandwidth: float) -> "HetCommPlatform":
+        """Degenerate case: every access link identical (paper's model)."""
+        return cls(pool, {n.name: bandwidth for n in pool})
+
+    @classmethod
+    def clustered(
+        cls,
+        pool: NodePool,
+        group_sizes: Sequence[int],
+        group_bandwidths: Sequence[float],
+    ) -> "HetCommPlatform":
+        """Nodes grouped behind shared-class uplinks (a grid federation)."""
+        if len(group_sizes) != len(group_bandwidths):
+            raise ParameterError(
+                f"{len(group_sizes)} sizes but {len(group_bandwidths)} bandwidths"
+            )
+        if sum(group_sizes) != len(pool):
+            raise ParameterError(
+                f"group sizes sum to {sum(group_sizes)} but pool has {len(pool)}"
+            )
+        bandwidths: dict[str, float] = {}
+        index = 0
+        for size, bandwidth in zip(group_sizes, group_bandwidths):
+            for _ in range(size):
+                bandwidths[pool[index].name] = bandwidth
+                index += 1
+        return cls(pool, bandwidths)
+
+    def bandwidth_of(self, node: Node | str) -> float:
+        name = node if isinstance(node, str) else node.name
+        return self.bandwidths[name]
+
+
+def het_hierarchy_throughput(
+    hierarchy: Hierarchy,
+    platform: HetCommPlatform,
+    params: ModelParams,
+    app_work: float,
+) -> float:
+    """Completed-request throughput of a deployment under the extended model."""
+    from repro.core.hierarchy import Role
+
+    hierarchy.validate(strict=False)
+    rates = []
+    server_powers: list[float] = []
+    server_bandwidths: list[float] = []
+    for node in hierarchy:
+        name = str(node)
+        bandwidth = platform.bandwidth_of(name)
+        if hierarchy.role(node) is Role.AGENT:
+            rates.append(
+                het_agent_sched_throughput(
+                    params, hierarchy.power(node), bandwidth,
+                    hierarchy.degree(node),
+                )
+            )
+        else:
+            rates.append(
+                het_server_sched_throughput(
+                    params, hierarchy.power(node), bandwidth
+                )
+            )
+            server_powers.append(hierarchy.power(node))
+            server_bandwidths.append(bandwidth)
+    if not server_powers:
+        raise ParameterError("deployment has no servers; throughput undefined")
+    service = het_service_throughput(
+        params, server_powers, server_bandwidths,
+        [app_work] * len(server_powers),
+    )
+    return min(min(rates), service)
+
+
+@dataclass(frozen=True)
+class HetCommPlan:
+    """Result of a heterogeneous-communication planning run."""
+
+    hierarchy: Hierarchy
+    throughput: float
+
+    @property
+    def nodes_used(self) -> int:
+        return len(self.hierarchy)
+
+
+class HetCommPlanner:
+    """Fixed-point deployment planner under per-node link bandwidths.
+
+    The structure mirrors :class:`~repro.core.heuristic.HeuristicPlanner`'s
+    default strategy; only the rate functions change.  Node ranking uses
+    the agent rate at full fan-out, which now depends on *both* power and
+    link speed — a fast node behind a slow uplink ranks low, exactly the
+    effect the homogeneous model cannot see.
+    """
+
+    def __init__(self, params: ModelParams):
+        self.params = params
+
+    def plan(
+        self,
+        platform: HetCommPlatform,
+        app_work: float,
+        demand: float | None = None,
+    ) -> HetCommPlan:
+        if len(platform.pool) < 2:
+            raise PlanningError(
+                f"planning needs >= 2 nodes, pool has {len(platform.pool)}"
+            )
+        if app_work <= 0.0:
+            raise PlanningError(f"app_work must be > 0, got {app_work}")
+        params = self.params
+        n = len(platform.pool)
+        fanout = max(1, n - 1)
+        ranked = sorted(
+            platform.pool,
+            key=lambda node: (
+                het_agent_sched_throughput(
+                    params, node.power, platform.bandwidth_of(node), fanout
+                ),
+                node.name,
+            ),
+            reverse=True,
+        )
+
+        best: tuple[float, int, int, float] | None = None
+        cheapest: tuple[float, int, int, float] | None = None
+        for n_agents in range(1, max(1, n // 2) + 1):
+            solved = self._solve(platform, ranked, n_agents, app_work, demand)
+            if solved is None:
+                continue
+            rho, n_servers, target = solved
+            used = n_agents + n_servers
+            entry = (rho, used, n_agents, target)
+            if best is None or (rho, -used) > (best[0], -best[1]):
+                best = entry
+            if demand is not None and rho >= demand - _REL_TOL:
+                if cheapest is None or used < cheapest[1]:
+                    cheapest = entry
+        if best is None:
+            raise PlanningError("no feasible agent/server split found")
+        rho, used, n_agents, target = cheapest if cheapest else best
+        hierarchy = self._materialize(
+            platform, ranked, n_agents, used - n_agents, target
+        )
+        hierarchy.validate(strict=True)
+        return HetCommPlan(
+            hierarchy=hierarchy,
+            throughput=het_hierarchy_throughput(
+                hierarchy, platform, params, app_work
+            ),
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def _supported_children(
+        self, node: Node, platform: HetCommPlatform, target: float
+    ) -> int:
+        params = self.params
+        bandwidth = platform.bandwidth_of(node)
+        sizes = params.agent_sizes
+        fixed = (params.wreq + params.wfix) / node.power + sizes.round_trip / bandwidth
+        per_child = params.wsel / node.power + sizes.round_trip / bandwidth
+        budget = 1.0 / target - fixed
+        if budget < per_child:
+            return 0
+        return int(math.floor(budget / per_child + _REL_TOL))
+
+    def _solve(
+        self,
+        platform: HetCommPlatform,
+        ranked: list[Node],
+        n_agents: int,
+        app_work: float,
+        demand: float | None,
+    ) -> tuple[float, int, float] | None:
+        params = self.params
+        agents = ranked[:n_agents]
+        candidates = ranked[n_agents:]
+        if not candidates:
+            return None
+        k_min = 1 if n_agents == 1 else n_agents
+        k_cap = len(candidates)
+        if k_cap < k_min:
+            return None
+
+        t_hi = het_agent_sched_throughput(
+            params, agents[0].power, platform.bandwidth_of(agents[0]), 1
+        )
+        for agent in agents[1:]:
+            t_hi = min(
+                t_hi,
+                het_agent_sched_throughput(
+                    params, agent.power, platform.bandwidth_of(agent), 2
+                ),
+            )
+        if demand is not None:
+            t_hi = min(t_hi, demand)
+
+        # Candidates ordered by serving capability (1/s_i descending).
+        def serve_rate(node: Node) -> float:
+            _, s = _server_costs(
+                params, node.power, platform.bandwidth_of(node), app_work
+            )
+            return 1.0 / s
+
+        ordered = sorted(candidates, key=lambda x: (serve_rate(x), x.name),
+                         reverse=True)
+        prefix_load = [0.0]
+        prefix_rate = [0.0]
+        prefix_floor = [float("inf")]
+        for node in ordered:
+            a, s = _server_costs(
+                params, node.power, platform.bandwidth_of(node), app_work
+            )
+            prefix_load.append(prefix_load[-1] + a / s)
+            prefix_rate.append(prefix_rate[-1] + 1.0 / s)
+            prefix_floor.append(
+                min(
+                    prefix_floor[-1],
+                    het_server_sched_throughput(
+                        params, node.power, platform.bandwidth_of(node)
+                    ),
+                )
+            )
+
+        def slots(t: float) -> int:
+            total = 0
+            for agent in agents:
+                total += min(
+                    self._supported_children(agent, platform, t), len(ranked)
+                )
+                if total > len(ranked):
+                    break
+            return max(0, min(total - (n_agents - 1), k_cap))
+
+        def achievable(t: float) -> float | None:
+            k = slots(t)
+            if k < k_min:
+                return None
+            service = prefix_rate[k] / (1.0 + prefix_load[k])
+            return min(t, service, prefix_floor[k])
+
+        def service_of(k: int) -> float:
+            return prefix_rate[k] / (1.0 + prefix_load[k])
+
+        def shrink(k: int, target: float) -> int:
+            """Least-resources rule: smallest k meeting the target."""
+            lo_k, hi_k = k_min, k
+            if service_of(hi_k) < target:
+                return hi_k
+            while lo_k < hi_k:
+                mid = (lo_k + hi_k) // 2
+                if service_of(mid) >= target:
+                    hi_k = mid
+                else:
+                    lo_k = mid + 1
+            return lo_k
+
+        value = achievable(t_hi)
+        if value is not None and value >= t_hi - _REL_TOL:
+            k = slots(t_hi)
+            target = t_hi if demand is None else min(t_hi, demand)
+            k = shrink(k, target)
+            return min(t_hi, service_of(k), prefix_floor[k]), k, t_hi
+        lo = t_hi
+        for _ in range(200):
+            lo /= 2.0
+            value = achievable(lo)
+            if value is not None and value >= lo - _REL_TOL:
+                break
+            if lo < 1e-12:
+                return None
+        hi = t_hi
+        for _ in range(64):
+            mid = 0.5 * (lo + hi)
+            v = achievable(mid)
+            if v is not None and v >= mid - _REL_TOL:
+                lo = mid
+            else:
+                hi = mid
+        k = slots(lo)
+        if demand is not None and service_of(k) > demand:
+            k = shrink(k, demand)
+        return min(lo, service_of(k), prefix_floor[k]), k, lo
+
+    def _materialize(
+        self,
+        platform: HetCommPlatform,
+        ranked: list[Node],
+        n_agents: int,
+        n_servers: int,
+        target: float,
+    ) -> Hierarchy:
+        params = self.params
+        agents = ranked[:n_agents]
+        candidates = ranked[n_agents:]
+
+        def serve_rate(node: Node) -> float:
+            _, s = _server_costs(
+                params, node.power, platform.bandwidth_of(node), 1.0
+            )
+            return 1.0 / s
+
+        servers = sorted(
+            candidates, key=lambda x: (serve_rate(x), x.name), reverse=True
+        )[:n_servers]
+        capacity = {
+            a.name: max(
+                1 if i == 0 else 2,
+                min(self._supported_children(a, platform, target), len(ranked)),
+            )
+            for i, a in enumerate(agents)
+        }
+        hierarchy = Hierarchy()
+        hierarchy.set_root(agents[0].name, agents[0].power)
+        free = {agents[0].name: capacity[agents[0].name]}
+        placed = [agents[0]]
+        for agent in agents[1:]:
+            parent = next(a for a in placed if free[a.name] > 0)
+            hierarchy.add_agent(agent.name, agent.power, parent.name)
+            free[parent.name] -= 1
+            free[agent.name] = capacity[agent.name]
+            placed.append(agent)
+        pending = list(servers)
+        for agent in placed[1:]:
+            while hierarchy.degree(agent.name) < 2 and pending:
+                node = pending.pop(0)
+                hierarchy.add_server(node.name, node.power, agent.name)
+                free[agent.name] -= 1
+        cursor = 0
+        while pending:
+            order = [a for a in placed if free[a.name] > 0] or [placed[0]]
+            target_agent = order[cursor % len(order)]
+            node = pending.pop(0)
+            hierarchy.add_server(node.name, node.power, target_agent.name)
+            free[target_agent.name] -= 1
+            cursor += 1
+        self._repair(hierarchy)
+        return hierarchy
+
+    @staticmethod
+    def _repair(hierarchy: Hierarchy) -> None:
+        changed = True
+        while changed:
+            changed = False
+            for agent in hierarchy.agents:
+                if agent == hierarchy.root:
+                    continue
+                kids = hierarchy.children(agent)
+                if len(kids) < 2:
+                    parent = hierarchy.parent(agent)
+                    assert parent is not None
+                    for kid in kids:
+                        hierarchy.reattach(kid, parent)
+                    hierarchy.demote(agent)
+                    changed = True
+                    break

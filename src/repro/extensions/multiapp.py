@@ -1,0 +1,328 @@
+"""Multi-application deployment — the paper's last future-work item.
+
+    "Finally, we are interested to find a modelization to deploy several
+    middlewares and/or applications on grid."
+
+This module models one shared agent hierarchy scheduling **several
+applications at once**.  Each application ``a`` has its own service work
+``Wapp_a`` and client demand ``d_a`` (requests/s); servers are dedicated
+to one application (the paper's no-sharing rule, §1), while agents carry
+the *combined* request stream.
+
+**Model.**  With per-application throughputs ``rho_a``:
+
+* every agent of degree ``d`` must sustain the total rate
+  ``sum_a rho_a`` (the scheduling phase is application-agnostic — every
+  request traverses the whole hierarchy and every server predicts, as in
+  the single-application model);
+* application ``a``'s server set must deliver ``rho_a`` of service power
+  under Eq. 15, where each of its servers additionally predicts for *all*
+  applications' requests: the prediction load term scales with the total
+  rate, so server ``i`` of application ``a`` satisfies
+  ``rho_total * Wpre/w_i + rho_a_share_i * Wapp_a/w_i <= 1`` —
+  aggregated exactly like Eqs. 6-10 with the prediction load multiplied
+  by ``rho_total / rho_a``.
+
+**Planner.**  Demands are fixed (capacity-planning use case): find the
+cheapest deployment satisfying every application, or report the best
+proportional scale-down if the pool cannot.  Greedy: allocate servers
+application by application (most demanding first) from the fastest
+remaining nodes, then size the shared agent tier at the total rate with
+``supported_children`` capacity filling, reusing Algorithm 1's machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.heuristic import supported_children
+from repro.core.hierarchy import Hierarchy
+from repro.core.params import ModelParams
+from repro.core.throughput import (
+    agent_sched_throughput,
+    server_sched_throughput,
+)
+from repro.errors import ParameterError, PlanningError
+from repro.platforms.node import Node
+from repro.platforms.pool import NodePool
+
+__all__ = [
+    "Application",
+    "MultiAppPlan",
+    "MultiAppPlanner",
+    "multiapp_service_ok",
+]
+
+_REL_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class Application:
+    """One service to host: its work cost and its client demand."""
+
+    name: str
+    app_work: float
+    demand: float
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ParameterError("application needs a name")
+        if self.app_work <= 0.0:
+            raise ParameterError(
+                f"{self.name}: app_work must be > 0, got {self.app_work}"
+            )
+        if self.demand <= 0.0:
+            raise ParameterError(
+                f"{self.name}: demand must be > 0, got {self.demand}"
+            )
+
+
+def multiapp_service_ok(
+    params: ModelParams,
+    server_powers: list[float],
+    app_work: float,
+    own_rate: float,
+    total_rate: float,
+) -> bool:
+    """Can these servers serve ``own_rate`` while predicting ``total_rate``?
+
+    Generalizes Eqs. 6-10: per unit time, server ``i`` spends
+    ``total_rate * (Wpre/w_i + sched comm)`` on predictions (every request
+    of every application reaches every server) plus its share of
+    ``own_rate`` service executions.  Feasible iff the aggregate busy
+    fraction fits, i.e. the service headroom left by prediction covers the
+    demanded rate.
+    """
+    if not server_powers:
+        return False
+    if own_rate <= 0.0 or total_rate < own_rate:
+        raise ParameterError(
+            f"need 0 < own_rate <= total_rate, got ({own_rate}, {total_rate})"
+        )
+    sched_comm = params.server_sizes.round_trip / params.bandwidth
+    service_comm = params.service_sizes.round_trip / params.bandwidth
+    headroom = 0.0
+    for power in server_powers:
+        if power <= 0.0:
+            raise ParameterError(f"server power must be > 0, got {power}")
+        prediction_busy = total_rate * (params.wpre / power + sched_comm)
+        if prediction_busy >= 1.0:
+            continue  # this server is fully consumed by predictions
+        per_request = app_work / power + service_comm
+        headroom += (1.0 - prediction_busy) / per_request
+    return headroom >= own_rate * (1.0 - _REL_TOL)
+
+
+@dataclass(frozen=True)
+class MultiAppPlan:
+    """A shared hierarchy hosting several applications."""
+
+    hierarchy: Hierarchy
+    assignments: dict[str, tuple[str, ...]] = field(repr=False)
+    rates: dict[str, float] = field(default_factory=dict)
+    scale: float = 1.0
+
+    @property
+    def total_rate(self) -> float:
+        return sum(self.rates.values())
+
+    @property
+    def fully_satisfied(self) -> bool:
+        """True when every application's demand is met (scale == 1)."""
+        return self.scale >= 1.0 - _REL_TOL
+
+    def servers_of(self, app_name: str) -> tuple[str, ...]:
+        return self.assignments[app_name]
+
+
+class MultiAppPlanner:
+    """Cheapest shared deployment hosting several applications.
+
+    If the pool cannot satisfy the demands, the planner scales all
+    demands down proportionally (binary search on the scale factor) and
+    returns the best achievable deployment with ``plan.scale < 1``.
+    """
+
+    def __init__(self, params: ModelParams):
+        self.params = params
+
+    def plan(self, pool: NodePool, applications: list[Application]) -> MultiAppPlan:
+        """Plan for ``applications`` on ``pool``.
+
+        Raises
+        ------
+        PlanningError
+            If no applications are given, names collide, or the pool is
+            too small to host one server per application plus an agent.
+        """
+        if not applications:
+            raise PlanningError("at least one application is required")
+        names = [a.name for a in applications]
+        if len(set(names)) != len(names):
+            raise PlanningError(f"duplicate application names: {names}")
+        if len(pool) < len(applications) + 1:
+            raise PlanningError(
+                f"pool of {len(pool)} cannot host {len(applications)} "
+                "applications plus an agent tier"
+            )
+        attempt = self._try_scale(pool, applications, 1.0)
+        if attempt is not None:
+            return attempt
+        # Binary-search the largest feasible proportional scale-down.
+        lo, hi = 0.0, 1.0
+        best: MultiAppPlan | None = None
+        for _ in range(40):
+            mid = 0.5 * (lo + hi)
+            if mid <= 0.0:
+                break
+            candidate = self._try_scale(pool, applications, mid)
+            if candidate is not None:
+                best = candidate
+                lo = mid
+            else:
+                hi = mid
+        if best is None:
+            raise PlanningError(
+                "pool cannot host these applications at any demand scale"
+            )
+        return best
+
+    # ------------------------------------------------------------------ #
+
+    def _try_scale(
+        self, pool: NodePool, applications: list[Application], scale: float
+    ) -> MultiAppPlan | None:
+        """Build the cheapest deployment meeting ``scale * demand``."""
+        params = self.params
+        rates = {a.name: a.demand * scale for a in applications}
+        total_rate = sum(rates.values())
+        ranked = sorted(pool, key=lambda n: (n.power, n.name), reverse=True)
+
+        # Server tier: most demanding applications pick servers first,
+        # from the *slowest* node that still works upward would fragment;
+        # simplest sound rule: fastest-first per app, checked by the
+        # multi-app feasibility test.
+        assignments: dict[str, list[Node]] = {a.name: [] for a in applications}
+        available = list(ranked)
+        for app in sorted(
+            applications, key=lambda a: a.app_work * rates[a.name], reverse=True
+        ):
+            chosen = assignments[app.name]
+            while available:
+                # Prediction-rate floor: a server too slow to predict at
+                # the total rate can never join any server tier.
+                node = available[0]
+                if server_sched_throughput(params, node.power) < total_rate:
+                    return None
+                chosen.append(available.pop(0))
+                if multiapp_service_ok(
+                    params,
+                    [n.power for n in chosen],
+                    app.app_work,
+                    rates[app.name],
+                    total_rate,
+                ):
+                    break
+            else:
+                return None
+            if not multiapp_service_ok(
+                params,
+                [n.power for n in chosen],
+                app.app_work,
+                rates[app.name],
+                total_rate,
+            ):
+                return None
+
+        # Agent tier: capacity-fill at the total rate from what remains.
+        n_servers = sum(len(v) for v in assignments.values())
+        agents: list[Node] = []
+        capacity = 0
+        while capacity < n_servers + max(0, len(agents) - 1):
+            if not available:
+                return None
+            node = available.pop(0)
+            if agent_sched_throughput(params, node.power, 1) < total_rate:
+                return None  # even one child is too many for this node
+            min_degree = 1 if not agents else 2
+            supported = supported_children(params, node.power, total_rate)
+            if supported < min_degree:
+                return None
+            agents.append(node)
+            capacity = sum(
+                supported_children(params, a.power, total_rate) for a in agents
+            )
+
+        hierarchy = self._materialize(agents, assignments, total_rate)
+        try:
+            hierarchy.validate(strict=True)
+        except Exception:
+            return None
+        return MultiAppPlan(
+            hierarchy=hierarchy,
+            assignments={
+                name: tuple(n.name for n in nodes)
+                for name, nodes in assignments.items()
+            },
+            rates=rates,
+            scale=scale,
+        )
+
+    def _materialize(
+        self,
+        agents: list[Node],
+        assignments: dict[str, list[Node]],
+        total_rate: float,
+    ) -> Hierarchy:
+        params = self.params
+        hierarchy = Hierarchy()
+        hierarchy.set_root(agents[0].name, agents[0].power)
+        free = {
+            agents[0].name: supported_children(
+                params, agents[0].power, total_rate
+            )
+        }
+        placed = [agents[0]]
+        for agent in agents[1:]:
+            parent = next(a for a in placed if free[a.name] > 0)
+            hierarchy.add_agent(agent.name, agent.power, parent.name)
+            free[parent.name] -= 1
+            free[agent.name] = supported_children(
+                params, agent.power, total_rate
+            )
+            placed.append(agent)
+        pending = [node for nodes in assignments.values() for node in nodes]
+        # Validity first: two children per non-root agent.
+        for agent in placed[1:]:
+            while hierarchy.degree(agent.name) < 2 and pending:
+                node = pending.pop(0)
+                hierarchy.add_server(node.name, node.power, agent.name)
+                free[agent.name] -= 1
+        cursor = 0
+        while pending:
+            order = [a for a in placed if free[a.name] > 0] or [placed[0]]
+            agent = order[cursor % len(order)]
+            node = pending.pop(0)
+            hierarchy.add_server(node.name, node.power, agent.name)
+            free[agent.name] -= 1
+            cursor += 1
+        # Over-allocated agents (fewer than two children) leave the
+        # deployment entirely — unlike the single-application repair they
+        # cannot be demoted to servers, because every server must belong
+        # to an application's assignment.
+        changed = True
+        while changed:
+            changed = False
+            for agent in hierarchy.agents:
+                if agent == hierarchy.root:
+                    continue
+                kids = hierarchy.children(agent)
+                if len(kids) < 2:
+                    parent = hierarchy.parent(agent)
+                    assert parent is not None
+                    for kid in kids:
+                        hierarchy.reattach(kid, parent)
+                    hierarchy.remove_leaf(agent)
+                    changed = True
+                    break
+        return hierarchy

@@ -1,0 +1,19 @@
+"""Simulated DIET-like middleware.
+
+This package is the discrete-event counterpart of the paper's deployed
+system: a hierarchy of agents and servers (SeDs) executing the two-phase
+request lifecycle of Figure 1 on M(r,s,w) serial resources.
+
+* :mod:`repro.middleware.messages` — request bookkeeping;
+* :mod:`repro.middleware.agent` — request fan-out, reply merge/selection;
+* :mod:`repro.middleware.server` — prediction + application execution;
+* :mod:`repro.middleware.client` — closed-loop unit-of-load clients (§5.1);
+* :mod:`repro.middleware.system` — assembles a deployment plan into a
+  running simulated platform.
+"""
+
+from repro.middleware.messages import Request
+from repro.middleware.system import MiddlewareSystem
+from repro.middleware.client import ClosedLoopClient
+
+__all__ = ["Request", "MiddlewareSystem", "ClosedLoopClient"]

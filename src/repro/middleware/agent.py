@@ -1,0 +1,228 @@
+"""Simulated agent element.
+
+Per request (Figure 1 and Eqs. 1–2, 5 of the paper) an agent:
+
+1. receives the request from its parent (``Sreq`` at agent level),
+2. computes the request-processing work ``Wreq``,
+3. forwards the request to each of its ``d`` children, serially (the
+   single-port model) — agent-level ``Sreq`` to child agents,
+   server-level ``Sreq`` to child servers,
+4. receives ``d`` replies, each costing receive time on its resource,
+5. computes the merge/selection work ``Wrep(d) = Wfix + Wsel*d``,
+6. sends the merged reply (the best server seen) to its parent.
+
+Selection keeps the child reply with the *earliest availability
+estimate*, which reproduces DIET's pick-the-best-server behaviour and
+makes the steady-state load split emerge from queue dynamics.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.params import ModelParams
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+from repro.sim.resources import SerialResource
+from repro.sim.trace import TraceRecorder
+
+__all__ = ["AgentElement"]
+
+
+class _PendingRequest:
+    """Reply-merge state for one in-flight request at one agent."""
+
+    __slots__ = ("remaining", "best_server", "best_estimate", "ties")
+
+    def __init__(self, remaining: int):
+        self.remaining = remaining
+        self.best_server: str | None = None
+        self.best_estimate = float("inf")
+        self.ties = 0
+
+
+class AgentElement:
+    """One deployed agent (root or inner)."""
+
+    __slots__ = (
+        "sim",
+        "name",
+        "power",
+        "params",
+        "bandwidth",
+        "rng",
+        "resource",
+        "parent",
+        "children",
+        "client_sink",
+        "trace",
+        "requests_done",
+        "_pending",
+    )
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        power: float,
+        params: ModelParams,
+        trace: TraceRecorder | None = None,
+        rng: "random.Random | None" = None,
+        bandwidth: float | None = None,
+    ):
+        self.sim = sim
+        self.name = name
+        self.power = power
+        self.params = params
+        # Per-node access-link bandwidth (Mb/s); defaults to the uniform
+        # model bandwidth.  Every transfer this node takes part in costs
+        # size / self.bandwidth on this node's resource — the "each
+        # endpoint pays its own link" rule of the hetcomm extension.
+        self.bandwidth = params.bandwidth if bandwidth is None else bandwidth
+        self.rng = rng if rng is not None else random.Random(0)
+        self.resource = SerialResource(sim, name)
+        self.parent = None  # None for the root; set by MiddlewareSystem
+        self.children: list = []  # AgentElement | ServerElement
+        # Root only: callable(request_id, server_name) delivering the
+        # scheduling decision to the client layer; set by MiddlewareSystem.
+        self.client_sink = None
+        self.trace = trace
+        self.requests_done = 0
+        self._pending: dict[int, _PendingRequest] = {}
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def degree(self) -> int:
+        return len(self.children)
+
+    def receive_request(self, request_id: int) -> None:
+        """Upstream (parent agent or client) finished sending to us."""
+        params = self.params
+        recv_time = params.agent_sizes.sreq / self.bandwidth
+
+        def after_recv() -> None:
+            if self.trace is not None:
+                self.trace.emit(
+                    self.sim.now, "msg_recv", self.name,
+                    request_id=request_id,
+                    size_mb=params.agent_sizes.sreq, msg="sched_req",
+                )
+            duration = params.wreq / self.power
+
+            def processed() -> None:
+                if self.trace is not None:
+                    self.trace.emit(
+                        self.sim.now, "compute", self.name,
+                        request_id=request_id,
+                        duration=duration, what="request_processing",
+                    )
+                self._fan_out(request_id)
+
+            self.resource.submit(duration, "compute", processed)
+
+        self.resource.submit(recv_time, "recv", after_recv)
+
+    def _fan_out(self, request_id: int) -> None:
+        """Forward the request to every child, serially (single port).
+
+        The agent pays agent-level send time for every child (that is how
+        Eq. 2 bills it); servers pay their own (much smaller) server-level
+        receive time on arrival (Eq. 3).  The asymmetry mirrors the
+        paper's per-element accounting in Table 3.
+        """
+        self._pending[request_id] = _PendingRequest(len(self.children))
+        params = self.params
+        send_time = params.agent_sizes.sreq / self.bandwidth
+        for child in self.children:
+            if isinstance(child, AgentElement):
+                deliver = self._make_agent_delivery(child, request_id)
+            else:
+                deliver = self._make_server_delivery(child, request_id)
+            self.resource.submit(send_time, "send", deliver)
+
+    @staticmethod
+    def _make_agent_delivery(child: "AgentElement", request_id: int):
+        return lambda: child.receive_request(request_id)
+
+    @staticmethod
+    def _make_server_delivery(child, request_id: int):
+        return lambda: child.receive_schedule(request_id)
+
+    # ------------------------------------------------------------------ #
+
+    def receive_reply(
+        self, request_id: int, server_name: str, estimate: float
+    ) -> None:
+        """A child finished sending its reply: absorb it, maybe merge."""
+        params = self.params
+        # Reply size depends on who sent it; both agent and server replies
+        # are received at the size the sender produced.  The sender already
+        # paid its send time; we pay the receive time here.
+        pending = self._pending.get(request_id)
+        if pending is None:  # late reply for an aborted request
+            return
+        recv_time = params.agent_sizes.srep / self.bandwidth
+
+        def after_recv() -> None:
+            if self.trace is not None:
+                self.trace.emit(
+                    self.sim.now, "msg_recv", self.name,
+                    request_id=request_id,
+                    size_mb=params.agent_sizes.srep, msg="sched_rep",
+                )
+            if estimate < pending.best_estimate:
+                pending.best_estimate = estimate
+                pending.best_server = server_name
+                pending.ties = 1
+            elif estimate == pending.best_estimate:
+                # Reservoir sampling keeps the winner uniform among ties,
+                # avoiding the herd-to-first-child bias a plain "<" has.
+                pending.ties += 1
+                if self.rng.random() < 1.0 / pending.ties:
+                    pending.best_server = server_name
+            pending.remaining -= 1
+            if pending.remaining == 0:
+                merge_work = params.wrep(len(self.children))
+                self.resource.submit(
+                    merge_work / self.power, "compute",
+                    lambda: self._reply_up(request_id),
+                )
+                return
+
+        self.resource.submit(recv_time, "recv", after_recv)
+
+    def _reply_up(self, request_id: int) -> None:
+        pending = self._pending.pop(request_id)
+        self.requests_done += 1
+        params = self.params
+        if self.trace is not None:
+            self.trace.emit(
+                self.sim.now, "compute", self.name,
+                request_id=request_id,
+                duration=params.wrep(len(self.children)) / self.power,
+                what="merge",
+                degree=len(self.children),
+            )
+        send_time = params.agent_sizes.srep / self.bandwidth
+
+        def after_send() -> None:
+            if self.trace is not None:
+                self.trace.emit(
+                    self.sim.now, "msg_sent", self.name,
+                    request_id=request_id,
+                    size_mb=params.agent_sizes.srep, msg="sched_rep",
+                )
+            if self.parent is not None:
+                self.parent.receive_reply(
+                    request_id, pending.best_server, pending.best_estimate
+                )
+            elif self.client_sink is not None:
+                # Root: hand the decision back to the system/client layer.
+                self.client_sink(request_id, pending.best_server)
+            else:
+                raise SimulationError(
+                    f"root agent {self.name!r} not wired to a client sink"
+                )
+
+        self.resource.submit(send_time, "send", after_send)

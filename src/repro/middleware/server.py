@@ -1,0 +1,183 @@
+"""Simulated server (SeD) element.
+
+A server participates in both phases of every request:
+
+* **scheduling**: receive the forwarded request, compute a performance
+  prediction (``Wpre`` MFlop), and reply to the parent agent with an
+  availability estimate — the server's current backlog, which is what
+  DIET's prediction effectively reports;
+* **service**: if selected, receive the client's service request, execute
+  the application (``Wapp`` MFlop), and return the response.
+
+All activity serializes on the node's M(r,s,w) resource, so prediction
+work, service work and message transfers contend exactly as the paper's
+model assumes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.core.params import ModelParams
+from repro.sim.engine import Simulator
+from repro.sim.resources import SerialResource
+from repro.sim.trace import TraceRecorder
+
+__all__ = ["ServerElement"]
+
+
+class ServerElement:
+    """One deployed SeD.
+
+    Parameters
+    ----------
+    sim, name, power:
+        Engine, node name, node power (MFlop/s).
+    params:
+        Calibrated middleware parameters.
+    app_work:
+        Application work ``Wapp`` (MFlop) per service request.
+    trace:
+        Optional trace recorder (calibration campaigns).
+    """
+
+    __slots__ = (
+        "sim",
+        "name",
+        "power",
+        "params",
+        "bandwidth",
+        "app_work",
+        "resource",
+        "parent",
+        "trace",
+        "predictions_done",
+        "services_done",
+        "pending_service_work",
+    )
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        power: float,
+        params: ModelParams,
+        app_work: float,
+        trace: TraceRecorder | None = None,
+        bandwidth: float | None = None,
+    ):
+        self.sim = sim
+        self.name = name
+        self.power = power
+        self.params = params
+        # Per-node access-link bandwidth; see AgentElement.bandwidth.
+        self.bandwidth = params.bandwidth if bandwidth is None else bandwidth
+        self.app_work = app_work
+        self.resource = SerialResource(sim, name)
+        self.parent = None  # set by MiddlewareSystem wiring
+        self.trace = trace
+        self.predictions_done = 0
+        self.services_done = 0
+        # Seconds of committed service work (accepted but not finished) —
+        # the quantity the availability prediction reports.
+        self.pending_service_work = 0.0
+
+    # ------------------------------------------------------------------ #
+    # scheduling phase
+
+    def receive_schedule(self, request_id: int) -> None:
+        """Parent finished sending: absorb the message, then predict."""
+        params = self.params
+        recv_time = params.server_sizes.sreq / self.bandwidth
+
+        def after_recv() -> None:
+            if self.trace is not None:
+                self.trace.emit(
+                    self.sim.now, "msg_recv", self.name,
+                    request_id=request_id,
+                    size_mb=params.server_sizes.sreq, msg="sched_req",
+                )
+            self.resource.submit(
+                params.wpre / self.power, "compute", self._reply_factory(request_id)
+            )
+
+        self.resource.submit(recv_time, "recv", after_recv)
+
+    def _reply_factory(self, request_id: int) -> Callable[[], None]:
+        def after_predict() -> None:
+            self.predictions_done += 1
+            # The estimate DIET's FAST-like predictor would return: how
+            # long until this node could start new service work, i.e. the
+            # service work it has already accepted.  Relative (not an
+            # absolute timestamp) so servers probed at slightly different
+            # times during the fan-out compare fairly.
+            estimate = self.pending_service_work
+            if self.trace is not None:
+                self.trace.emit(
+                    self.sim.now, "compute", self.name,
+                    request_id=request_id,
+                    duration=self.params.wpre / self.power, what="prediction",
+                )
+            send_time = self.params.server_sizes.srep / self.bandwidth
+
+            def after_send() -> None:
+                if self.trace is not None:
+                    self.trace.emit(
+                        self.sim.now, "msg_sent", self.name,
+                        request_id=request_id,
+                        size_mb=self.params.server_sizes.srep, msg="sched_rep",
+                    )
+                self.parent.receive_reply(request_id, self.name, estimate)
+
+            self.resource.submit(send_time, "send", after_send)
+
+        return after_predict
+
+    # ------------------------------------------------------------------ #
+    # service phase
+
+    def receive_service(
+        self, request_id: int, on_complete: Callable[[], None]
+    ) -> None:
+        """Client invokes the application on this server."""
+        params = self.params
+        recv_time = params.service_sizes.sreq / self.bandwidth
+        chain_work = (
+            params.service_sizes.round_trip / self.bandwidth
+            + self.app_work / self.power
+        )
+        self.pending_service_work += chain_work
+
+        def after_recv() -> None:
+            if self.trace is not None:
+                self.trace.emit(
+                    self.sim.now, "msg_recv", self.name,
+                    request_id=request_id,
+                    size_mb=params.service_sizes.sreq, msg="service_req",
+                )
+            # Only the application execution itself is service-class work;
+            # message handling stays responsive (the SeD's comm thread).
+            self.resource.submit(
+                self.app_work / self.power, "compute", run_done, priority=1
+            )
+
+        def run_done() -> None:
+            self.services_done += 1
+            if self.trace is not None:
+                self.trace.emit(
+                    self.sim.now, "compute", self.name,
+                    request_id=request_id,
+                    duration=self.app_work / self.power, what="service",
+                )
+            send_time = params.service_sizes.srep / self.bandwidth
+
+            def sent() -> None:
+                self.pending_service_work -= chain_work
+                on_complete()
+
+            # The response leaves via the communication layer immediately
+            # after the computation — it must not queue behind other
+            # clients' pending service work.
+            self.resource.submit(send_time, "send", sent)
+
+        self.resource.submit(recv_time, "recv", after_recv)

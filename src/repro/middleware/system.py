@@ -1,0 +1,224 @@
+"""Assembling a deployment into a running simulated platform.
+
+:class:`MiddlewareSystem` takes a validated
+:class:`~repro.core.hierarchy.Hierarchy`, instantiates one
+:class:`~repro.middleware.agent.AgentElement` or
+:class:`~repro.middleware.server.ServerElement` per node on a shared
+event engine, wires parent/child links, and exposes the client-facing
+API: :meth:`submit` starts the scheduling phase, the returned
+:class:`~repro.middleware.messages.Request` is updated as the phases
+progress, and the caller's completion callback fires when the service
+response lands.
+
+This is the execution substrate the experiment harnesses drive; the
+GoDIET-like launcher in :mod:`repro.deploy.godiet` builds one of these
+from a serialized plan.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable, Mapping
+
+from repro.core.hierarchy import Hierarchy, Role
+from repro.core.params import ModelParams
+from repro.errors import DeploymentError, SimulationError
+from repro.middleware.agent import AgentElement
+from repro.middleware.messages import Request
+from repro.middleware.server import ServerElement
+from repro.sim.engine import Simulator
+from repro.sim.stats import IntervalCounter
+from repro.sim.trace import TraceRecorder
+
+__all__ = ["MiddlewareSystem"]
+
+
+class MiddlewareSystem:
+    """A deployed, running (simulated) middleware platform.
+
+    Parameters
+    ----------
+    sim:
+        The event engine to deploy onto.
+    hierarchy:
+        Validated deployment tree.
+    params:
+        Calibrated middleware parameters.
+    app_work:
+        ``Wapp`` per service request (MFlop), scalar or per-server mapping.
+    trace:
+        Optional trace recorder wired into every element.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        hierarchy: Hierarchy,
+        params: ModelParams,
+        app_work: float | Mapping[str, float],
+        trace: TraceRecorder | None = None,
+        seed: int = 0,
+        bandwidths: Mapping[str, float] | None = None,
+    ):
+        hierarchy.validate(strict=False)
+        self.sim = sim
+        self.hierarchy = hierarchy
+        self.params = params
+        self.trace = trace
+        self._rng = random.Random(seed)
+        if bandwidths is not None:
+            missing = [str(n) for n in hierarchy if str(n) not in bandwidths]
+            if missing:
+                raise DeploymentError(
+                    f"bandwidths missing for nodes: {missing}"
+                )
+        self.agents: dict[str, AgentElement] = {}
+        self.servers: dict[str, ServerElement] = {}
+        self.completions = IntervalCounter()
+        self._requests: dict[int, Request] = {}
+        self._next_id = 0
+        self._schedule_waiters: dict[int, Callable[[Request], None]] = {}
+
+        # Instantiate elements, then wire parent/child links.
+        for node in hierarchy:
+            power = hierarchy.power(node)
+            bandwidth = (
+                float(bandwidths[str(node)]) if bandwidths is not None else None
+            )
+            if hierarchy.role(node) is Role.AGENT:
+                self.agents[str(node)] = AgentElement(
+                    sim, str(node), power, params, trace=trace,
+                    rng=self._rng, bandwidth=bandwidth,
+                )
+            else:
+                work = (
+                    float(app_work[node])
+                    if isinstance(app_work, Mapping)
+                    else float(app_work)
+                )
+                self.servers[str(node)] = ServerElement(
+                    sim, str(node), power, params, work, trace=trace,
+                    bandwidth=bandwidth,
+                )
+        for node in hierarchy:
+            element = self._element(str(node))
+            parent = hierarchy.parent(node)
+            if parent is not None:
+                element.parent = self.agents[str(parent)]
+            if hierarchy.role(node) is Role.AGENT:
+                element.children = [
+                    self._element(str(child)) for child in hierarchy.children(node)
+                ]
+        self.root = self.agents[str(hierarchy.root)]
+        self.root.client_sink = self._on_scheduled
+
+    def _element(self, name: str):
+        if name in self.agents:
+            return self.agents[name]
+        return self.servers[name]
+
+    # ------------------------------------------------------------------ #
+    # client-facing API
+
+    def submit(
+        self,
+        client_name: str,
+        on_complete: Callable[[Request], None],
+        on_scheduled: Callable[[Request], None] | None = None,
+    ) -> Request:
+        """Submit a full two-phase request on behalf of ``client_name``.
+
+        The scheduling phase starts immediately; once the root returns the
+        selected server, the service phase is issued automatically.
+        ``on_complete`` fires with the finished :class:`Request`.
+        """
+        request = self._start_schedule(client_name)
+
+        def scheduled(req: Request) -> None:
+            if on_scheduled is not None:
+                on_scheduled(req)
+            if req.selected_server is None:
+                raise SimulationError(
+                    f"request {req.request_id} scheduled without a server"
+                )
+            self._start_service(req, on_complete)
+
+        self._schedule_waiters[request.request_id] = scheduled
+        return request
+
+    def submit_schedule_only(
+        self, client_name: str, on_scheduled: Callable[[Request], None]
+    ) -> Request:
+        """Run only the scheduling phase (used by calibration campaigns)."""
+        request = self._start_schedule(client_name)
+        self._schedule_waiters[request.request_id] = on_scheduled
+        return request
+
+    # ------------------------------------------------------------------ #
+
+    def _start_schedule(self, client_name: str) -> Request:
+        self._next_id += 1
+        request = Request(
+            request_id=self._next_id,
+            client_name=client_name,
+            submitted_at=self.sim.now,
+        )
+        self._requests[request.request_id] = request
+        # Client -> root transfer: the client side is not a modelled
+        # resource; the root pays its receive time in receive_request.
+        self.root.receive_request(request.request_id)
+        return request
+
+    def _on_scheduled(self, request_id: int, server_name: str | None) -> None:
+        request = self._requests[request_id]
+        request.scheduled_at = self.sim.now
+        request.selected_server = server_name
+        waiter = self._schedule_waiters.pop(request_id, None)
+        if waiter is not None:
+            waiter(request)
+
+    def _start_service(
+        self, request: Request, on_complete: Callable[[Request], None]
+    ) -> None:
+        server = self.servers.get(request.selected_server or "")
+        if server is None:
+            raise SimulationError(
+                f"scheduling selected unknown server "
+                f"{request.selected_server!r}"
+            )
+        request.service_started_at = self.sim.now
+
+        def complete() -> None:
+            request.completed_at = self.sim.now
+            self.completions.record(self.sim.now)
+            on_complete(request)
+
+        server.receive_service(request.request_id, complete)
+
+    # ------------------------------------------------------------------ #
+    # observability
+
+    def utilization_report(self) -> dict[str, float]:
+        """Utilization of every node resource at the current time."""
+        report = {}
+        for name, agent in self.agents.items():
+            report[name] = agent.resource.utilization()
+        for name, server in self.servers.items():
+            report[name] = server.resource.utilization()
+        return report
+
+    def bottleneck(self) -> tuple[str, float]:
+        """The busiest node and its utilization — the simulated analogue
+        of the model's limiting element."""
+        report = self.utilization_report()
+        node = max(report, key=lambda k: report[k])
+        return node, report[node]
+
+    def service_counts(self) -> dict[str, int]:
+        """Completed service executions per server (Eq. 8's N_i)."""
+        return {
+            name: server.services_done for name, server in self.servers.items()
+        }
+
+    def total_completed(self) -> int:
+        return self.completions.count

@@ -1,0 +1,24 @@
+"""Platform substrate: compute nodes, node pools, and the interconnect.
+
+The paper's testbed was Grid'5000 (Lyon + Orsay).  This package provides
+the synthetic equivalent: pools of nodes with per-node computing power in
+MFlop/s, a homogeneous-bandwidth network, the background-load mechanism the
+authors used to heterogenize a homogeneous cluster (§5.3), and a simulated
+Linpack-style mini-benchmark for (re-)rating nodes.
+"""
+
+from repro.platforms.node import Node
+from repro.platforms.pool import NodePool
+from repro.platforms.network import HomogeneousNetwork
+from repro.platforms.background import BackgroundWorkload, heterogenize
+from repro.platforms.rating import rate_node, rate_pool
+
+__all__ = [
+    "Node",
+    "NodePool",
+    "HomogeneousNetwork",
+    "BackgroundWorkload",
+    "heterogenize",
+    "rate_node",
+    "rate_pool",
+]

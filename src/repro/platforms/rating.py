@@ -1,0 +1,78 @@
+"""Node capacity rating — the simulated Linpack mini-benchmark.
+
+The paper measures each machine's capacity "in MFlops using a
+mini-benchmark extracted from Linpack" and feeds those ratings to the
+model.  Here the *true* power of a synthetic node is known, so the
+mini-benchmark reduces to reading it back — optionally with a small
+multiplicative measurement noise so experiments can exercise the planner's
+robustness to rating error, and with the repeated-trial / best-of-k
+protocol real Linpack runs use.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.platforms.node import Node
+from repro.platforms.pool import NodePool
+
+__all__ = ["rate_node", "rate_pool"]
+
+
+def rate_node(
+    node: Node,
+    noise: float = 0.0,
+    trials: int = 3,
+    seed: int | np.random.Generator = 0,
+) -> float:
+    """Measured power of ``node`` in MFlop/s.
+
+    Parameters
+    ----------
+    noise:
+        Standard deviation of the multiplicative measurement error per
+        trial (0 reproduces the true power exactly).
+    trials:
+        Number of benchmark repetitions; the *maximum* observed rate is
+        reported, mirroring the usual best-of-k Linpack protocol (transient
+        interference only ever slows a run down, so the max is the least
+        biased estimator of capacity).
+    """
+    if noise < 0.0:
+        raise ParameterError(f"noise must be >= 0, got {noise}")
+    if trials < 1:
+        raise ParameterError(f"trials must be >= 1, got {trials}")
+    if noise == 0.0:
+        return node.power
+    rng = (
+        seed
+        if isinstance(seed, np.random.Generator)
+        else np.random.default_rng(seed)
+    )
+    # Interference can only slow a trial down: draw non-positive deviations.
+    slowdowns = np.abs(rng.normal(0.0, noise, size=trials))
+    observed = node.power * (1.0 - np.minimum(slowdowns, 0.95))
+    return float(observed.max())
+
+
+def rate_pool(
+    pool: NodePool,
+    noise: float = 0.0,
+    trials: int = 3,
+    seed: int | np.random.Generator = 0,
+) -> NodePool:
+    """Re-rate every node of a pool with the mini-benchmark.
+
+    Returns a new pool whose node powers are the *measured* values — the
+    exact input the planner consumed on Grid'5000.
+    """
+    rng = (
+        seed
+        if isinstance(seed, np.random.Generator)
+        else np.random.default_rng(seed)
+    )
+    return NodePool(
+        node.with_power(rate_node(node, noise=noise, trials=trials, seed=rng))
+        for node in pool
+    )

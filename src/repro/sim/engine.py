@@ -1,0 +1,152 @@
+"""Event-heap discrete-event simulation engine.
+
+Deliberately minimal and fast: events are ``(time, sequence, callback)``
+entries on a binary heap; the sequence number makes simultaneous events
+fire in scheduling order, which keeps every run bit-reproducible.  The
+engine knows nothing about resources or middleware — those layers schedule
+callbacks on it.
+
+Design notes (per the HPC guides): the hot loop avoids attribute lookups
+and allocation where it matters, supports millions of events per run, and
+exposes ``run_until`` / ``run`` with event and time budgets so harnesses
+can bound simulations deterministically.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+
+__all__ = ["Event", "Simulator"]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.  Comparable by (time, sequence)."""
+
+    time: float
+    sequence: int
+    callback: Callable[[], None] | None = field(compare=False)
+
+    @property
+    def cancelled(self) -> bool:
+        return self.callback is None
+
+    def cancel(self) -> None:
+        """Cancel the event in place (lazy deletion from the heap)."""
+        self.callback = None
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Examples
+    --------
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule(2.0, lambda: fired.append(sim.now))
+    >>> _ = sim.schedule(1.0, lambda: fired.append(sim.now))
+    >>> sim.run()
+    >>> fired
+    [1.0, 2.0]
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list[Event] = []
+        self._sequence: int = 0
+        self._events_processed: int = 0
+
+    # ------------------------------------------------------------------ #
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` to fire ``delay`` seconds from now."""
+        if delay < 0.0:
+            raise SimulationError(f"cannot schedule in the past: delay={delay}")
+        self._sequence += 1
+        event = Event(self.now + delay, self._sequence, callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` at absolute simulation ``time``."""
+        return self.schedule(time - self.now, callback)
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def pending(self) -> int:
+        """Number of queued (possibly cancelled) events."""
+        return len(self._heap)
+
+    @property
+    def events_processed(self) -> int:
+        """Number of callbacks fired so far."""
+        return self._events_processed
+
+    def peek_time(self) -> float | None:
+        """Time of the next live event, or None if the heap is drained."""
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+        return heap[0].time if heap else None
+
+    # ------------------------------------------------------------------ #
+
+    def step(self) -> bool:
+        """Fire the next live event.  Returns False when none remain."""
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)
+            if event.callback is None:
+                continue
+            if event.time < self.now:
+                raise SimulationError(
+                    f"time went backwards: {event.time} < {self.now}"
+                )
+            self.now = event.time
+            callback = event.callback
+            event.callback = None
+            self._events_processed += 1
+            callback()
+            return True
+        return False
+
+    def run(self, max_events: int | None = None) -> None:
+        """Run until the heap drains (or ``max_events`` callbacks fired)."""
+        if max_events is None:
+            while self.step():
+                pass
+            return
+        for _ in range(max_events):
+            if not self.step():
+                return
+        raise SimulationError(
+            f"event budget of {max_events} exhausted at t={self.now:.6f}"
+        )
+
+    def run_until(self, time: float, max_events: int | None = None) -> None:
+        """Run events with ``event.time <= time``; clock ends at ``time``.
+
+        Events scheduled beyond the horizon stay queued, so simulations can
+        be advanced window by window.
+        """
+        if time < self.now:
+            raise SimulationError(
+                f"cannot run to the past: {time} < now={self.now}"
+            )
+        fired = 0
+        while True:
+            next_time = self.peek_time()
+            if next_time is None or next_time > time:
+                break
+            self.step()
+            fired += 1
+            if max_events is not None and fired > max_events:
+                raise SimulationError(
+                    f"event budget of {max_events} exhausted at t={self.now:.6f}"
+                )
+        self.now = time

@@ -1,0 +1,211 @@
+"""The M(r,s,w) single-port serial resource model.
+
+The paper adopts the computation/communication capability model
+``M(r, s, w)`` of [Chouhan, PhD 2006]: a node has *no internal
+parallelism* — at any instant it either receives a message, sends a
+message, or computes, through a single port, serially.
+
+:class:`SerialResource` realizes that model on the event engine with two
+priority classes:
+
+* priority 0 — scheduling-phase work (request forwarding, predictions,
+  reply merging);
+* priority 1 — service-phase work (application execution and its
+  transfers).
+
+Priority-0 work *preempts* priority-1 work: a DIET SeD answers scheduling
+predictions from its communication thread within microseconds even while
+an application call is running, and the OS scheduler briefly time-slices
+the worker to allow it.  Preemption is work-conserving — the interrupted
+item resumes with its remaining duration — so the node's total capacity
+accounting, which is all the paper's throughput model relies on, is
+unchanged.  Only latency behaviour (and therefore the load-balancing
+feedback loop) becomes realistic.
+
+Per-kind busy-time accounting feeds utilization reports, which is how
+experiment harnesses identify the bottleneck node — the simulated
+analogue of the paper's mathematical bottleneck analysis.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable
+
+from repro.errors import SimulationError
+from repro.sim.engine import Event, Simulator
+
+__all__ = ["SerialResource"]
+
+_KINDS = ("send", "recv", "compute")
+
+
+class SerialResource:
+    """A priority-preemptive serial execution resource.
+
+    Parameters
+    ----------
+    sim:
+        The event engine.
+    name:
+        Identifier used in traces and error messages.
+    """
+
+    __slots__ = (
+        "sim",
+        "name",
+        "_queue",
+        "_low_queue",
+        "_busy",
+        "_current",
+        "_completion",
+        "busy_time",
+        "tasks_done",
+        "preemptions",
+        "_busy_since",
+        "_kind_time",
+    )
+
+    def __init__(self, sim: Simulator, name: str):
+        self.sim = sim
+        self.name = name
+        # Items: (remaining_duration, kind, on_done)
+        self._queue: deque[tuple[float, str, Callable[[], None] | None]] = deque()
+        self._low_queue: deque[
+            tuple[float, str, Callable[[], None] | None]
+        ] = deque()
+        self._busy = False
+        self._current: tuple[float, str, Callable[[], None] | None, int] | None = None
+        self._completion: Event | None = None
+        self.busy_time = 0.0
+        self.tasks_done = 0
+        self.preemptions = 0
+        self._busy_since = 0.0
+        self._kind_time = {kind: 0.0 for kind in _KINDS}
+
+    # ------------------------------------------------------------------ #
+
+    def submit(
+        self,
+        duration: float,
+        kind: str,
+        on_done: Callable[[], None] | None = None,
+        priority: int = 0,
+    ) -> None:
+        """Queue a work item of ``duration`` seconds.
+
+        ``kind`` must be one of ``send``, ``recv``, ``compute`` (the three
+        exclusive activities of the M(r,s,w) model).  ``on_done`` fires
+        when the item completes.  Priority-0 items preempt a priority-1
+        item in progress (work-conserving).
+        """
+        if duration < 0.0:
+            raise SimulationError(
+                f"{self.name}: negative task duration {duration}"
+            )
+        if kind not in _KINDS:
+            raise SimulationError(
+                f"{self.name}: unknown task kind {kind!r}; expected {_KINDS}"
+            )
+        if priority == 0:
+            self._queue.append((duration, kind, on_done))
+            if self._busy and self._current is not None and self._current[3] == 1:
+                self._preempt()
+            elif not self._busy:
+                self._start_next()
+        elif priority == 1:
+            self._low_queue.append((duration, kind, on_done))
+            if not self._busy:
+                self._start_next()
+        else:
+            raise SimulationError(
+                f"{self.name}: priority must be 0 or 1, got {priority}"
+            )
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def is_busy(self) -> bool:
+        return self._busy
+
+    @property
+    def queue_length(self) -> int:
+        """Work items waiting (excluding the one in progress)."""
+        return len(self._queue) + len(self._low_queue)
+
+    @property
+    def backlog(self) -> float:
+        """Total queued work in seconds (excluding the one in progress)."""
+        return sum(item[0] for item in self._queue) + sum(
+            item[0] for item in self._low_queue
+        )
+
+    def utilization(self, horizon: float | None = None) -> float:
+        """Fraction of time busy since t=0 (up to ``horizon`` or now)."""
+        end = self.sim.now if horizon is None else horizon
+        if end <= 0.0:
+            return 0.0
+        busy = self.busy_time
+        if self._busy:
+            busy += min(end, self.sim.now) - self._busy_since
+        return min(1.0, busy / end)
+
+    def kind_time(self, kind: str) -> float:
+        """Cumulative busy seconds spent on one task kind."""
+        if kind not in _KINDS:
+            raise SimulationError(f"unknown task kind {kind!r}")
+        return self._kind_time[kind]
+
+    # ------------------------------------------------------------------ #
+
+    def _start_next(self) -> None:
+        if self._queue:
+            duration, kind, on_done = self._queue.popleft()
+            priority = 0
+        elif self._low_queue:
+            duration, kind, on_done = self._low_queue.popleft()
+            priority = 1
+        else:
+            return
+        self._busy = True
+        self._busy_since = self.sim.now
+        self._current = (duration, kind, on_done, priority)
+        self._completion = self.sim.schedule(duration, self._complete)
+
+    def _preempt(self) -> None:
+        """Pause the in-progress priority-1 item; requeue its remainder."""
+        assert self._current is not None and self._completion is not None
+        duration, kind, on_done, _ = self._current
+        elapsed = self.sim.now - self._busy_since
+        remaining = duration - elapsed
+        self._completion.cancel()
+        self.busy_time += elapsed
+        self._kind_time[kind] += elapsed
+        self.preemptions += 1
+        # Front of the low queue: the item resumes before later service work.
+        self._low_queue.appendleft((max(0.0, remaining), kind, on_done))
+        self._busy = False
+        self._current = None
+        self._completion = None
+        self._start_next()
+
+    def _complete(self) -> None:
+        assert self._current is not None
+        duration, kind, on_done, _ = self._current
+        self.busy_time += duration
+        self._kind_time[kind] += duration
+        self.tasks_done += 1
+        self._busy = False
+        self._current = None
+        self._completion = None
+        if self._queue or self._low_queue:
+            self._start_next()
+        if on_done is not None:
+            on_done()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "busy" if self._busy else "idle"
+        return (
+            f"SerialResource({self.name!r}, {state}, "
+            f"queued={self.queue_length}, done={self.tasks_done})"
+        )

@@ -1,0 +1,84 @@
+"""Client demand specifications.
+
+The heuristic accepts a *client demand* ("client volume" in Algorithm 1):
+the request rate the platform must sustain.  Users usually know their
+demand in one of two currencies — a rate, or a number of concurrent
+closed-loop clients.  :class:`ClientDemand` converts between them with
+Little's law, given the per-request latency floor the model provides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.params import ModelParams
+from repro.errors import ParameterError
+
+__all__ = ["ClientDemand"]
+
+
+@dataclass(frozen=True)
+class ClientDemand:
+    """A target load for planning.
+
+    Exactly one of ``rate`` (requests/s) or ``clients`` (concurrent
+    closed-loop clients) must be given; conversions need the workload's
+    service floor.
+    """
+
+    rate: float | None = None
+    clients: int | None = None
+
+    def __post_init__(self) -> None:
+        if (self.rate is None) == (self.clients is None):
+            raise ParameterError(
+                "specify exactly one of rate= or clients="
+            )
+        if self.rate is not None and self.rate <= 0.0:
+            raise ParameterError(f"rate must be > 0, got {self.rate}")
+        if self.clients is not None and self.clients < 1:
+            raise ParameterError(f"clients must be >= 1, got {self.clients}")
+
+    def as_rate(
+        self,
+        params: ModelParams,
+        app_work: float,
+        reference_power: float,
+    ) -> float:
+        """The demand in requests/s.
+
+        When expressed in clients, Little's law with the *unloaded*
+        per-request latency (one scheduling round plus one service
+        execution on a ``reference_power`` node) gives the rate those
+        clients could at most generate — the right planning target for
+        closed-loop load.
+        """
+        if self.rate is not None:
+            return self.rate
+        assert self.clients is not None
+        latency = self.min_latency(params, app_work, reference_power)
+        return self.clients / latency
+
+    @staticmethod
+    def min_latency(
+        params: ModelParams, app_work: float, reference_power: float
+    ) -> float:
+        """Unloaded per-request latency on a minimal 1-agent/1-server
+        deployment: the Little's-law denominator for closed-loop clients."""
+        if reference_power <= 0.0:
+            raise ParameterError(
+                f"reference_power must be > 0, got {reference_power}"
+            )
+        bandwidth = params.bandwidth
+        sched = (
+            params.agent_sizes.sreq / bandwidth  # client -> root
+            + (params.wreq + params.wrep(1)) / reference_power
+            + params.server_sizes.round_trip / bandwidth
+            + params.wpre / reference_power
+            + params.agent_sizes.srep / bandwidth  # root -> client
+        )
+        service = (
+            params.service_sizes.round_trip / bandwidth
+            + app_work / reference_power
+        )
+        return sched + service

@@ -1,0 +1,85 @@
+"""The DGEMM application model.
+
+The paper evaluates every deployment with DGEMM, "a simple matrix
+multiplication provided as part of the level 3 BLAS package", at sizes
+10x10, 100x100, 200x200, 310x310 and 1000x1000.  The model only needs the
+application work ``Wapp`` in MFlop; :class:`DGEMMWorkload` provides it
+(``2*n*m*k`` flops) plus the operand/result footprints for experiments
+that choose to bill data movement to the service-phase messages (the
+paper does not — clients and data were co-located — so that mode is off
+by default).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.params import LevelSizes, ModelParams
+from repro.errors import ParameterError
+from repro.units import bytes_to_mb, dgemm_mflop
+
+__all__ = ["DGEMMWorkload"]
+
+_BYTES_PER_ELEMENT = 8  # double precision
+
+
+@dataclass(frozen=True)
+class DGEMMWorkload:
+    """A ``C(n x m) = A(n x k) * B(k x m)`` matrix-multiply service.
+
+    Parameters
+    ----------
+    n, m, k:
+        Matrix dimensions; ``m`` and ``k`` default to ``n`` (the paper's
+        square workloads).
+    """
+
+    n: int
+    m: int = 0
+    k: int = 0
+
+    def __post_init__(self) -> None:
+        if self.m == 0:
+            object.__setattr__(self, "m", self.n)
+        if self.k == 0:
+            object.__setattr__(self, "k", self.n)
+        if self.n <= 0 or self.m <= 0 or self.k <= 0:
+            raise ParameterError(
+                f"matrix dimensions must be positive, got "
+                f"({self.n}, {self.m}, {self.k})"
+            )
+
+    @property
+    def name(self) -> str:
+        if self.n == self.m == self.k:
+            return f"dgemm-{self.n}x{self.n}"
+        return f"dgemm-{self.n}x{self.m}x{self.k}"
+
+    @property
+    def app_work(self) -> float:
+        """``Wapp`` in MFlop: 2*n*m*k flops."""
+        return dgemm_mflop(self.n, self.m, self.k)
+
+    @property
+    def input_mb(self) -> float:
+        """Operand footprint (A and B) in Mb."""
+        elements = self.n * self.k + self.k * self.m
+        return bytes_to_mb(elements * _BYTES_PER_ELEMENT)
+
+    @property
+    def output_mb(self) -> float:
+        """Result footprint (C) in Mb."""
+        return bytes_to_mb(self.n * self.m * _BYTES_PER_ELEMENT)
+
+    def service_sizes(self) -> LevelSizes:
+        """Service-phase message sizes when billing operand movement.
+
+        The paper's model keeps service messages at the calibrated
+        server-level sizes (data staged out of band); use this to study
+        the data-shipping regime instead.
+        """
+        return LevelSizes(sreq=self.input_mb, srep=self.output_mb)
+
+    def params_with_data_shipping(self, params: ModelParams) -> ModelParams:
+        """A parameter set whose service messages carry the matrices."""
+        return params.replace(service_sizes=self.service_sizes())

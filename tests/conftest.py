@@ -1,0 +1,32 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.params import ModelParams
+from repro.platforms.pool import NodePool
+
+
+@pytest.fixture
+def params() -> ModelParams:
+    """The paper's Table 3 parameter set (gigabit interconnect)."""
+    return ModelParams()
+
+
+@pytest.fixture
+def small_pool() -> NodePool:
+    """Six homogeneous 265 MFlop/s nodes."""
+    return NodePool.homogeneous(6, 265.0)
+
+
+@pytest.fixture
+def het_pool() -> NodePool:
+    """A small deterministic heterogeneous pool."""
+    return NodePool.heterogeneous([300.0, 260.0, 220.0, 180.0, 140.0, 100.0, 60.0])
+
+
+@pytest.fixture
+def big_pool() -> NodePool:
+    """A 40-node seeded random pool for planner stress tests."""
+    return NodePool.uniform_random(40, low=60.0, high=400.0, seed=123)

@@ -1,0 +1,116 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_subcommands_exist(self):
+        parser = build_parser()
+        for command in ("plan", "predict", "simulate", "compare", "calibrate"):
+            args = None
+            try:
+                if command == "plan":
+                    args = parser.parse_args(
+                        ["plan", "--nodes", "4", "--dgemm", "100"]
+                    )
+                elif command in ("predict", "simulate"):
+                    args = parser.parse_args([command, "x.xml"])
+                elif command == "compare":
+                    args = parser.parse_args(
+                        ["compare", "--nodes", "4", "--dgemm", "100"]
+                    )
+                else:
+                    args = parser.parse_args(["calibrate"])
+            except SystemExit:  # pragma: no cover
+                pytest.fail(f"subcommand {command} failed to parse")
+            assert args.command == command
+
+    def test_missing_subcommand_exits(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestPlanCommand:
+    def test_plan_homogeneous(self, capsys, tmp_path):
+        out = tmp_path / "plan.xml"
+        code = main(
+            ["plan", "--nodes", "6", "--dgemm", "200", "--output", str(out)]
+        )
+        assert code == 0
+        assert out.exists()
+        text = capsys.readouterr().out
+        assert "DeploymentPlan" in text
+
+    def test_plan_random_heterogenized(self, capsys):
+        code = main(
+            [
+                "plan", "--random", "12", "--seed", "3",
+                "--heterogenize", "0.5", "--dgemm", "310", "--show-tree",
+            ]
+        )
+        assert code == 0
+        assert "agent" in capsys.readouterr().out
+
+    def test_plan_with_demand(self, capsys):
+        code = main(
+            ["plan", "--nodes", "20", "--dgemm", "200", "--demand", "30"]
+        )
+        assert code == 0
+
+    def test_plan_explicit_powers(self, capsys):
+        code = main(["plan", "--powers", "300,200,100", "--app-work", "10"])
+        assert code == 0
+
+    def test_missing_pool_is_error(self, capsys):
+        code = main(["plan", "--dgemm", "100"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_missing_workload_is_error(self, capsys):
+        code = main(["plan", "--nodes", "4"])
+        assert code == 2
+
+
+class TestPredictSimulate:
+    def test_predict_and_simulate_round_trip(self, capsys, tmp_path):
+        out = tmp_path / "plan.xml"
+        assert main(
+            ["plan", "--nodes", "4", "--dgemm", "200", "--output", str(out)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["predict", str(out)]) == 0
+        predict_out = capsys.readouterr().out
+        assert "rho" in predict_out
+        assert main(
+            [
+                "simulate", str(out),
+                "--client-interval", "0.2", "--max-clients", "40",
+                "--hold", "4",
+            ]
+        ) == 0
+        sim_out = capsys.readouterr().out
+        assert "measured max sustained throughput" in sim_out
+
+
+class TestCalibrateCommand:
+    def test_calibrate_prints_table3(self, capsys):
+        assert main(["calibrate", "--repetitions", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 3" in out
+        assert "Agent (calibrated)" in out
+
+
+class TestCompareCommand:
+    def test_compare_small_pool(self, capsys):
+        code = main(
+            [
+                "compare", "--nodes", "12", "--dgemm", "200",
+                "--clients", "30", "--duration", "6",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "automatic" in out
+        assert "star" in out

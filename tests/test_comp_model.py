@@ -1,0 +1,101 @@
+"""Computation time models (Eqs. 5-10)."""
+
+import pytest
+
+from repro.core import comp_model
+from repro.core.params import ModelParams
+from repro.errors import ParameterError
+
+
+@pytest.fixture
+def p() -> ModelParams:
+    return ModelParams(wreq=1.0, wfix=0.5, wsel=0.25, wpre=2.0)
+
+
+class TestAgentCompTime:
+    def test_eq5_structure(self, p):
+        # (Wreq + Wfix + Wsel*d) / w
+        assert comp_model.agent_comp_time(p, power=10.0, degree=2) == (
+            pytest.approx((1.0 + 0.5 + 0.5) / 10.0)
+        )
+
+    def test_linear_in_degree(self, p):
+        t1 = comp_model.agent_comp_time(p, 10.0, 1)
+        t2 = comp_model.agent_comp_time(p, 10.0, 2)
+        t3 = comp_model.agent_comp_time(p, 10.0, 3)
+        assert t2 - t1 == pytest.approx(t3 - t2)
+
+    def test_inverse_in_power(self, p):
+        assert comp_model.agent_comp_time(p, 20.0, 4) == pytest.approx(
+            comp_model.agent_comp_time(p, 10.0, 4) / 2.0
+        )
+
+    def test_rejects_bad_inputs(self, p):
+        with pytest.raises(ParameterError):
+            comp_model.agent_comp_time(p, 0.0, 1)
+        with pytest.raises(ParameterError):
+            comp_model.agent_comp_time(p, 10.0, -1)
+
+
+class TestServerCompTime:
+    def test_single_server_closed_form(self, p):
+        # (1 + Wpre/Wapp) / (w/Wapp) == (Wapp + Wpre) / w
+        t = comp_model.server_comp_time(p, [10.0], [8.0])
+        assert t == pytest.approx((8.0 + 2.0) / 10.0)
+
+    def test_two_equal_servers_halve_time(self, p):
+        one = comp_model.server_comp_time(p, [10.0], [8.0])
+        two = comp_model.server_comp_time(p, [10.0, 10.0], [8.0, 8.0])
+        # Prediction is duplicated on both servers, so speedup is slightly
+        # below 2 but the service term halves.
+        assert two < one
+        assert two == pytest.approx((1 + 2 * 2.0 / 8.0) / (2 * 10.0 / 8.0))
+
+    def test_adding_any_server_helps_until_prediction_dominates(self, p):
+        # With Wpre << Wapp, adding even a slow server reduces the time.
+        p2 = p.replace(wpre=1e-6)
+        base = comp_model.server_comp_time(p2, [10.0], [8.0])
+        more = comp_model.server_comp_time(p2, [10.0, 0.1], [8.0, 8.0])
+        assert more < base
+
+    def test_heterogeneous_app_works(self, p):
+        t = comp_model.server_comp_time(p, [10.0, 5.0], [8.0, 4.0])
+        expected = (1 + 2.0 / 8.0 + 2.0 / 4.0) / (10.0 / 8.0 + 5.0 / 4.0)
+        assert t == pytest.approx(expected)
+
+    def test_validation(self, p):
+        with pytest.raises(ParameterError):
+            comp_model.server_comp_time(p, [], [])
+        with pytest.raises(ParameterError):
+            comp_model.server_comp_time(p, [1.0], [1.0, 2.0])
+        with pytest.raises(ParameterError):
+            comp_model.server_comp_time(p, [-1.0], [1.0])
+        with pytest.raises(ParameterError):
+            comp_model.server_comp_time(p, [1.0], [0.0])
+
+
+class TestServerShare:
+    def test_shares_sum_to_one(self, p):
+        shares = comp_model.server_share(p, [10.0, 20.0, 30.0], [8.0] * 3)
+        assert sum(shares) == pytest.approx(1.0)
+
+    def test_equal_servers_equal_shares(self, p):
+        shares = comp_model.server_share(p, [10.0, 10.0], [8.0, 8.0])
+        assert shares[0] == pytest.approx(shares[1])
+
+    def test_faster_server_gets_more(self, p):
+        shares = comp_model.server_share(p, [10.0, 30.0], [8.0, 8.0])
+        assert shares[1] > shares[0]
+
+    def test_share_ratio_tracks_power_when_prediction_negligible(self, p):
+        p2 = p.replace(wpre=1e-9)
+        shares = comp_model.server_share(p2, [10.0, 30.0], [8.0, 8.0])
+        assert shares[1] / shares[0] == pytest.approx(3.0, rel=1e-6)
+
+    def test_too_slow_server_clipped_to_zero(self, p):
+        # A server far slower than the pool cannot even finish its
+        # prediction work in the steady-state window.
+        p2 = p.replace(wpre=5.0)
+        shares = comp_model.server_share(p2, [100.0, 0.5], [8.0, 8.0])
+        assert shares[1] == 0.0
+        assert shares[0] == pytest.approx(1.0)

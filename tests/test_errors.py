@@ -1,0 +1,40 @@
+"""Exception hierarchy contract."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchyContract:
+    def test_all_derive_from_repro_error(self):
+        for name in errors.__all__:
+            exc = getattr(errors, name)
+            assert issubclass(exc, errors.ReproError)
+
+    def test_value_error_family(self):
+        # Parameter and structure problems are ValueErrors so generic
+        # callers can treat them as bad input.
+        assert issubclass(errors.ParameterError, ValueError)
+        assert issubclass(errors.HierarchyError, ValueError)
+
+    def test_runtime_error_family(self):
+        for exc in (
+            errors.PlanningError,
+            errors.DeploymentError,
+            errors.SimulationError,
+            errors.CalibrationError,
+        ):
+            assert issubclass(exc, RuntimeError)
+
+    def test_single_catch_covers_library(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.SimulationError("boom")
+
+    def test_api_surface_matches_all(self):
+        public = {
+            name
+            for name in dir(errors)
+            if isinstance(getattr(errors, name), type)
+            and issubclass(getattr(errors, name), Exception)
+        }
+        assert public == set(errors.__all__)

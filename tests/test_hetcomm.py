@@ -1,0 +1,192 @@
+"""Heterogeneous-communication extension (the paper's future work)."""
+
+import pytest
+
+from repro.core.hierarchy import Hierarchy
+from repro.core.params import ModelParams
+from repro.core.throughput import (
+    agent_sched_throughput,
+    hierarchy_throughput,
+)
+from repro.errors import ParameterError, PlanningError
+from repro.extensions.hetcomm import (
+    HetCommPlanner,
+    HetCommPlatform,
+    het_agent_sched_throughput,
+    het_hierarchy_throughput,
+    het_server_sched_throughput,
+    het_service_throughput,
+)
+from repro.platforms.pool import NodePool
+from repro.units import dgemm_mflop
+
+PARAMS = ModelParams()
+
+
+class TestRateFunctions:
+    def test_agent_rate_reduces_to_homogeneous(self):
+        # With b_i == B the extended agent rate equals Eq. 14's term.
+        for degree in (1, 3, 10):
+            assert het_agent_sched_throughput(
+                PARAMS, 265.0, PARAMS.bandwidth, degree
+            ) == pytest.approx(agent_sched_throughput(PARAMS, 265.0, degree))
+
+    def test_agent_rate_decreasing_in_degree_and_increasing_in_bandwidth(self):
+        rates = [
+            het_agent_sched_throughput(PARAMS, 265.0, 100.0, d)
+            for d in range(1, 20)
+        ]
+        assert all(a > b for a, b in zip(rates, rates[1:]))
+        assert het_agent_sched_throughput(
+            PARAMS, 265.0, 1000.0, 5
+        ) > het_agent_sched_throughput(PARAMS, 265.0, 10.0, 5)
+
+    def test_server_rate_positive_and_monotone(self):
+        slow = het_server_sched_throughput(PARAMS, 265.0, 1.0)
+        fast = het_server_sched_throughput(PARAMS, 265.0, 1000.0)
+        assert 0 < slow < fast
+
+    def test_service_throughput_close_to_eq15_when_uniform(self):
+        # The extended formula bills the scheduling round-trip inside the
+        # per-server cost; with Table 3's tiny messages the difference
+        # from Eq. 15 is far below a percent.
+        from repro.core.throughput import service_throughput
+
+        powers = [265.0, 200.0, 150.0]
+        works = [16.0] * 3
+        uniform = het_service_throughput(
+            PARAMS, powers, [PARAMS.bandwidth] * 3, works
+        )
+        eq15 = service_throughput(PARAMS, powers, works)
+        assert uniform == pytest.approx(eq15, rel=1e-3)
+
+    def test_slow_uplink_throttles_service(self):
+        fast = het_service_throughput(PARAMS, [265.0], [1000.0], [16.0])
+        slow = het_service_throughput(PARAMS, [265.0], [0.01], [16.0])
+        assert slow < fast
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            het_agent_sched_throughput(PARAMS, 0.0, 100.0, 1)
+        with pytest.raises(ParameterError):
+            het_server_sched_throughput(PARAMS, 265.0, 0.0)
+        with pytest.raises(ParameterError):
+            het_service_throughput(PARAMS, [1.0], [1.0, 2.0], [1.0])
+        with pytest.raises(ParameterError):
+            het_service_throughput(PARAMS, [], [], [])
+
+
+class TestPlatform:
+    def test_uniform_constructor(self):
+        platform = HetCommPlatform.uniform(NodePool.homogeneous(4, 100.0), 500.0)
+        assert platform.bandwidth_of("node-0") == 500.0
+
+    def test_clustered_constructor(self):
+        pool = NodePool.homogeneous(5, 100.0)
+        platform = HetCommPlatform.clustered(pool, [2, 3], [1000.0, 100.0])
+        assert platform.bandwidth_of("node-1") == 1000.0
+        assert platform.bandwidth_of("node-4") == 100.0
+
+    def test_missing_bandwidth_rejected(self):
+        pool = NodePool.homogeneous(3, 100.0)
+        with pytest.raises(ParameterError):
+            HetCommPlatform(pool, {"node-0": 1.0})
+
+    def test_clustered_size_mismatch_rejected(self):
+        pool = NodePool.homogeneous(3, 100.0)
+        with pytest.raises(ParameterError):
+            HetCommPlatform.clustered(pool, [1, 1], [1.0, 1.0])
+
+
+class TestHierarchyThroughput:
+    def _pair(self) -> Hierarchy:
+        h = Hierarchy()
+        h.set_root("a", 265.0)
+        h.add_server("s", 265.0, "a")
+        return h
+
+    def test_reduces_to_homogeneous_model(self):
+        h = self._pair()
+        pool = NodePool([])
+        platform = HetCommPlatform(
+            NodePool.heterogeneous([265.0, 265.0], prefix="x"),
+            {"a": PARAMS.bandwidth, "s": PARAMS.bandwidth, "x-0": 1.0, "x-1": 1.0},
+        )
+        del pool
+        rho = het_hierarchy_throughput(h, platform, PARAMS, 16.0)
+        reference = hierarchy_throughput(h, PARAMS, 16.0).throughput
+        assert rho == pytest.approx(reference, rel=1e-3)
+
+    def test_slow_agent_uplink_becomes_bottleneck(self):
+        h = self._pair()
+        fast = HetCommPlatform(
+            NodePool.heterogeneous([1.0], prefix="z"),
+            {"a": 1000.0, "s": 1000.0, "z-0": 1.0},
+        )
+        slow = HetCommPlatform(
+            NodePool.heterogeneous([1.0], prefix="z"),
+            {"a": 0.05, "s": 1000.0, "z-0": 1.0},
+        )
+        assert het_hierarchy_throughput(
+            h, slow, PARAMS, 16.0
+        ) < het_hierarchy_throughput(h, fast, PARAMS, 16.0)
+
+
+class TestPlanner:
+    def test_uniform_platform_matches_core_planner_quality(self):
+        from repro.core.heuristic import HeuristicPlanner
+
+        pool = NodePool.uniform_random(24, low=100, high=400, seed=17)
+        platform = HetCommPlatform.uniform(pool, PARAMS.bandwidth)
+        wapp = dgemm_mflop(310)
+        het_plan = HetCommPlanner(PARAMS).plan(platform, wapp)
+        core_plan = HeuristicPlanner(PARAMS).plan(pool, wapp)
+        assert het_plan.throughput == pytest.approx(
+            core_plan.throughput, rel=0.02
+        )
+
+    def test_plans_are_strictly_valid(self):
+        pool = NodePool.uniform_random(20, low=100, high=400, seed=3)
+        platform = HetCommPlatform.clustered(
+            pool, [10, 10], [1000.0, 100.0]
+        )
+        for size in (10, 200, 1000):
+            plan = HetCommPlanner(PARAMS).plan(platform, dgemm_mflop(size))
+            plan.hierarchy.validate(strict=True)
+
+    def test_avoids_slow_uplink_agents(self):
+        # Two equal-power groups; one sits behind a crawling uplink.  The
+        # planner must pick its agents from the fast-uplink group.
+        pool = NodePool.homogeneous(20, 265.0)
+        platform = HetCommPlatform.clustered(pool, [10, 10], [1000.0, 0.5])
+        plan = HetCommPlanner(PARAMS).plan(platform, dgemm_mflop(200))
+        for agent in plan.hierarchy.agents:
+            assert platform.bandwidth_of(str(agent)) == 1000.0
+
+    def test_homogeneous_planner_misjudges_het_links(self):
+        """The point of the extension: on a mixed-uplink platform the
+        homogeneous planner (fed the mean bandwidth) produces a plan whose
+        *actual* throughput is below the het-aware plan's."""
+        from repro.core.heuristic import HeuristicPlanner
+
+        pool = NodePool.homogeneous(24, 265.0)
+        platform = HetCommPlatform.clustered(pool, [12, 12], [1000.0, 2.0])
+        wapp = dgemm_mflop(200)
+        aware = HetCommPlanner(PARAMS).plan(platform, wapp)
+        naive_h = HeuristicPlanner(
+            PARAMS.with_bandwidth(501.0)
+        ).plan(pool, wapp).hierarchy
+        naive_rho = het_hierarchy_throughput(naive_h, platform, PARAMS, wapp)
+        assert aware.throughput >= naive_rho - 1e-9
+
+    def test_demand_least_resources(self):
+        pool = NodePool.homogeneous(30, 265.0)
+        platform = HetCommPlatform.uniform(pool, 1000.0)
+        plan = HetCommPlanner(PARAMS).plan(platform, dgemm_mflop(200), demand=40.0)
+        assert plan.throughput >= 40.0 - 1e-6
+        assert plan.nodes_used <= 6
+
+    def test_rejects_tiny_pool(self):
+        platform = HetCommPlatform.uniform(NodePool.homogeneous(1, 100.0), 1.0)
+        with pytest.raises(PlanningError):
+            HetCommPlanner(PARAMS).plan(platform, 1.0)

@@ -1,0 +1,95 @@
+"""Heterogeneous-communication model vs the DES.
+
+The extension's rate equations claim to describe the simulated middleware
+when per-node bandwidths are wired into the elements; these tests pin the
+convergence, mirroring test_model_vs_sim.py for the homogeneous model.
+"""
+
+import pytest
+
+from repro.core.baselines import star_deployment
+from repro.core.params import ModelParams
+from repro.extensions.hetcomm import (
+    HetCommPlanner,
+    HetCommPlatform,
+    het_hierarchy_throughput,
+)
+from repro.middleware.client import ClosedLoopClient
+from repro.middleware.system import MiddlewareSystem
+from repro.platforms.pool import NodePool
+from repro.sim.engine import Simulator
+from repro.units import dgemm_mflop
+
+PARAMS = ModelParams()
+
+
+def measure(hierarchy, platform, app_work, clients, duration=15.0):
+    sim = Simulator()
+    system = MiddlewareSystem(
+        sim, hierarchy, PARAMS, app_work,
+        bandwidths=platform.bandwidths,
+    )
+    pool = [ClosedLoopClient(system, f"c{i}") for i in range(clients)]
+    for index, client in enumerate(pool):
+        sim.schedule(index * 0.01, client.start)
+    sim.run_until(duration)
+    return system.completions.rate(duration * 0.4, duration)
+
+
+class TestHetCommConvergence:
+    def test_uniform_bandwidths_match_homogeneous_runs(self):
+        # Wiring explicit uniform bandwidths must not change behaviour.
+        pool = NodePool.homogeneous(4, 265.0)
+        h = star_deployment(pool)
+        platform = HetCommPlatform.uniform(pool, PARAMS.bandwidth)
+        wapp = dgemm_mflop(200)
+        het = measure(h, platform, wapp, clients=40)
+        predicted = het_hierarchy_throughput(h, platform, PARAMS, wapp)
+        assert het == pytest.approx(predicted, rel=0.05)
+
+    def test_slow_server_uplinks_measured(self):
+        # Half the servers sit behind a link that makes the service
+        # message exchange significant; the extended model must predict
+        # the measured rate where the homogeneous model overshoots.
+        pool = NodePool.homogeneous(5, 265.0)
+        h = star_deployment(pool)
+        platform = HetCommPlatform(
+            pool,
+            {
+                "node-0": 1000.0,  # agent
+                "node-1": 1000.0,
+                "node-2": 1000.0,
+                "node-3": 0.005,   # ~26 ms per service round trip
+                "node-4": 0.005,
+            },
+        )
+        wapp = dgemm_mflop(200)
+        predicted = het_hierarchy_throughput(h, platform, PARAMS, wapp)
+        measured = measure(h, platform, wapp, clients=60, duration=20.0)
+        assert measured == pytest.approx(predicted, rel=0.08)
+        # And the slow links genuinely cost throughput.
+        fast = HetCommPlatform.uniform(pool, 1000.0)
+        assert predicted < het_hierarchy_throughput(h, fast, PARAMS, wapp)
+
+    def test_planned_deployment_measures_as_promised(self):
+        pool = NodePool.homogeneous(16, 265.0)
+        platform = HetCommPlatform.clustered(
+            pool, [8, 8], [1000.0, 0.01]
+        )
+        wapp = dgemm_mflop(200)
+        plan = HetCommPlanner(PARAMS).plan(platform, wapp)
+        measured = measure(
+            plan.hierarchy, platform, wapp, clients=80, duration=20.0
+        )
+        assert measured == pytest.approx(plan.throughput, rel=0.08)
+
+    def test_bandwidths_must_cover_all_nodes(self):
+        from repro.errors import DeploymentError
+
+        pool = NodePool.homogeneous(3, 265.0)
+        h = star_deployment(pool)
+        sim = Simulator()
+        with pytest.raises(DeploymentError):
+            MiddlewareSystem(
+                sim, h, PARAMS, 1.0, bandwidths={"node-0": 1.0}
+            )

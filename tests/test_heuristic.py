@@ -1,0 +1,220 @@
+"""The deployment heuristic (Algorithm 1)."""
+
+import pytest
+
+from repro.core.heuristic import (
+    HeuristicPlanner,
+    calc_hier_ser_pow,
+    calc_sch_pow,
+    sort_nodes,
+    supported_children,
+)
+from repro.core.params import ModelParams
+from repro.core.throughput import (
+    agent_sched_throughput,
+    hierarchy_throughput,
+    service_throughput,
+)
+from repro.errors import PlanningError
+from repro.platforms.pool import NodePool
+from repro.units import dgemm_mflop
+
+
+@pytest.fixture
+def p() -> ModelParams:
+    return ModelParams()
+
+
+@pytest.fixture
+def planner(p) -> HeuristicPlanner:
+    return HeuristicPlanner(p)
+
+
+class TestProcedures:
+    """The paper's Table 1 procedures."""
+
+    def test_calc_sch_pow_matches_agent_rate(self, p):
+        assert calc_sch_pow(p, 265.0, 5) == pytest.approx(
+            agent_sched_throughput(p, 265.0, 5)
+        )
+
+    def test_calc_hier_ser_pow_matches_eq15(self, p):
+        assert calc_hier_ser_pow(p, [265.0, 200.0], 16.0) == pytest.approx(
+            service_throughput(p, [265.0, 200.0], [16.0, 16.0])
+        )
+
+    def test_sort_nodes_descending_power(self, p):
+        pool = NodePool.heterogeneous([100.0, 300.0, 200.0])
+        ranked = sort_nodes(pool, p)
+        assert [n.power for n in ranked] == [300.0, 200.0, 100.0]
+
+    def test_sort_nodes_deterministic_on_ties(self, p):
+        pool = NodePool.homogeneous(5, 100.0)
+        first = [n.name for n in sort_nodes(pool, p)]
+        second = [n.name for n in sort_nodes(pool, p)]
+        assert first == second
+
+    def test_supported_children_consistent_with_rate(self, p):
+        target = 500.0
+        d = supported_children(p, 265.0, target)
+        assert d >= 1
+        assert calc_sch_pow(p, 265.0, d) >= target
+        assert calc_sch_pow(p, 265.0, d + 1) < target
+
+    def test_supported_children_zero_when_target_unreachable(self, p):
+        max_rate = calc_sch_pow(p, 265.0, 1)
+        assert supported_children(p, 265.0, max_rate * 2) == 0
+
+    def test_supported_children_grows_as_target_falls(self, p):
+        counts = [
+            supported_children(p, 265.0, target)
+            for target in (1400.0, 1000.0, 500.0, 100.0)
+        ]
+        assert counts == sorted(counts)
+
+    def test_supported_children_rejects_bad_target(self, p):
+        with pytest.raises(PlanningError):
+            supported_children(p, 265.0, 0.0)
+
+
+class TestPaperScenarios:
+    """The qualitative outcomes §5 reports."""
+
+    def test_tiny_grain_one_agent_one_server(self, planner):
+        # Step 6 early exit: DGEMM 10x10 is scheduling-bound at degree 1.
+        pool = NodePool.homogeneous(21, 265.0)
+        plan = planner.plan(pool, dgemm_mflop(10))
+        assert plan.hierarchy.shape_signature() == (2, 1, 1, 1)
+        assert plan.root_degree == 1
+
+    def test_huge_grain_spanning_star(self, planner):
+        # Figure 7: DGEMM 1000x1000 -> the heuristic generates a star.
+        pool = NodePool.homogeneous(40, 265.0)
+        plan = planner.plan(pool, dgemm_mflop(1000))
+        assert len(plan.hierarchy.agents) == 1
+        assert plan.nodes_used == 40
+        assert plan.report.is_service_bound
+
+    def test_medium_grain_beats_star_and_balanced(self, p, planner):
+        # Figure 6: heterogeneous pool, DGEMM 310x310.
+        from repro.core.baselines import balanced_deployment, star_deployment
+        from repro.platforms.background import heterogenize
+
+        pool = heterogenize(
+            NodePool.homogeneous(60, 265.0), loaded_fraction=0.5, seed=3
+        )
+        wapp = dgemm_mflop(310)
+        plan = planner.plan(pool, wapp)
+        star_rho = hierarchy_throughput(star_deployment(pool), p, wapp).throughput
+        balanced_rho = hierarchy_throughput(
+            balanced_deployment(pool, 7), p, wapp
+        ).throughput
+        assert plan.throughput > balanced_rho
+        assert plan.throughput > star_rho
+
+    def test_fast_nodes_become_agents(self, p, planner):
+        pool = NodePool.heterogeneous(
+            [400.0, 390.0] + [100.0] * 30
+        )
+        plan = planner.plan(pool, dgemm_mflop(310))
+        for agent in plan.hierarchy.agents:
+            assert plan.hierarchy.power(agent) >= 390.0
+
+
+class TestDemand:
+    def test_demand_met_with_fewer_nodes(self, planner):
+        pool = NodePool.homogeneous(40, 265.0)
+        wapp = dgemm_mflop(200)
+        free = planner.plan(pool, wapp)
+        capped = planner.plan(pool, wapp, demand=40.0)
+        assert capped.throughput >= 40.0 - 1e-6
+        assert capped.nodes_used < free.nodes_used
+
+    def test_tiny_demand_minimal_deployment(self, planner):
+        pool = NodePool.homogeneous(40, 265.0)
+        plan = planner.plan(pool, dgemm_mflop(200), demand=5.0)
+        assert plan.nodes_used == 2
+
+    def test_unreachable_demand_returns_best_effort(self, planner):
+        pool = NodePool.homogeneous(10, 265.0)
+        wapp = dgemm_mflop(1000)
+        capped = planner.plan(pool, wapp, demand=1e9)
+        free = planner.plan(pool, wapp)
+        assert capped.throughput == pytest.approx(free.throughput, rel=1e-6)
+
+    def test_rejects_nonpositive_demand(self, planner):
+        with pytest.raises(PlanningError):
+            planner.plan(NodePool.homogeneous(4, 100.0), 1.0, demand=0.0)
+
+
+class TestStrategies:
+    def test_incremental_strategy_valid_and_reasonable(self, p):
+        planner = HeuristicPlanner(p, strategy="incremental")
+        pool = NodePool.uniform_random(30, low=80, high=400, seed=11)
+        plan = planner.plan(pool, dgemm_mflop(310))
+        plan.hierarchy.validate(strict=True)
+        assert plan.strategy == "incremental"
+        assert plan.steps  # the trace is recorded
+        assert plan.throughput > 0
+
+    def test_fixed_point_at_least_as_good_as_incremental(self, p):
+        pool = NodePool.uniform_random(30, low=80, high=400, seed=11)
+        wapp = dgemm_mflop(310)
+        fixed = HeuristicPlanner(p).plan(pool, wapp)
+        incremental = HeuristicPlanner(p, strategy="incremental").plan(pool, wapp)
+        assert fixed.throughput >= incremental.throughput - 1e-9
+
+    def test_promotion_ablation_limits_to_star(self, p):
+        planner = HeuristicPlanner(
+            p, strategy="incremental", allow_promotion=False
+        )
+        pool = NodePool.homogeneous(20, 265.0)
+        plan = planner.plan(pool, dgemm_mflop(310))
+        assert len(plan.hierarchy.agents) == 1
+
+    def test_unknown_strategy_rejected(self, p):
+        with pytest.raises(PlanningError):
+            HeuristicPlanner(p, strategy="magic")
+
+    def test_bad_patience_rejected(self, p):
+        with pytest.raises(PlanningError):
+            HeuristicPlanner(p, patience=0)
+
+
+class TestRobustness:
+    def test_two_node_pool(self, planner):
+        plan = planner.plan(NodePool.homogeneous(2, 265.0), 16.0)
+        assert plan.hierarchy.shape_signature() == (2, 1, 1, 1)
+
+    def test_one_node_pool_rejected(self, planner):
+        with pytest.raises(PlanningError):
+            planner.plan(NodePool.homogeneous(1, 265.0), 16.0)
+
+    def test_rejects_nonpositive_work(self, planner):
+        with pytest.raises(PlanningError):
+            planner.plan(NodePool.homogeneous(4, 265.0), 0.0)
+
+    def test_plans_always_strictly_valid(self, planner):
+        for seed in range(5):
+            pool = NodePool.uniform_random(25, low=40, high=500, seed=seed)
+            for size in (10, 100, 310, 1000):
+                plan = planner.plan(pool, dgemm_mflop(size))
+                plan.hierarchy.validate(strict=True)
+
+    def test_deterministic(self, planner):
+        pool = NodePool.uniform_random(25, low=40, high=500, seed=9)
+        a = planner.plan(pool, dgemm_mflop(310))
+        b = planner.plan(pool, dgemm_mflop(310))
+        assert a.hierarchy.nodes == b.hierarchy.nodes
+        assert a.throughput == pytest.approx(b.throughput)
+
+    def test_describe_mentions_throughput(self, planner):
+        plan = planner.plan(NodePool.homogeneous(6, 265.0), 16.0)
+        assert "req/s" in plan.describe()
+
+    def test_report_matches_fresh_evaluation(self, p, planner):
+        pool = NodePool.uniform_random(20, low=60, high=350, seed=2)
+        wapp = dgemm_mflop(310)
+        plan = planner.plan(pool, wapp)
+        fresh = hierarchy_throughput(plan.hierarchy, p, wapp).throughput
+        assert plan.throughput == pytest.approx(fresh)

@@ -1,0 +1,151 @@
+"""Multi-application deployment extension."""
+
+import pytest
+
+from repro.core.params import ModelParams
+from repro.core.throughput import hierarchy_throughput
+from repro.errors import ParameterError, PlanningError
+from repro.extensions.multiapp import (
+    Application,
+    MultiAppPlanner,
+    multiapp_service_ok,
+)
+from repro.platforms.pool import NodePool
+from repro.units import dgemm_mflop
+
+PARAMS = ModelParams()
+
+
+class TestApplication:
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            Application(name="", app_work=1.0, demand=1.0)
+        with pytest.raises(ParameterError):
+            Application(name="a", app_work=0.0, demand=1.0)
+        with pytest.raises(ParameterError):
+            Application(name="a", app_work=1.0, demand=0.0)
+
+
+class TestServiceFeasibility:
+    def test_single_app_matches_eq15_boundary(self):
+        # With own_rate == total_rate the check reduces to the single-app
+        # service model: feasible exactly up to Eq. 15's rate.
+        from repro.core.throughput import service_throughput
+
+        powers = [265.0, 200.0]
+        wapp = 16.0
+        limit = service_throughput(PARAMS, powers, [wapp, wapp])
+        assert multiapp_service_ok(PARAMS, powers, wapp, limit * 0.99, limit * 0.99)
+        assert not multiapp_service_ok(
+            PARAMS, powers, wapp, limit * 1.05, limit * 1.05
+        )
+
+    def test_foreign_prediction_load_reduces_capacity(self):
+        powers = [265.0]
+        wapp = 16.0
+        own = 10.0
+        # Same own rate but a large foreign request stream to predict for.
+        assert multiapp_service_ok(PARAMS, powers, wapp, own, own)
+        assert not multiapp_service_ok(PARAMS, powers, wapp, own, 50_000.0)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            multiapp_service_ok(PARAMS, [1.0], 1.0, 5.0, 2.0)  # own > total
+        assert not multiapp_service_ok(PARAMS, [], 1.0, 1.0, 1.0)
+
+
+class TestPlanner:
+    def test_two_applications_satisfied(self):
+        pool = NodePool.homogeneous(40, 265.0)
+        apps = [
+            Application("dgemm-200", dgemm_mflop(200), demand=60.0),
+            Application("dgemm-310", dgemm_mflop(310), demand=30.0),
+        ]
+        plan = MultiAppPlanner(PARAMS).plan(pool, apps)
+        assert plan.fully_satisfied
+        plan.hierarchy.validate(strict=True)
+        # Dedicated servers: assignments partition the server set.
+        servers = set(plan.hierarchy.servers)
+        assigned = [s for app in apps for s in plan.servers_of(app.name)]
+        assert len(assigned) == len(set(assigned))
+        assert set(assigned) == {str(s) for s in servers}
+
+    def test_per_app_service_capacity_honored(self):
+        pool = NodePool.homogeneous(40, 265.0)
+        apps = [
+            Application("big", dgemm_mflop(310), demand=50.0),
+            Application("small", dgemm_mflop(100), demand=200.0),
+        ]
+        plan = MultiAppPlanner(PARAMS).plan(pool, apps)
+        total = plan.total_rate
+        for app in apps:
+            powers = [
+                pool[name].power for name in plan.servers_of(app.name)
+            ]
+            assert multiapp_service_ok(
+                PARAMS, powers, app.app_work, plan.rates[app.name], total
+            )
+
+    def test_agent_tier_sized_for_total_rate(self):
+        pool = NodePool.homogeneous(60, 265.0)
+        apps = [
+            Application("a", dgemm_mflop(200), demand=150.0),
+            Application("b", dgemm_mflop(200), demand=150.0),
+        ]
+        plan = MultiAppPlanner(PARAMS).plan(pool, apps)
+        # Every agent must schedule the combined 300 req/s stream.
+        report = hierarchy_throughput(
+            plan.hierarchy, PARAMS, dgemm_mflop(200)
+        )
+        assert report.sched >= plan.total_rate * (1 - 1e-9)
+
+    def test_uses_fewer_nodes_for_lower_demand(self):
+        pool = NodePool.homogeneous(60, 265.0)
+        small = MultiAppPlanner(PARAMS).plan(
+            pool, [Application("a", dgemm_mflop(200), demand=20.0)]
+        )
+        large = MultiAppPlanner(PARAMS).plan(
+            pool, [Application("a", dgemm_mflop(200), demand=200.0)]
+        )
+        assert len(small.hierarchy) < len(large.hierarchy)
+
+    def test_overload_scales_down_proportionally(self):
+        pool = NodePool.homogeneous(6, 265.0)
+        apps = [
+            Application("a", dgemm_mflop(310), demand=500.0),
+            Application("b", dgemm_mflop(310), demand=250.0),
+        ]
+        plan = MultiAppPlanner(PARAMS).plan(pool, apps)
+        assert not plan.fully_satisfied
+        assert 0.0 < plan.scale < 1.0
+        # Proportionality preserved.
+        assert plan.rates["a"] / plan.rates["b"] == pytest.approx(2.0)
+        plan.hierarchy.validate(strict=True)
+
+    def test_validation(self):
+        pool = NodePool.homogeneous(10, 265.0)
+        with pytest.raises(PlanningError):
+            MultiAppPlanner(PARAMS).plan(pool, [])
+        dup = [
+            Application("x", 1.0, 1.0),
+            Application("x", 2.0, 1.0),
+        ]
+        with pytest.raises(PlanningError):
+            MultiAppPlanner(PARAMS).plan(pool, dup)
+        tiny = NodePool.homogeneous(2, 265.0)
+        with pytest.raises(PlanningError):
+            MultiAppPlanner(PARAMS).plan(
+                tiny, [Application("a", 1.0, 1.0), Application("b", 1.0, 1.0)]
+            )
+
+    def test_heterogeneous_pool(self):
+        pool = NodePool.uniform_random(50, low=80, high=400, seed=12)
+        apps = [
+            Application("a", dgemm_mflop(200), demand=100.0),
+            Application("b", dgemm_mflop(100), demand=300.0),
+            Application("c", dgemm_mflop(310), demand=20.0),
+        ]
+        plan = MultiAppPlanner(PARAMS).plan(pool, apps)
+        plan.hierarchy.validate(strict=True)
+        assert plan.fully_satisfied
+        assert set(plan.assignments) == {"a", "b", "c"}

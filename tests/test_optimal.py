@@ -1,0 +1,120 @@
+"""Exhaustive reference planner."""
+
+import pytest
+
+from repro.core.optimal import (
+    MAX_EXHAUSTIVE_NODES,
+    build_from_roles,
+    exhaustive_plan,
+)
+from repro.core.params import ModelParams
+from repro.core.throughput import hierarchy_throughput
+from repro.errors import PlanningError
+from repro.platforms.pool import NodePool
+from repro.units import dgemm_mflop
+
+
+@pytest.fixture
+def p() -> ModelParams:
+    return ModelParams()
+
+
+class TestBuildFromRoles:
+    def test_simple_star(self):
+        pool = NodePool.homogeneous(4, 100.0)
+        h = build_from_roles(
+            pool, {"node-0": 3}, ["node-1", "node-2", "node-3"]
+        )
+        assert h.shape_signature() == (4, 1, 3, 1)
+        h.validate(strict=True)
+
+    def test_two_level(self):
+        pool = NodePool.homogeneous(6, 100.0)
+        h = build_from_roles(
+            pool,
+            {"node-0": 2, "node-1": 3},
+            ["node-2", "node-3", "node-4", "node-5"],
+        )
+        h.validate(strict=True)
+        assert len(h.agents) == 2
+
+    def test_degree_one_agent_becomes_root(self):
+        pool = NodePool.heterogeneous([100.0, 300.0, 200.0, 150.0])
+        # node-1 is the fastest but the degree-1 agent must be root.
+        h = build_from_roles(
+            pool, {"node-0": 1, "node-1": 2}, ["node-2", "node-3"]
+        )
+        assert h.root == "node-0"
+        h.validate(strict=True)
+
+    def test_two_degree_one_agents_rejected(self):
+        pool = NodePool.homogeneous(4, 100.0)
+        with pytest.raises(PlanningError):
+            build_from_roles(
+                pool, {"node-0": 1, "node-1": 1}, ["node-2", "node-3"]
+            )
+
+    def test_slot_mismatch_rejected(self):
+        pool = NodePool.homogeneous(4, 100.0)
+        with pytest.raises(PlanningError):
+            build_from_roles(pool, {"node-0": 5}, ["node-1"])
+
+
+class TestExhaustivePlan:
+    def test_tiny_grain_picks_pair(self, p):
+        pool = NodePool.homogeneous(5, 265.0)
+        plan = exhaustive_plan(pool, p, dgemm_mflop(10))
+        assert plan.nodes_used == 2
+
+    def test_huge_grain_uses_all_nodes_as_star(self, p):
+        pool = NodePool.homogeneous(5, 265.0)
+        plan = exhaustive_plan(pool, p, dgemm_mflop(1000))
+        assert plan.nodes_used == 5
+        assert len(plan.hierarchy.agents) == 1
+
+    def test_beats_every_dary_tree(self, p):
+        from repro.core.baselines import dary_deployment
+
+        pool = NodePool.homogeneous(7, 265.0)
+        wapp = dgemm_mflop(150)
+        plan = exhaustive_plan(pool, p, wapp)
+        for degree in range(1, 7):
+            rho = hierarchy_throughput(
+                dary_deployment(pool, degree), p, wapp
+            ).throughput
+            assert plan.throughput >= rho - 1e-9
+
+    def test_service_bound_puts_fast_node_in_server_tier(self, p):
+        # With a service-bound workload the optimum spends the fast node
+        # where the work is: serving, not scheduling.  (The paper's
+        # heuristic always promotes the fastest nodes to agents — this is
+        # exactly the case where that costs throughput; see the ablation
+        # benchmark.)
+        pool = NodePool.heterogeneous([400.0, 100.0, 100.0, 100.0])
+        plan = exhaustive_plan(pool, p, dgemm_mflop(150))
+        assert "node-0" in plan.hierarchy.servers
+        assert plan.hierarchy.agents == ["node-1"]
+
+    def test_demand_prefers_fewer_nodes(self, p):
+        pool = NodePool.homogeneous(6, 265.0)
+        wapp = dgemm_mflop(200)
+        free = exhaustive_plan(pool, p, wapp)
+        capped = exhaustive_plan(pool, p, wapp, demand=20.0)
+        assert capped.throughput >= 20.0
+        assert capped.nodes_used <= free.nodes_used
+
+    def test_size_guard(self, p):
+        pool = NodePool.homogeneous(MAX_EXHAUSTIVE_NODES + 1, 100.0)
+        with pytest.raises(PlanningError):
+            exhaustive_plan(pool, p, 1.0)
+
+    def test_result_is_strictly_valid(self, p):
+        pool = NodePool.heterogeneous([300.0, 250.0, 180.0, 120.0, 70.0])
+        for size in (10, 200, 1000):
+            plan = exhaustive_plan(pool, p, dgemm_mflop(size))
+            plan.hierarchy.validate(strict=True)
+            # Reported throughput must match a fresh evaluation.
+            fresh = hierarchy_throughput(
+                plan.hierarchy, p, dgemm_mflop(size)
+            ).throughput
+            assert plan.throughput == pytest.approx(fresh)

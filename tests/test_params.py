@@ -1,0 +1,84 @@
+"""Model parameter set (Table 3)."""
+
+import pytest
+
+from repro.core.params import DEFAULT_PARAMS, LevelSizes, ModelParams
+from repro.errors import ParameterError
+
+
+class TestLevelSizes:
+    def test_round_trip_sum(self):
+        sizes = LevelSizes(sreq=2.0, srep=3.0)
+        assert sizes.round_trip == 5.0
+
+    @pytest.mark.parametrize("sreq,srep", [(0.0, 1.0), (1.0, 0.0), (-1.0, 1.0)])
+    def test_rejects_nonpositive(self, sreq, srep):
+        with pytest.raises(ParameterError):
+            LevelSizes(sreq=sreq, srep=srep)
+
+
+class TestDefaults:
+    def test_table3_agent_values(self):
+        p = DEFAULT_PARAMS
+        assert p.wreq == pytest.approx(1.7e-1)
+        assert p.wfix == pytest.approx(4.0e-3)
+        assert p.wsel == pytest.approx(5.4e-3)
+        assert p.agent_sizes.sreq == pytest.approx(5.3e-3)
+        assert p.agent_sizes.srep == pytest.approx(5.4e-3)
+
+    def test_table3_server_values(self):
+        p = DEFAULT_PARAMS
+        assert p.wpre == pytest.approx(6.4e-3)
+        assert p.server_sizes.sreq == pytest.approx(5.3e-5)
+        assert p.server_sizes.srep == pytest.approx(6.4e-5)
+
+    def test_service_sizes_default_to_server_sizes(self):
+        assert DEFAULT_PARAMS.service_sizes == DEFAULT_PARAMS.server_sizes
+
+    def test_gigabit_default(self):
+        assert DEFAULT_PARAMS.bandwidth == 1000.0
+
+
+class TestWrep:
+    def test_linear_in_degree(self):
+        p = ModelParams()
+        assert p.wrep(0) == pytest.approx(p.wfix)
+        assert p.wrep(10) == pytest.approx(p.wfix + 10 * p.wsel)
+
+    def test_difference_is_wsel(self):
+        p = ModelParams()
+        assert p.wrep(7) - p.wrep(6) == pytest.approx(p.wsel)
+
+    def test_rejects_negative_degree(self):
+        with pytest.raises(ParameterError):
+            ModelParams().wrep(-1)
+
+
+class TestValidationAndCopies:
+    def test_rejects_negative_work(self):
+        with pytest.raises(ParameterError):
+            ModelParams(wreq=-1.0)
+
+    def test_rejects_nonpositive_bandwidth(self):
+        with pytest.raises(ParameterError):
+            ModelParams(bandwidth=0.0)
+
+    def test_with_bandwidth_copies(self):
+        p = ModelParams()
+        q = p.with_bandwidth(100.0)
+        assert q.bandwidth == 100.0
+        assert p.bandwidth == 1000.0  # original untouched
+        assert q.wreq == p.wreq
+
+    def test_replace_arbitrary_field(self):
+        q = ModelParams().replace(wpre=0.5)
+        assert q.wpre == 0.5
+
+    def test_explicit_service_sizes_kept(self):
+        sizes = LevelSizes(sreq=1.0, srep=2.0)
+        p = ModelParams(service_sizes=sizes)
+        assert p.service_sizes == sizes
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            ModelParams().wreq = 1.0  # type: ignore[misc]

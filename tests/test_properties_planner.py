@@ -1,0 +1,157 @@
+"""Property-based tests on the planners (hypothesis)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.baselines import star_deployment
+from repro.core.heuristic import HeuristicPlanner
+from repro.core.hierarchy import Role
+from repro.core.optimal import exhaustive_plan
+from repro.core.params import ModelParams
+from repro.core.throughput import hierarchy_throughput
+from repro.platforms.pool import NodePool
+
+PARAMS = ModelParams()
+
+pools = st.lists(
+    st.floats(min_value=20.0, max_value=800.0),
+    min_size=2,
+    max_size=24,
+).map(NodePool.heterogeneous)
+
+small_pools = st.lists(
+    st.floats(min_value=20.0, max_value=800.0),
+    min_size=2,
+    max_size=6,
+).map(NodePool.heterogeneous)
+
+app_works = st.floats(min_value=1e-3, max_value=5e3)
+
+
+class TestPlanValidity:
+    @given(pools, app_works)
+    @settings(max_examples=60, deadline=None)
+    def test_heuristic_always_produces_valid_plan(self, pool, wapp):
+        plan = HeuristicPlanner(PARAMS).plan(pool, wapp)
+        plan.hierarchy.validate(strict=True)
+        # Every deployed node comes from the pool with its rated power.
+        for node in plan.hierarchy:
+            assert str(node) in pool
+            assert plan.hierarchy.power(node) == pool[str(node)].power
+
+    @given(pools, app_works)
+    @settings(max_examples=40, deadline=None)
+    def test_heuristic_servers_are_leaves_agents_internal(self, pool, wapp):
+        plan = HeuristicPlanner(PARAMS).plan(pool, wapp)
+        h = plan.hierarchy
+        for node in h:
+            if h.role(node) is Role.SERVER:
+                assert not h.children(node)
+            elif node != h.root:
+                assert len(h.children(node)) >= 2
+
+    @given(pools, app_works)
+    @settings(max_examples=40, deadline=None)
+    def test_incremental_strategy_also_valid(self, pool, wapp):
+        plan = HeuristicPlanner(PARAMS, strategy="incremental").plan(pool, wapp)
+        plan.hierarchy.validate(strict=True)
+
+
+class TestPlanQuality:
+    @given(pools, app_works)
+    @settings(max_examples=40, deadline=None)
+    def test_heuristic_at_least_matches_best_trivial_baseline(self, pool, wapp):
+        """The heuristic must never lose to the two deployments anyone
+        would write by hand: the full star and the minimal pair."""
+        plan = HeuristicPlanner(PARAMS).plan(pool, wapp)
+        sorted_pool = pool.sorted_by_power()
+        star_rho = hierarchy_throughput(
+            star_deployment(sorted_pool), PARAMS, wapp
+        ).throughput
+        pair_rho = hierarchy_throughput(
+            star_deployment(sorted_pool.take(2)), PARAMS, wapp
+        ).throughput
+        assert plan.throughput >= max(star_rho, pair_rho) * (1 - 1e-9)
+
+    @given(small_pools, app_works)
+    @settings(max_examples=30, deadline=None)
+    def test_windowed_heuristic_within_factor_two_of_optimal(self, pool, wapp):
+        """Exhaustive search bounds the windowed heuristic's regret.
+
+        The paper's fastest-as-agent policy has *unbounded* regret on
+        adversarial pools (a very fast node wasted on scheduling — see
+        test_windowed_fixes_pathological_pool).  The windowed extension
+        also tries slow-agent windows, keeping it within 2x of optimal on
+        every pool hypothesis can find.
+        """
+        plan = HeuristicPlanner(PARAMS, agent_selection="windowed").plan(
+            pool, wapp
+        )
+        best = exhaustive_plan(pool, PARAMS, wapp)
+        assert plan.throughput >= 0.5 * best.throughput - 1e-9
+
+    @given(pools, app_works)
+    @settings(max_examples=30, deadline=None)
+    def test_windowed_never_worse_than_fastest(self, pool, wapp):
+        fastest = HeuristicPlanner(PARAMS).plan(pool, wapp)
+        windowed = HeuristicPlanner(PARAMS, agent_selection="windowed").plan(
+            pool, wapp
+        )
+        assert windowed.throughput >= fastest.throughput - 1e-9
+
+    def test_windowed_fixes_pathological_pool(self):
+        """One very fast + one slow node, service-bound workload: the
+        paper's policy parks the fast node as the agent (rho ~ 0.01 req/s);
+        putting the slow node in charge lets the fast node serve
+        (rho ~ 10 req/s)."""
+        pool = NodePool.heterogeneous([10000.0, 10.0])
+        wapp = 1000.0
+        fastest = HeuristicPlanner(PARAMS).plan(pool, wapp)
+        windowed = HeuristicPlanner(PARAMS, agent_selection="windowed").plan(
+            pool, wapp
+        )
+        best = exhaustive_plan(pool, PARAMS, wapp)
+        assert fastest.throughput < 0.01 * best.throughput
+        assert windowed.throughput == pytest.approx(best.throughput, rel=1e-6)
+
+    @given(
+        st.integers(min_value=2, max_value=24),
+        st.floats(min_value=50.0, max_value=500.0),
+        app_works,
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_homogeneous_pools_heuristic_close_to_optimal_dary(
+        self, n, power, wapp
+    ):
+        """On homogeneous pools the d-ary search of [10] is provably
+        optimal among trees using the same node count; the heuristic must
+        achieve at least 89% of it (the paper's Table 4 floor)."""
+        from repro.core.homogeneous import HomogeneousPlanner
+
+        pool = NodePool.homogeneous(n, power)
+        heuristic = HeuristicPlanner(PARAMS).plan(pool, wapp)
+        optimal = HomogeneousPlanner(PARAMS).plan(pool, wapp)
+        assert heuristic.throughput >= 0.89 * optimal.throughput - 1e-9
+
+
+class TestDemandProperties:
+    @given(pools, app_works, st.floats(min_value=0.1, max_value=1e4))
+    @settings(max_examples=40, deadline=None)
+    def test_demand_never_uses_more_nodes_than_free_plan(
+        self, pool, wapp, demand
+    ):
+        planner = HeuristicPlanner(PARAMS)
+        free = planner.plan(pool, wapp)
+        capped = planner.plan(pool, wapp, demand=demand)
+        capped.hierarchy.validate(strict=True)
+        if capped.throughput >= demand:
+            assert capped.nodes_used <= free.nodes_used
+
+    @given(pools, app_works)
+    @settings(max_examples=30, deadline=None)
+    def test_determinism(self, pool, wapp):
+        a = HeuristicPlanner(PARAMS).plan(pool, wapp)
+        b = HeuristicPlanner(PARAMS).plan(pool, wapp)
+        assert a.hierarchy.nodes == b.hierarchy.nodes
+        assert a.throughput == b.throughput

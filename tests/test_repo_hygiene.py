@@ -1,0 +1,71 @@
+"""Repository hygiene: examples and benchmarks stay importable.
+
+Examples and benchmark files are exercised manually / by the benchmark
+runner; this guard keeps them from silently rotting when the library API
+moves (compile + import-resolution check, no execution)."""
+
+import ast
+import py_compile
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+SCRIPT_DIRS = ("examples", "benchmarks")
+
+
+def _scripts() -> list[Path]:
+    out: list[Path] = []
+    for directory in SCRIPT_DIRS:
+        out.extend(sorted((REPO / directory).glob("*.py")))
+    return out
+
+
+@pytest.mark.parametrize("path", _scripts(), ids=lambda p: p.name)
+def test_script_compiles(path, tmp_path):
+    py_compile.compile(str(path), cfile=str(tmp_path / "out.pyc"), doraise=True)
+
+
+@pytest.mark.parametrize("path", _scripts(), ids=lambda p: p.name)
+def test_script_imports_resolve(path):
+    """Every `from repro...` import in a script names a real attribute."""
+    tree = ast.parse(path.read_text())
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module:
+            if not node.module.startswith("repro"):
+                continue
+            module = __import__(node.module, fromlist=["_"])
+            for alias in node.names:
+                assert hasattr(module, alias.name), (
+                    f"{path.name}: {node.module}.{alias.name} is gone"
+                )
+
+
+def test_every_public_module_has_docstring():
+    src = REPO / "src" / "repro"
+    missing = []
+    for path in src.rglob("*.py"):
+        tree = ast.parse(path.read_text())
+        if ast.get_docstring(tree) is None and path.name != "__init__.py":
+            missing.append(str(path.relative_to(REPO)))
+        # Package __init__ files must be documented too, except empty ones.
+        if path.name == "__init__.py" and path.read_text().strip():
+            if ast.get_docstring(tree) is None:
+                missing.append(str(path.relative_to(REPO)))
+    assert not missing, f"modules without docstrings: {missing}"
+
+
+def test_every_public_function_and_class_documented():
+    src = REPO / "src" / "repro"
+    undocumented = []
+    for path in src.rglob("*.py"):
+        tree = ast.parse(path.read_text())
+        for node in tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.ClassDef)):
+                if node.name.startswith("_"):
+                    continue
+                if ast.get_docstring(node) is None:
+                    undocumented.append(
+                        f"{path.relative_to(REPO)}::{node.name}"
+                    )
+    assert not undocumented, f"missing docstrings: {undocumented}"

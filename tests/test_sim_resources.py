@@ -1,0 +1,128 @@
+"""M(r,s,w) serial resource with priority preemption."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+from repro.sim.resources import SerialResource
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def res(sim) -> SerialResource:
+    return SerialResource(sim, "node")
+
+
+class TestSerialExecution:
+    def test_tasks_run_back_to_back(self, sim, res):
+        done = []
+        res.submit(1.0, "compute", lambda: done.append(sim.now))
+        res.submit(2.0, "compute", lambda: done.append(sim.now))
+        sim.run()
+        assert done == [1.0, 3.0]
+
+    def test_no_internal_parallelism(self, sim, res):
+        # send + recv + compute serialize: the model's core assumption.
+        done = []
+        res.submit(1.0, "send", lambda: done.append(sim.now))
+        res.submit(1.0, "recv", lambda: done.append(sim.now))
+        res.submit(1.0, "compute", lambda: done.append(sim.now))
+        sim.run()
+        assert done == [1.0, 2.0, 3.0]
+
+    def test_zero_duration_task(self, sim, res):
+        done = []
+        res.submit(0.0, "send", lambda: done.append(sim.now))
+        sim.run()
+        assert done == [0.0]
+
+    def test_callback_optional(self, sim, res):
+        res.submit(1.0, "compute")
+        sim.run()
+        assert res.tasks_done == 1
+
+    def test_rejects_bad_inputs(self, res):
+        with pytest.raises(SimulationError):
+            res.submit(-1.0, "compute")
+        with pytest.raises(SimulationError):
+            res.submit(1.0, "think")
+        with pytest.raises(SimulationError):
+            res.submit(1.0, "compute", priority=2)
+
+
+class TestAccounting:
+    def test_busy_time_accumulates(self, sim, res):
+        res.submit(1.5, "compute")
+        res.submit(0.5, "send")
+        sim.run()
+        assert res.busy_time == pytest.approx(2.0)
+        assert res.kind_time("compute") == pytest.approx(1.5)
+        assert res.kind_time("send") == pytest.approx(0.5)
+
+    def test_utilization(self, sim, res):
+        res.submit(2.0, "compute")
+        sim.run()
+        sim.run_until(4.0)
+        assert res.utilization() == pytest.approx(0.5)
+
+    def test_backlog_and_queue_length(self, sim, res):
+        res.submit(1.0, "compute")
+        res.submit(2.0, "compute")
+        res.submit(3.0, "compute", priority=1)
+        # First task started immediately; two queued.
+        assert res.queue_length == 2
+        assert res.backlog == pytest.approx(5.0)
+        sim.run()
+        assert res.queue_length == 0
+
+    def test_unknown_kind_time_rejected(self, res):
+        with pytest.raises(SimulationError):
+            res.kind_time("nap")
+
+
+class TestPriorityPreemption:
+    def test_high_priority_preempts_low(self, sim, res):
+        order = []
+        res.submit(10.0, "compute", lambda: order.append(("low", sim.now)),
+                   priority=1)
+        sim.schedule(2.0, lambda: res.submit(
+            1.0, "compute", lambda: order.append(("high", sim.now))))
+        sim.run()
+        # High runs 2->3; low resumes and finishes at 11 (work conserved).
+        assert order == [("high", 3.0), ("low", 11.0)]
+        assert res.preemptions == 1
+
+    def test_work_is_conserved_across_preemption(self, sim, res):
+        res.submit(4.0, "compute", priority=1)
+        sim.schedule(1.0, lambda: res.submit(0.5, "send"))
+        sim.schedule(2.0, lambda: res.submit(0.5, "send"))
+        sim.run()
+        assert res.busy_time == pytest.approx(5.0)
+        assert res.kind_time("compute") == pytest.approx(4.0)
+
+    def test_high_does_not_preempt_high(self, sim, res):
+        order = []
+        res.submit(2.0, "compute", lambda: order.append(("a", sim.now)))
+        sim.schedule(1.0, lambda: res.submit(
+            0.1, "compute", lambda: order.append(("b", sim.now))))
+        sim.run()
+        assert order == [("a", 2.0), ("b", 2.1)]
+        assert res.preemptions == 0
+
+    def test_resumed_task_runs_before_later_low_work(self, sim, res):
+        order = []
+        res.submit(4.0, "compute", lambda: order.append("first-low"), priority=1)
+        sim.schedule(1.0, lambda: res.submit(1.0, "compute", lambda: order.append("high")))
+        sim.schedule(1.5, lambda: res.submit(1.0, "compute", lambda: order.append("second-low"), priority=1))
+        sim.run()
+        assert order == ["high", "first-low", "second-low"]
+
+    def test_low_priority_runs_when_idle(self, sim, res):
+        done = []
+        res.submit(1.0, "compute", lambda: done.append(sim.now), priority=1)
+        sim.run()
+        assert done == [1.0]
