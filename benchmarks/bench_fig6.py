@@ -21,8 +21,7 @@ import pytest
 
 from repro.analysis.experiments import measure_load_curve
 from repro.analysis.report import ascii_chart, ascii_table, format_rate
-from repro.core.baselines import balanced_deployment, star_deployment
-from repro.core.heuristic import HeuristicPlanner
+from repro.api import PlanningSession
 from repro.core.params import DEFAULT_PARAMS
 from repro.core.throughput import hierarchy_throughput
 from repro.platforms.background import heterogenize
@@ -45,11 +44,16 @@ def _pool() -> NodePool:
 
 
 def _deployments(pool: NodePool):
-    automatic = HeuristicPlanner(DEFAULT_PARAMS).plan(pool, WAPP).hierarchy
+    session = PlanningSession()
     return {
-        "automatic": automatic,
-        "balanced": balanced_deployment(pool, MIDDLE_AGENTS),
-        "star": star_deployment(pool),
+        "automatic": session.plan(pool=pool, app_work=WAPP).hierarchy,
+        "balanced": session.plan(
+            pool=pool, app_work=WAPP, method="balanced",
+            options={"middle_agents": MIDDLE_AGENTS},
+        ).hierarchy,
+        "star": session.plan(
+            pool=pool, app_work=WAPP, method="star"
+        ).hierarchy,
     }
 
 

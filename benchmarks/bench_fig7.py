@@ -16,8 +16,7 @@ import pytest
 
 from repro.analysis.experiments import measure_load_curve
 from repro.analysis.report import ascii_chart, ascii_table, format_rate
-from repro.core.baselines import balanced_deployment
-from repro.core.heuristic import HeuristicPlanner
+from repro.api import PlanningSession
 from repro.core.params import DEFAULT_PARAMS
 from repro.core.throughput import hierarchy_throughput
 from repro.platforms.background import heterogenize
@@ -38,10 +37,14 @@ def test_fig7_star_vs_balanced_dgemm1000(benchmark, emit):
         loaded_fraction=0.5,
         seed=42,
     )
-    automatic = HeuristicPlanner(DEFAULT_PARAMS).plan(pool, WAPP).hierarchy
+    session = PlanningSession()
+    automatic = session.plan(pool=pool, app_work=WAPP).hierarchy
     deployments = {
         "automatic/star": automatic,
-        "balanced": balanced_deployment(pool, MIDDLE_AGENTS),
+        "balanced": session.plan(
+            pool=pool, app_work=WAPP, method="balanced",
+            options={"middle_agents": MIDDLE_AGENTS},
+        ).hierarchy,
     }
 
     def run():

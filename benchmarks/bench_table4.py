@@ -21,8 +21,7 @@ import pytest
 
 from repro.analysis.experiments import run_fixed_load
 from repro.analysis.report import ascii_table, format_rate
-from repro.core.heuristic import HeuristicPlanner
-from repro.core.homogeneous import HomogeneousPlanner
+from repro.api import PlanRequest, PlanningSession
 from repro.core.params import DEFAULT_PARAMS
 from repro.platforms.pool import NodePool
 from repro.units import dgemm_mflop
@@ -41,20 +40,35 @@ DES_CLIENTS = {10: 80, 100: 120, 310: 80, 1000: 40}
 @pytest.mark.benchmark(group="table4")
 def test_table4_percent_of_optimal(benchmark, emit):
     def run():
+        # Both planners on every row, fanned out through one session:
+        # a 2 x len(ROWS) request grid via the registry API.
+        session = PlanningSession()
+        requests = [
+            PlanRequest(
+                pool=NodePool.homogeneous(nodes, 265.0),
+                app_work=dgemm_mflop(size),
+                method=method,
+            )
+            for size, nodes, _paper_pct in ROWS
+            for method in ("homogeneous", "heuristic")
+        ]
+        deployments = session.plan_many(requests, parallel=True)
         table = []
-        for size, nodes, paper_pct in ROWS:
-            pool = NodePool.homogeneous(nodes, 265.0)
-            wapp = dgemm_mflop(size)
-            optimal = HomogeneousPlanner(DEFAULT_PARAMS).plan(pool, wapp)
-            heuristic = HeuristicPlanner(DEFAULT_PARAMS).plan(pool, wapp)
+        for (size, nodes, paper_pct), optimal, heuristic in zip(
+            ROWS, deployments[::2], deployments[1::2]
+        ):
             percent = 100.0 * heuristic.throughput / optimal.throughput
             measured = run_fixed_load(
-                heuristic.hierarchy, DEFAULT_PARAMS, wapp,
+                heuristic, DEFAULT_PARAMS, dgemm_mflop(size),
                 clients=DES_CLIENTS[size],
                 duration=6.0 if size <= 100 else 12.0,
             ).throughput
+            opt_degree = optimal.hierarchy.degree(optimal.hierarchy.root)
+            heur_degree = heuristic.hierarchy.degree(
+                heuristic.hierarchy.root
+            )
             table.append(
-                (size, nodes, optimal.degree, heuristic.root_degree,
+                (size, nodes, opt_degree, heur_degree,
                  percent, paper_pct, optimal.throughput,
                  heuristic.throughput, measured)
             )

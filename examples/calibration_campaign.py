@@ -19,7 +19,7 @@ Run:  python examples/calibration_campaign.py
 
 from __future__ import annotations
 
-from repro import NodePool, dgemm_mflop, plan_deployment
+from repro import NodePool, PlanningSession, dgemm_mflop
 from repro.calibration import calibrate, render_table3
 from repro.core.params import DEFAULT_PARAMS
 
@@ -47,8 +47,11 @@ def main() -> None:
     # plan matches what ground-truth parameters would have produced.
     pool = NodePool.uniform_random(40, low=80.0, high=400.0, seed=5)
     wapp = dgemm_mflop(310)
-    with_truth = plan_deployment(pool, wapp, params=truth)
-    with_calibrated = plan_deployment(pool, wapp, params=result.params)
+    session = PlanningSession()
+    with_truth = session.plan(pool=pool, app_work=wapp, params=truth)
+    with_calibrated = session.plan(
+        pool=pool, app_work=wapp, params=result.params
+    )
     print(
         f"plan with ground truth : {with_truth.describe()}\n"
         f"plan with calibration  : {with_calibrated.describe()}"

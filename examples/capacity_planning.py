@@ -16,7 +16,7 @@ Run:  python examples/capacity_planning.py
 
 from __future__ import annotations
 
-from repro import NodePool, dgemm_mflop, plan_deployment
+from repro import NodePool, PlanRequest, PlanningSession, dgemm_mflop
 from repro.analysis import ascii_table, run_fixed_load
 from repro.core.params import DEFAULT_PARAMS
 from repro.workloads import ClientDemand
@@ -31,10 +31,18 @@ def main() -> None:
     print(f"pool: {pool.describe()}")
     print(f"workload: DGEMM {DGEMM_SIZE}x{DGEMM_SIZE} ({wapp:g} MFlop/request)")
 
+    # One request per demand level; the session fans them out in
+    # parallel and caches each cell.
+    session = PlanningSession()
+    requests = [
+        PlanRequest(pool=pool, app_work=wapp, demand=demand)
+        for demand in DEMANDS
+    ]
+    deployments = session.plan_many(requests, parallel=True)
+
     rows = []
     plans = {}
-    for demand in DEMANDS:
-        deployment = plan_deployment(pool, wapp, demand=demand)
+    for demand, deployment in zip(DEMANDS, deployments):
         plans[demand] = deployment
         n, a, s, h = deployment.hierarchy.shape_signature()
         met = "yes" if deployment.throughput >= demand else "NO (best effort)"
@@ -63,7 +71,7 @@ def main() -> None:
     target = 100.0
     deployment = plans[target]
     result = run_fixed_load(
-        deployment.hierarchy, DEFAULT_PARAMS, wapp,
+        deployment, DEFAULT_PARAMS, wapp,  # Deployments are accepted directly
         clients=120, duration=15.0,
     )
     print(

@@ -18,12 +18,12 @@ Run:  python examples/federated_platform.py
 
 from __future__ import annotations
 
-from repro import NodePool, dgemm_mflop
+from repro import NodePool, PlanningSession, dgemm_mflop
 from repro.analysis import ascii_table
 from repro.core.heuristic import HeuristicPlanner
 from repro.core.params import DEFAULT_PARAMS
 from repro.extensions.hetcomm import (
-    HetCommPlanner,
+    HetCommOptions,
     HetCommPlatform,
     het_hierarchy_throughput,
 )
@@ -38,11 +38,23 @@ def main() -> None:
     )
     wapp = dgemm_mflop(200)
 
-    plan = HetCommPlanner(DEFAULT_PARAMS).plan(platform, wapp)
-    print(
-        f"link-aware plan: rho = {plan.throughput:.1f} req/s, "
-        f"{plan.nodes_used} nodes used"
+    # The hetcomm extension is a registered planner: describe the links
+    # in its typed options and plan through the standard session.
+    deployment = PlanningSession().plan(
+        pool=pool,
+        app_work=wapp,
+        method="hetcomm",
+        options=HetCommOptions(
+            group_sizes=tuple(s[1] for s in SITES),
+            group_bandwidths=tuple(s[2] for s in SITES),
+        ),
     )
+    het_rho = deployment.extras["het_throughput"]
+    print(
+        f"link-aware plan: rho = {het_rho:.1f} req/s, "
+        f"{deployment.nodes_used} nodes used"
+    )
+    plan_hierarchy = deployment.hierarchy
 
     # Where did the roles land, per site?
     rows = []
@@ -50,8 +62,8 @@ def main() -> None:
     for name, size, bandwidth in SITES:
         names = {f"node-{i:02d}" for i in range(offset, offset + size)}
         offset += size
-        agents = sum(1 for a in plan.hierarchy.agents if str(a) in names)
-        servers = sum(1 for s in plan.hierarchy.servers if str(s) in names)
+        agents = sum(1 for a in plan_hierarchy.agents if str(a) in names)
+        servers = sum(1 for s in plan_hierarchy.servers if str(s) in names)
         rows.append([name, f"{bandwidth:g}", size, agents, servers,
                      size - agents - servers])
     print(
@@ -77,7 +89,7 @@ def main() -> None:
     )
     print(
         f"link-awareness advantage: "
-        f"{plan.throughput / naive_actual:.2f}x"
+        f"{het_rho / naive_actual:.2f}x"
     )
 
 

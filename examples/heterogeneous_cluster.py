@@ -23,13 +23,12 @@ Run:  python examples/heterogeneous_cluster.py
 from __future__ import annotations
 
 from repro import (
+    BalancedOptions,
     NodePool,
-    balanced_deployment,
+    PlanningSession,
     dgemm_mflop,
     heterogenize,
-    plan_deployment,
     rate_pool,
-    star_deployment,
 )
 from repro.analysis import ascii_table, compare_deployments
 from repro.core.params import DEFAULT_PARAMS
@@ -50,12 +49,18 @@ def main() -> None:
 
     wapp = dgemm_mflop(DGEMM_SIZE)
 
-    # 3. Three deployments of the same nodes.
-    automatic = plan_deployment(pool, wapp).hierarchy
+    # 3. Three deployments of the same nodes — every method is one
+    #    registry name away from the same session.
+    session = PlanningSession()
     deployments = {
-        "automatic": automatic,
-        "balanced": balanced_deployment(pool, middle_agents=9),
-        "star": star_deployment(pool),
+        "automatic": session.plan(pool=pool, app_work=wapp).hierarchy,
+        "balanced": session.plan(
+            pool=pool, app_work=wapp, method="balanced",
+            options=BalancedOptions(middle_agents=9),
+        ).hierarchy,
+        "star": session.plan(
+            pool=pool, app_work=wapp, method="star"
+        ).hierarchy,
     }
     shapes = {
         label: h.shape_signature() for label, h in deployments.items()

@@ -3,30 +3,34 @@
 
 Shows how the chosen deployment morphs across the paper's three regimes
 (agent-bound, balanced, service-bound) and how the planning methods
-compare: the heterogeneous heuristic (both growth strategies and both
-agent-selection policies), the homogeneous-optimal d-ary planner, the
-exhaustive optimum (small pools), and the baselines.
+compare.  Every method — the heterogeneous heuristic (both growth
+strategies and both agent-selection policies), the homogeneous-optimal
+d-ary planner, the exhaustive optimum, the baselines, and the extension
+planners — is reached through the same :class:`PlanningSession` by its
+registry name, so adding a planner adds a gallery row for free.
 
 Run:  python examples/planner_gallery.py
 """
 
 from __future__ import annotations
 
-from repro import NodePool, dgemm_mflop
+from repro import (
+    REGISTRY,
+    HeuristicOptions,
+    NodePool,
+    PlanningSession,
+    dgemm_mflop,
+)
 from repro.analysis import ascii_table
-from repro.core.heuristic import HeuristicPlanner
-from repro.core.homogeneous import HomogeneousPlanner
-from repro.core.optimal import exhaustive_plan
-from repro.core.params import DEFAULT_PARAMS
-from repro.core.planner import plan_deployment
 
 
 def regime_gallery() -> None:
     """One heuristic, three regimes."""
     pool = NodePool.uniform_random(60, low=80.0, high=400.0, seed=13)
+    session = PlanningSession()
     rows = []
     for size in (10, 50, 150, 310, 600, 1000):
-        plan = HeuristicPlanner(DEFAULT_PARAMS).plan(pool, dgemm_mflop(size))
+        plan = session.plan(pool=pool, app_work=dgemm_mflop(size))
         n, a, s, h = plan.hierarchy.shape_signature()
         rows.append(
             [f"{size}x{size}", n, a, s, h,
@@ -44,41 +48,38 @@ def regime_gallery() -> None:
 
 
 def method_gallery() -> None:
-    """Every planning method on one small pool (exhaustive included)."""
+    """Every registered planning method on one small pool."""
     pool = NodePool.heterogeneous(
         [380.0, 350.0, 280.0, 220.0, 160.0, 120.0, 90.0, 60.0]
     )
     wapp = dgemm_mflop(200)
+    session = PlanningSession()
     rows = []
 
-    methods = {
-        "heuristic (fixed-point)": lambda: HeuristicPlanner(
-            DEFAULT_PARAMS
-        ).plan(pool, wapp),
-        "heuristic (windowed agents)": lambda: HeuristicPlanner(
-            DEFAULT_PARAMS, agent_selection="windowed"
-        ).plan(pool, wapp),
-        "heuristic (incremental)": lambda: HeuristicPlanner(
-            DEFAULT_PARAMS, strategy="incremental"
-        ).plan(pool, wapp),
-        "homogeneous d-ary [10]": lambda: HomogeneousPlanner(
-            DEFAULT_PARAMS
-        ).plan(pool, wapp),
-        "exhaustive optimum": lambda: exhaustive_plan(
-            pool, DEFAULT_PARAMS, wapp
+    # Heuristic variants via typed options.
+    variants = {
+        "heuristic (fixed-point)": HeuristicOptions(),
+        "heuristic (windowed agents)": HeuristicOptions(
+            agent_selection="windowed"
         ),
+        "heuristic (incremental)": HeuristicOptions(strategy="incremental"),
     }
-    for label, build in methods.items():
-        plan = build()
+    for label, options in variants.items():
+        plan = session.plan(
+            pool=pool, app_work=wapp, method="heuristic", options=options
+        )
         n, a, s, h = plan.hierarchy.shape_signature()
         rows.append([label, n, a, s, h, f"{plan.throughput:.1f}"])
-    for label in ("star", "balanced", "chain"):
-        kwargs = {"middle_agents": 2} if label == "balanced" else (
-            {"agents": 2} if label == "chain" else {}
-        )
-        deployment = plan_deployment(pool, wapp, method=label, **kwargs)
-        n, a, s, h = deployment.hierarchy.shape_signature()
-        rows.append([label, n, a, s, h, f"{deployment.throughput:.1f}"])
+
+    # Every other registered planner by name — extensions included.
+    for method in REGISTRY.available():
+        if method == "heuristic":
+            continue
+        kwargs = {"demand": 10.0} if method == "multiapp" else {}
+        plan = session.plan(pool=pool, app_work=wapp, method=method, **kwargs)
+        n, a, s, h = plan.hierarchy.shape_signature()
+        rows.append([method, n, a, s, h, f"{plan.throughput:.1f}"])
+
     print(
         ascii_table(
             ["method", "nodes", "agents", "servers", "height", "rho (req/s)"],

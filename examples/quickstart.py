@@ -1,22 +1,27 @@
 #!/usr/bin/env python
 """Quickstart: plan, inspect, serialize and simulate a deployment.
 
-The 60-second tour of the library:
+The 60-second tour of the library, built on the typed planning API:
 
 1. describe a resource pool (here: 30 heterogeneous nodes);
-2. plan a deployment for a DGEMM 310x310 service with the paper's
-   heuristic (Algorithm 1);
+2. open a :class:`~repro.api.PlanningSession` and plan a deployment for
+   a DGEMM 310x310 service with the paper's heuristic (Algorithm 1);
 3. inspect the model's throughput prediction (Eq. 16) and the tree;
-4. write the GoDIET XML a deployment tool would consume;
-5. launch the plan on the simulated middleware and measure its actual
+4. rank the heuristic against the intuitive baselines (every planner is
+   one registry name away — ``session.plan(..., method="star")``);
+5. write the GoDIET XML a deployment tool would consume;
+6. launch the plan on the simulated middleware and measure its actual
    sustained throughput under a client ramp (§5.1 protocol).
+
+Registering your own planner is a one-file change; see
+``repro.core.registry`` or `python -c "import repro; help(repro)"`.
 
 Run:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-from repro import NodePool, dgemm_mflop, plan_deployment
+from repro import NodePool, PlanRequest, PlanningSession, dgemm_mflop
 from repro.deploy import DeploymentPlan, GoDIET, plan_to_xml
 from repro.workloads import ClientRamp
 
@@ -26,8 +31,12 @@ def main() -> None:
     pool = NodePool.uniform_random(30, low=80.0, high=400.0, seed=7)
     print(f"pool: {pool.describe()}")
 
-    # 2. Plan for DGEMM 310x310 (Wapp = 2 * 310^3 flops ~ 59.6 MFlop).
-    deployment = plan_deployment(pool, app_work=dgemm_mflop(310))
+    # 2. A session caches results and dispatches through the planner
+    #    registry.  PlanRequest is a frozen, eagerly-validated problem
+    #    description; kwargs to session.plan() build one implicitly.
+    session = PlanningSession()
+    request = PlanRequest(pool=pool, app_work=dgemm_mflop(310))
+    deployment = session.plan(request)
     print(f"plan: {deployment.describe()}")
 
     # 3. The model's view: which phase limits throughput, and where.
@@ -41,7 +50,18 @@ def main() -> None:
     print("hierarchy:")
     print(deployment.hierarchy.describe())
 
-    # 4. Serialize — this is the file a GoDIET-style launcher consumes.
+    # 4. Rank against the baselines — one call, every method by name.
+    ranked = session.rank(
+        pool, dgemm_mflop(310), methods=("heuristic", "star", "balanced")
+    )
+    for entry in ranked:
+        nodes, agents, servers, height = entry.shape
+        print(
+            f"  {entry.method:<10} rho={entry.predicted:8.1f} req/s  "
+            f"(nodes={nodes}, agents={agents}, height={height})"
+        )
+
+    # 5. Serialize — this is the file a GoDIET-style launcher consumes.
     plan = DeploymentPlan(
         hierarchy=deployment.hierarchy,
         params=deployment.params,
@@ -52,7 +72,7 @@ def main() -> None:
     print(f"plan XML: {len(xml.splitlines())} lines (showing the first 6)")
     print("\n".join(xml.splitlines()[:6]))
 
-    # 5. Measure: launch on the simulated platform, ramp clients until
+    # 6. Measure: launch on the simulated platform, ramp clients until
     #    throughput plateaus, hold, and report the sustained rate.
     platform = GoDIET().launch(plan, pool=pool)
     ramp = ClientRamp(

@@ -82,6 +82,25 @@ class LoadCurve:
         return [(int(c), float(r)) for c, r in zip(self.clients, self.rates)]
 
 
+def _as_hierarchy(deployment: Hierarchy | object) -> Hierarchy:
+    """Accept a bare :class:`Hierarchy` or any planning result carrying one.
+
+    Lets :class:`repro.core.registry.Deployment` (and the per-planner
+    result objects like ``HeuristicPlan``) flow straight from
+    :meth:`repro.api.PlanningSession.plan` into the measurement harness
+    without unwrapping at every call site.
+    """
+    if isinstance(deployment, Hierarchy):
+        return deployment
+    hierarchy = getattr(deployment, "hierarchy", None)
+    if isinstance(hierarchy, Hierarchy):
+        return hierarchy
+    raise SimulationError(
+        f"expected a Hierarchy or an object with a .hierarchy, "
+        f"got {type(deployment).__name__}"
+    )
+
+
 def _build_system(
     hierarchy: Hierarchy,
     params: ModelParams,
@@ -117,7 +136,7 @@ def run_fixed_load(
         raise SimulationError(
             f"warmup_fraction must be in [0, 1), got {warmup_fraction}"
         )
-    sim, system = _build_system(hierarchy, params, app_work, seed)
+    sim, system = _build_system(_as_hierarchy(hierarchy), params, app_work, seed)
     pool = [
         ClosedLoopClient(system, f"client-{i:04d}") for i in range(clients)
     ]
@@ -191,7 +210,7 @@ def max_sustained_throughput(
     seed: int = 0,
 ) -> RampResult:
     """Run the paper's ramp-until-plateau protocol on a deployment."""
-    sim, system = _build_system(hierarchy, params, app_work, seed)
+    sim, system = _build_system(_as_hierarchy(hierarchy), params, app_work, seed)
     del sim
     ramp = ramp if ramp is not None else ClientRamp()
     return ramp.run(system)

@@ -1,0 +1,392 @@
+"""Typed planning API: :class:`PlanRequest` and :class:`PlanningSession`.
+
+This is the front door of the library.  A :class:`PlanRequest` is a
+frozen, validated description of one planning problem — pool, workload,
+demand, parameters, planner name and typed options.  A
+:class:`PlanningSession` executes requests through the
+:data:`~repro.core.registry.REGISTRY`:
+
+* :meth:`PlanningSession.plan` — one request, with result caching;
+* :meth:`PlanningSession.plan_many` — a batch (e.g. a scenario grid from
+  :func:`scenario_grid`), optionally fanned out over a
+  :class:`concurrent.futures.ThreadPoolExecutor`; results are
+  deterministic and identical with or without ``parallel``;
+* :meth:`PlanningSession.rank` — the cross-planner comparison the CLI's
+  ``compare`` subcommand and :mod:`repro.analysis.compare` build on:
+  plan one pool with several methods, optionally measure each deployment
+  in the discrete-event simulator, and sort best-first.
+
+Quickstart::
+
+    from repro import NodePool, PlanningSession, dgemm_mflop
+
+    session = PlanningSession()
+    deployment = session.plan(
+        pool=NodePool.uniform_random(50, low=80, high=400, seed=7),
+        app_work=dgemm_mflop(310),
+    )
+    print(deployment.describe())
+
+Every planner — including the extensions (``hetcomm``, ``multiapp``,
+``redeploy``) and any third-party planner registered with
+:func:`~repro.core.registry.register_planner` — is reachable by name via
+``PlanRequest.method``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+from collections.abc import Iterable, Mapping, Sequence
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+from repro.core.params import ModelParams
+from repro.core.registry import (
+    REGISTRY,
+    Deployment,
+    PlannerOptions,
+    PlannerRegistry,
+    default_middle_agents,
+)
+from repro.errors import PlanningError
+from repro.platforms.pool import NodePool
+
+__all__ = [
+    "PlanRequest",
+    "PlanningSession",
+    "RankedPlan",
+    "scenario_grid",
+    "default_middle_agents",
+]
+
+
+def _freeze(value: object) -> object:
+    """Recursively convert ``value`` into a hashable cache-key component."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return (
+            type(value).__name__,
+            tuple(
+                (f.name, _freeze(getattr(value, f.name)))
+                for f in dataclasses.fields(value)
+            ),
+        )
+    if isinstance(value, Mapping):
+        return tuple(sorted((k, _freeze(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    if isinstance(value, (set, frozenset)):
+        return tuple(sorted(_freeze(v) for v in value))
+    return value
+
+
+@dataclass(frozen=True)
+class PlanRequest:
+    """One planning problem, fully specified.
+
+    Parameters
+    ----------
+    pool:
+        Available compute nodes.
+    app_work:
+        Application work ``Wapp`` per request, MFlop.
+    demand:
+        Optional client demand (requests/s); demand-capable planners stop
+        at the cheapest satisfying deployment.
+    params:
+        Model parameters; ``None`` means the Table 3 calibration.
+    method:
+        A planner name from :meth:`PlannerRegistry.available`.
+    options:
+        Planner options: the planner's typed dataclass (e.g.
+        :class:`~repro.core.registry.HeuristicOptions`), a plain mapping
+        (coerced and validated eagerly), or ``None`` for defaults.
+    seed:
+        Seed for planners/measurements that randomize; planning itself is
+        deterministic.
+    label:
+        Free-form tag carried through to results (useful in grids).
+    """
+
+    pool: NodePool
+    app_work: float
+    demand: float | None = None
+    params: ModelParams | None = None
+    method: str = "heuristic"
+    options: PlannerOptions | Mapping[str, object] | None = None
+    seed: int = 0
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.pool, NodePool):
+            raise PlanningError(
+                f"pool must be a NodePool, got {type(self.pool).__name__}"
+            )
+        if len(self.pool) < 1:
+            raise PlanningError("pool must not be empty")
+        if self.app_work <= 0.0:
+            raise PlanningError(
+                f"app_work must be > 0, got {self.app_work}"
+            )
+        if self.demand is not None and self.demand <= 0.0:
+            raise PlanningError(
+                f"demand must be > 0 when given, got {self.demand}"
+            )
+        if not self.method or not isinstance(self.method, str):
+            raise PlanningError(
+                f"method must be a planner name, got {self.method!r}"
+            )
+
+    def replace(self, **changes: object) -> "PlanRequest":
+        """A copy with the given fields replaced."""
+        return dataclasses.replace(self, **changes)
+
+    def cache_key(self) -> tuple:
+        """Hashable identity of this request (label excluded)."""
+        return (
+            self.method,
+            tuple((n.name, n.power) for n in self.pool),
+            self.app_work,
+            self.demand,
+            _freeze(self.params),
+            _freeze(self.options),
+            self.seed,
+        )
+
+
+@dataclass(frozen=True)
+class RankedPlan:
+    """One entry of a cross-planner comparison."""
+
+    method: str
+    deployment: Deployment
+    predicted: float
+    measured: float | None = None
+
+    @property
+    def throughput(self) -> float:
+        """Measured throughput when available, else the model prediction."""
+        return self.measured if self.measured is not None else self.predicted
+
+    @property
+    def shape(self) -> tuple[int, int, int, int]:
+        """(nodes, agents, servers, height) of the deployment tree."""
+        return self.deployment.hierarchy.shape_signature()
+
+
+def scenario_grid(
+    pools: Sequence[NodePool],
+    app_works: Sequence[float],
+    methods: Sequence[str] = ("heuristic",),
+    demands: Sequence[float | None] = (None,),
+    seeds: Sequence[int] = (0,),
+    params: ModelParams | None = None,
+    options_by_method: Mapping[str, object] | None = None,
+) -> list[PlanRequest]:
+    """The cross product pool x workload x method x demand x seed.
+
+    Returns one :class:`PlanRequest` per grid cell, labelled
+    ``"pool{i}/w{j}/{method}"`` so results stay attributable after a
+    parallel :meth:`PlanningSession.plan_many` fan-out.
+    """
+    if not pools or not app_works or not methods:
+        raise PlanningError(
+            "scenario_grid needs at least one pool, app_work and method"
+        )
+    options_by_method = options_by_method or {}
+    grid = []
+    for i, pool in enumerate(pools):
+        for j, app_work in enumerate(app_works):
+            for method in methods:
+                for demand in demands:
+                    for seed in seeds:
+                        grid.append(
+                            PlanRequest(
+                                pool=pool,
+                                app_work=app_work,
+                                demand=demand,
+                                params=params,
+                                method=method,
+                                options=options_by_method.get(method),
+                                seed=seed,
+                                label=f"pool{i}/w{j}/{method}",
+                            )
+                        )
+    return grid
+
+
+class PlanningSession:
+    """Stateful planning front end: registry dispatch + result caching.
+
+    Parameters
+    ----------
+    params:
+        Default model parameters applied to requests that carry none.
+    registry:
+        Planner registry; defaults to the global
+        :data:`~repro.core.registry.REGISTRY`.
+    cache:
+        Memoize results by :meth:`PlanRequest.cache_key` (planning is
+        deterministic, so repeated cells of a grid are free).
+    """
+
+    def __init__(
+        self,
+        params: ModelParams | None = None,
+        registry: PlannerRegistry | None = None,
+        cache: bool = True,
+    ):
+        self.params = params
+        self.registry = registry if registry is not None else REGISTRY
+        self._cache_enabled = cache
+        self._cache: dict[tuple, Deployment] = {}
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+
+    # -------------------------------------------------------------- #
+
+    def plan(
+        self, request: PlanRequest | None = None, /, **kwargs: object
+    ) -> Deployment:
+        """Execute one request (or build one from keyword arguments)."""
+        if request is None:
+            request = PlanRequest(**kwargs)  # type: ignore[arg-type]
+        elif kwargs:
+            request = request.replace(**kwargs)
+        if request.params is None and self.params is not None:
+            request = request.replace(params=self.params)
+        if not self._cache_enabled:
+            return self.registry.plan(request)
+        key = request.cache_key()
+        with self._lock:
+            cached = self._cache.get(key)
+        if cached is not None:
+            with self._lock:
+                self._hits += 1
+            return cached
+        deployment = self.registry.plan(request)
+        with self._lock:
+            self._misses += 1
+            self._cache.setdefault(key, deployment)
+        return deployment
+
+    def plan_many(
+        self,
+        requests: Iterable[PlanRequest],
+        parallel: bool = False,
+        max_workers: int | None = None,
+    ) -> list[Deployment]:
+        """Execute a batch of requests, preserving order.
+
+        With ``parallel=True`` the batch fans out over a thread pool;
+        planning is deterministic and the cache is thread-safe, so the
+        result list is identical either way.
+        """
+        requests = list(requests)
+        if not requests:
+            return []
+        if parallel and len(requests) > 1:
+            with ThreadPoolExecutor(max_workers=max_workers) as executor:
+                return list(executor.map(self.plan, requests))
+        return [self.plan(request) for request in requests]
+
+    def rank(
+        self,
+        pool: NodePool,
+        app_work: float,
+        methods: Sequence[str] | None = None,
+        demand: float | None = None,
+        options_by_method: Mapping[str, object] | None = None,
+        measure: bool = False,
+        clients: int = 50,
+        duration: float = 10.0,
+        seed: int = 0,
+    ) -> list[RankedPlan]:
+        """Plan one pool with several methods and sort best-first.
+
+        Methods default to every registered non-extension planner except
+        the exhaustive reference.  Methods the pool cannot support (e.g.
+        ``balanced`` on a tiny pool) are skipped rather than failing the
+        whole comparison.  With ``measure=True`` each deployment also runs
+        under a fixed client load in the discrete-event simulator and the
+        ranking uses the measured rate.
+        """
+        from repro.core.registry import (
+            CAP_EXACT,
+            CAP_EXTENSION,
+        )
+
+        if methods is None:
+            methods = [
+                planner.name
+                for planner in self.registry
+                if not (
+                    {CAP_EXACT, CAP_EXTENSION} & planner.capabilities
+                )
+            ]
+        else:
+            # Validate names up front: an unknown/misspelled method is an
+            # error, not a silently-skipped row.  Only genuine pool-shape
+            # failures are skipped in the loop below.
+            for method in methods:
+                self.registry.get(method)
+        options_by_method = options_by_method or {}
+        ranked: list[RankedPlan] = []
+        for method in methods:
+            try:
+                deployment = self.plan(
+                    pool=pool,
+                    app_work=app_work,
+                    demand=demand,
+                    method=method,
+                    options=options_by_method.get(method),
+                    seed=seed,
+                )
+            except PlanningError:
+                continue  # pool shape does not admit this method
+            measured = None
+            if measure:
+                from repro.analysis.experiments import run_fixed_load
+
+                result = run_fixed_load(
+                    deployment.hierarchy,
+                    deployment.params,
+                    app_work,
+                    clients=clients,
+                    duration=duration,
+                    seed=seed,
+                )
+                measured = result.throughput
+            ranked.append(
+                RankedPlan(
+                    method=method,
+                    deployment=deployment,
+                    predicted=deployment.throughput,
+                    measured=measured,
+                )
+            )
+        if not ranked:
+            raise PlanningError(
+                f"no ranked methods succeeded on this pool "
+                f"(tried {list(methods)})"
+            )
+        ranked.sort(key=lambda entry: entry.throughput, reverse=True)
+        return ranked
+
+    # -------------------------------------------------------------- #
+
+    def cache_info(self) -> Mapping[str, int]:
+        """``{"hits": ..., "misses": ..., "size": ...}``."""
+        with self._lock:
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "size": len(self._cache),
+            }
+
+    def clear_cache(self) -> None:
+        with self._lock:
+            self._cache.clear()
+            self._hits = 0
+            self._misses = 0

@@ -7,9 +7,16 @@ Subcommands mirror the paper's workflow:
 * ``predict``   — evaluate a plan's model throughput (Eq. 16);
 * ``simulate``  — launch a plan on the simulated platform and measure its
   sustained throughput under a client ramp (§5.1 protocol);
-* ``compare``   — rank the heuristic against the star/balanced baselines
-  on one pool (the Figure 6/7 experiment in miniature);
+* ``compare``   — rank planning methods on one pool (the Figure 6/7
+  experiment in miniature, via :meth:`PlanningSession.rank`);
+* ``planners``  — list every registered planner, its capabilities and
+  its typed options;
 * ``calibrate`` — run the §5.1 calibration campaign and print Table 3.
+
+``plan --method`` choices come straight from the planner registry, so
+extension and third-party planners appear automatically; planner options
+are passed as repeatable ``--opt key=value`` flags and validated against
+the planner's typed option dataclass.
 
 Pool specification flags are shared: ``--nodes/--power`` builds a
 homogeneous pool, ``--powers`` an explicit heterogeneous one, ``--random``
@@ -20,14 +27,15 @@ background-load treatment.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from pathlib import Path
 
-from repro.analysis.compare import compare_deployments
 from repro.analysis.report import ascii_table, format_rate
+from repro.api import PlanningSession
 from repro.calibration.table3 import calibrate, render_table3
 from repro.core.params import DEFAULT_PARAMS
-from repro.core.planner import PLANNING_METHODS, plan_deployment
+from repro.core.registry import REGISTRY
 from repro.deploy.godiet import GoDIET
 from repro.deploy.plan import DeploymentPlan
 from repro.deploy.xml_io import plan_from_xml, plan_to_xml
@@ -78,14 +86,24 @@ def _add_workload_args(parser: argparse.ArgumentParser) -> None:
 
 
 def _pool_from_args(args: argparse.Namespace) -> NodePool:
-    if args.powers:
+    if args.powers is not None:
         powers = [float(p) for p in args.powers.split(",") if p.strip()]
+        if not powers:
+            raise ReproError("--powers must list at least one node power")
         pool = NodePool.heterogeneous(powers)
-    elif args.random:
+    elif args.random is not None:
+        if args.random <= 0:
+            raise ReproError(
+                f"pool size must be positive, got --random {args.random}"
+            )
         pool = NodePool.uniform_random(
             args.random, low=args.low, high=args.high, seed=args.seed
         )
-    elif args.nodes:
+    elif args.nodes is not None:
+        if args.nodes <= 0:
+            raise ReproError(
+                f"pool size must be positive, got --nodes {args.nodes}"
+            )
         pool = NodePool.homogeneous(args.nodes, args.power)
     else:
         raise ReproError(
@@ -106,6 +124,21 @@ def _app_work_from_args(args: argparse.Namespace) -> float:
     raise ReproError("specify a workload with --dgemm or --app-work")
 
 
+def _options_from_args(args: argparse.Namespace) -> dict[str, str] | None:
+    """Parse repeatable ``--opt key=value`` flags into a mapping."""
+    if not getattr(args, "opt", None):
+        return None
+    options: dict[str, str] = {}
+    for item in args.opt:
+        key, separator, value = item.partition("=")
+        if not separator or not key:
+            raise ReproError(
+                f"--opt expects key=value, got {item!r}"
+            )
+        options[key.strip().replace("-", "_")] = value.strip()
+    return options
+
+
 # ---------------------------------------------------------------------- #
 # subcommands
 
@@ -113,8 +146,14 @@ def _app_work_from_args(args: argparse.Namespace) -> float:
 def _cmd_plan(args: argparse.Namespace) -> int:
     pool = _pool_from_args(args)
     app_work = _app_work_from_args(args)
-    deployment = plan_deployment(
-        pool, app_work, demand=args.demand, method=args.method
+    session = PlanningSession()
+    deployment = session.plan(
+        pool=pool,
+        app_work=app_work,
+        demand=args.demand,
+        method=args.method,
+        options=_options_from_args(args),
+        seed=args.seed,
     )
     plan = DeploymentPlan(
         hierarchy=deployment.hierarchy,
@@ -169,21 +208,15 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 def _cmd_compare(args: argparse.Namespace) -> int:
     pool = _pool_from_args(args)
     app_work = _app_work_from_args(args)
-    middle = max(1, int(round(len(pool) ** 0.5)) - 1)
-    deployments = {
-        "automatic": plan_deployment(pool, app_work).hierarchy,
-        "star": plan_deployment(pool, app_work, method="star").hierarchy,
-    }
-    try:
-        deployments["balanced"] = plan_deployment(
-            pool, app_work, method="balanced", middle_agents=middle
-        ).hierarchy
-    except ReproError:
-        pass  # pool too small for a balanced tree
-    rows = compare_deployments(
-        deployments,
-        DEFAULT_PARAMS,
+    session = PlanningSession()
+    methods = tuple(
+        m.strip() for m in args.methods.split(",") if m.strip()
+    ) if args.methods else ("heuristic", "star", "balanced")
+    ranked = session.rank(
+        pool,
         app_work,
+        methods=methods,
+        measure=True,
         clients=args.clients,
         duration=args.duration,
         seed=args.seed,
@@ -191,17 +224,47 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     print(
         ascii_table(
             headers=[
-                "deployment", "nodes", "agents", "servers", "height",
+                "method", "nodes", "agents", "servers", "height",
                 "predicted", "measured",
             ],
             rows=[
                 [
-                    row.label, row.nodes, row.agents, row.servers, row.height,
-                    format_rate(row.predicted), format_rate(row.measured),
+                    entry.method, *entry.shape,
+                    format_rate(entry.predicted),
+                    format_rate(entry.measured or 0.0),
                 ]
-                for row in rows
+                for entry in ranked
             ],
             title=f"Deployment comparison on {pool.describe()}",
+        )
+    )
+    return 0
+
+
+def _cmd_planners(args: argparse.Namespace) -> int:
+    rows = []
+    for planner in REGISTRY:
+        fields = dataclasses.fields(planner.options_type)
+        options = ", ".join(
+            f"{f.name}={f.default!r}"
+            if f.default is not dataclasses.MISSING
+            else f.name
+            for f in fields
+        ) or "-"
+        rows.append(
+            [
+                planner.name,
+                ", ".join(sorted(planner.capabilities)),
+                planner.options_type.__name__,
+                options,
+            ]
+        )
+    print(
+        ascii_table(
+            headers=["planner", "capabilities", "options type", "options"],
+            rows=rows,
+            title="Registered planners (repro-deploy plan --method NAME "
+            "--opt key=value)",
         )
     )
     return 0
@@ -236,7 +299,13 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workload_args(p_plan)
     p_plan.add_argument("--demand", type=float, help="client demand (req/s)")
     p_plan.add_argument(
-        "--method", choices=PLANNING_METHODS, default="heuristic"
+        "--method", choices=REGISTRY.available(), default="heuristic",
+        help="planner name (see `repro-deploy planners`)",
+    )
+    p_plan.add_argument(
+        "--opt", action="append", metavar="KEY=VALUE",
+        help="planner option (repeatable); validated against the "
+        "planner's typed options",
     )
     p_plan.add_argument("--output", type=str, help="write plan XML here")
     p_plan.add_argument(
@@ -257,13 +326,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.set_defaults(func=_cmd_simulate)
 
     p_cmp = sub.add_parser(
-        "compare", help="heuristic vs star vs balanced on one pool"
+        "compare", help="rank planning methods on one pool"
     )
     _add_pool_args(p_cmp)
     _add_workload_args(p_cmp)
+    p_cmp.add_argument(
+        "--methods", type=str,
+        help="comma-separated planner names "
+        "(default heuristic,star,balanced)",
+    )
     p_cmp.add_argument("--clients", type=int, default=100)
     p_cmp.add_argument("--duration", type=float, default=15.0)
     p_cmp.set_defaults(func=_cmd_compare)
+
+    p_list = sub.add_parser(
+        "planners", help="list registered planners and their options"
+    )
+    p_list.set_defaults(func=_cmd_planners)
 
     p_cal = sub.add_parser("calibrate", help="run the Table 3 campaign")
     p_cal.add_argument("--repetitions", type=int, default=100)

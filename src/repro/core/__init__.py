@@ -14,7 +14,10 @@ This package contains the paper's primary contribution:
   planner for homogeneous pools (reference [10] of the paper);
 * :mod:`repro.core.optimal` — exhaustive reference planners for small pools;
 * :mod:`repro.core.baselines` — star / balanced / chain deployments (§5.3);
-* :mod:`repro.core.planner` — the high-level planning façade.
+* :mod:`repro.core.registry` — the pluggable planner registry and typed
+  per-planner options (the modern entry point, with
+  :mod:`repro.api` on top);
+* :mod:`repro.core.planner` — the deprecated high-level planning façade.
 """
 
 from repro.core.params import LevelSizes, ModelParams
@@ -29,9 +32,35 @@ from repro.core.throughput import (
 from repro.core.heuristic import HeuristicPlanner
 from repro.core.homogeneous import HomogeneousPlanner
 from repro.core.baselines import balanced_deployment, chain_deployment, star_deployment
+from repro.core.registry import (
+    REGISTRY,
+    BalancedOptions,
+    ChainOptions,
+    Deployment,
+    ExhaustiveOptions,
+    HeuristicOptions,
+    HomogeneousOptions,
+    PlannerOptions,
+    PlannerRegistry,
+    StarOptions,
+    default_middle_agents,
+    register_planner,
+)
 from repro.core.planner import plan_deployment
 
 __all__ = [
+    "REGISTRY",
+    "Deployment",
+    "PlannerOptions",
+    "PlannerRegistry",
+    "register_planner",
+    "default_middle_agents",
+    "HeuristicOptions",
+    "HomogeneousOptions",
+    "ExhaustiveOptions",
+    "StarOptions",
+    "BalancedOptions",
+    "ChainOptions",
     "LevelSizes",
     "ModelParams",
     "Hierarchy",

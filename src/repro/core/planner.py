@@ -1,33 +1,35 @@
-"""High-level planning façade.
+"""High-level planning facade — **deprecated** in favour of the typed API.
 
-:func:`plan_deployment` is the single entry point most users need: give it
-a node pool, a workload, and optionally a client demand, and it returns a
-validated deployment with its model throughput report.  The ``method``
-argument selects between the paper's heuristic (default), the
-homogeneous-optimal planner, the exhaustive reference (small pools only)
-and the intuitive baselines.
+:func:`plan_deployment` remains as a thin back-compat shim over the
+planner registry: it builds a :class:`repro.api.PlanRequest` from its
+untyped ``**options`` grab-bag and dispatches through
+:data:`repro.core.registry.REGISTRY`, emitting a
+:class:`DeprecationWarning`.  New code should use::
+
+    from repro import PlanningSession
+
+    deployment = PlanningSession().plan(pool=pool, app_work=wapp)
+
+which reaches every registered planner (including the extensions and any
+third-party ones) with eagerly-validated, typed options.
+
+:class:`Deployment` and the balanced-tree default now live in
+:mod:`repro.core.registry`; they are re-exported here unchanged.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
 
-from repro.core.baselines import (
-    balanced_deployment,
-    chain_deployment,
-    star_deployment,
-)
-from repro.core.heuristic import HeuristicPlanner
-from repro.core.hierarchy import Hierarchy
-from repro.core.homogeneous import HomogeneousPlanner
-from repro.core.optimal import exhaustive_plan
-from repro.core.params import DEFAULT_PARAMS, ModelParams
-from repro.core.throughput import ThroughputReport, hierarchy_throughput
-from repro.errors import PlanningError
+from repro.core.params import ModelParams
+from repro.core.registry import REGISTRY, Deployment
 from repro.platforms.pool import NodePool
 
 __all__ = ["Deployment", "plan_deployment", "PLANNING_METHODS"]
 
+#: The paper's six planning methods (back-compat constant).  The live
+#: list — including extensions and third-party planners — is
+#: ``repro.core.registry.REGISTRY.available()``.
 PLANNING_METHODS = (
     "heuristic",
     "homogeneous",
@@ -38,34 +40,6 @@ PLANNING_METHODS = (
 )
 
 
-@dataclass(frozen=True)
-class Deployment:
-    """A planned deployment: the tree plus its predicted performance."""
-
-    hierarchy: Hierarchy
-    report: ThroughputReport
-    method: str
-    app_work: float
-    params: ModelParams
-
-    @property
-    def throughput(self) -> float:
-        """Model-predicted completed-request throughput, requests/s."""
-        return self.report.throughput
-
-    @property
-    def nodes_used(self) -> int:
-        return len(self.hierarchy)
-
-    def describe(self) -> str:
-        shape = self.hierarchy.shape_signature()
-        return (
-            f"Deployment[{self.method}]: rho={self.throughput:.2f} req/s "
-            f"({self.report.bottleneck}-bound), nodes={shape[0]} "
-            f"(agents={shape[1]}, servers={shape[2]}, height={shape[3]})"
-        )
-
-
 def plan_deployment(
     pool: NodePool,
     app_work: float,
@@ -74,7 +48,12 @@ def plan_deployment(
     method: str = "heuristic",
     **options: object,
 ) -> Deployment:
-    """Plan a middleware deployment on ``pool``.
+    """Plan a middleware deployment on ``pool`` (deprecated facade).
+
+    Equivalent to ``PlanningSession().plan(PlanRequest(...))`` with the
+    keyword ``options`` coerced into the planner's typed option
+    dataclass.  Kept for backward compatibility; emits a
+    :class:`DeprecationWarning`.
 
     Parameters
     ----------
@@ -88,75 +67,32 @@ def plan_deployment(
     params:
         Model parameters; defaults to the paper's Table 3 calibration.
     method:
-        One of :data:`PLANNING_METHODS`.
+        A planner name from ``REGISTRY.available()``.
     options:
-        Method-specific options: ``patience`` / ``allow_promotion``
-        (heuristic), ``spanning_only`` (homogeneous), ``middle_agents``
-        (balanced), ``agents`` (chain).
+        Method-specific options: ``strategy`` / ``patience`` /
+        ``allow_promotion`` / ``agent_selection`` (heuristic),
+        ``spanning_only`` (homogeneous), ``middle_agents`` (balanced),
+        ``agents`` (chain).
 
     Returns
     -------
     Deployment
         Validated deployment and its Eq. 16 throughput report.
     """
-    params = DEFAULT_PARAMS if params is None else params
-    if method == "heuristic":
-        planner = HeuristicPlanner(
-            params,
-            strategy=str(options.pop("strategy", "fixed_point")),
-            patience=int(options.pop("patience", 4)),
-            allow_promotion=bool(options.pop("allow_promotion", True)),
-            agent_selection=str(options.pop("agent_selection", "fastest")),
-        )
-        _reject_extra(options)
-        result = planner.plan(pool, app_work, demand=demand)
-        hierarchy, report = result.hierarchy, result.report
-    elif method == "homogeneous":
-        planner = HomogeneousPlanner(
-            params, spanning_only=bool(options.pop("spanning_only", False))
-        )
-        _reject_extra(options)
-        result = planner.plan(pool, app_work, demand=demand)
-        hierarchy, report = result.hierarchy, result.report
-    elif method == "exhaustive":
-        _reject_extra(options)
-        result = exhaustive_plan(pool, params, app_work, demand=demand)
-        hierarchy, report = result.hierarchy, result.report
-    elif method == "star":
-        _reject_extra(options)
-        hierarchy = star_deployment(pool)
-        report = hierarchy_throughput(hierarchy, params, app_work)
-    elif method == "balanced":
-        middle = int(options.pop("middle_agents", _default_middle(pool)))
-        _reject_extra(options)
-        hierarchy = balanced_deployment(pool, middle)
-        report = hierarchy_throughput(hierarchy, params, app_work)
-    elif method == "chain":
-        agents = int(options.pop("agents", 2))
-        _reject_extra(options)
-        hierarchy = chain_deployment(pool, agents)
-        report = hierarchy_throughput(hierarchy, params, app_work)
-    else:
-        raise PlanningError(
-            f"unknown method {method!r}; expected one of {PLANNING_METHODS}"
-        )
-    hierarchy.validate(strict=True)
-    return Deployment(
-        hierarchy=hierarchy,
-        report=report,
-        method=method,
-        app_work=app_work,
-        params=params,
+    warnings.warn(
+        "plan_deployment() is deprecated; use repro.PlanningSession / "
+        "repro.PlanRequest with typed planner options instead",
+        DeprecationWarning,
+        stacklevel=2,
     )
+    from repro.api import PlanRequest
 
-
-def _default_middle(pool: NodePool) -> int:
-    """Balanced-tree default: ~sqrt sizing, the paper's 14-for-200 shape."""
-    import math
-
-    return max(1, int(math.sqrt(max(0, len(pool) - 1))))
-
-
-def _reject_extra(options: dict[str, object]) -> None:
-    if options:
-        raise PlanningError(f"unknown planner options: {sorted(options)}")
+    request = PlanRequest(
+        pool=pool,
+        app_work=app_work,
+        demand=demand,
+        params=params,
+        method=method,
+        options=dict(options) if options else None,
+    )
+    return REGISTRY.plan(request)

@@ -28,9 +28,16 @@ The windowed agent-selection policy — the other extension this
 reproduction adds — lives directly in :mod:`repro.core.heuristic`
 (``agent_selection="windowed"``) since it shares all of Algorithm 1's
 machinery.
+
+Every extension planner also registers itself with the planner registry
+(:mod:`repro.core.registry`) when this package is imported, so
+``hetcomm``, ``multiapp`` and ``redeploy`` are reachable by name through
+:class:`repro.api.PlanningSession` and ``repro-deploy plan --method``
+alongside the paper's planners.
 """
 
 from repro.extensions.hetcomm import (
+    HetCommOptions,
     HetCommPlatform,
     HetCommPlanner,
     het_agent_sched_throughput,
@@ -39,16 +46,19 @@ from repro.extensions.hetcomm import (
 )
 from repro.extensions.multiapp import (
     Application,
+    MultiAppOptions,
     MultiAppPlan,
     MultiAppPlanner,
 )
 from repro.extensions.redeploy import (
     ImprovementAction,
     ImprovementResult,
+    RedeployOptions,
     improve_deployment,
 )
 
 __all__ = [
+    "HetCommOptions",
     "HetCommPlatform",
     "HetCommPlanner",
     "het_agent_sched_throughput",
@@ -56,8 +66,10 @@ __all__ = [
     "het_service_throughput",
     "ImprovementAction",
     "ImprovementResult",
+    "RedeployOptions",
     "improve_deployment",
     "Application",
+    "MultiAppOptions",
     "MultiAppPlan",
     "MultiAppPlanner",
 ]

@@ -49,6 +49,7 @@ __all__ = [
     "HetCommPlatform",
     "HetCommPlanner",
     "HetCommPlan",
+    "HetCommOptions",
     "het_agent_sched_throughput",
     "het_server_sched_throughput",
     "het_service_throughput",
@@ -504,3 +505,103 @@ class HetCommPlanner:
                     hierarchy.demote(agent)
                     changed = True
                     break
+
+
+# ---------------------------------------------------------------------- #
+# registry integration
+
+
+from repro.core.registry import (  # noqa: E402  (registration tail)
+    CAP_AUTOMATIC,
+    CAP_DEMAND,
+    CAP_EXTENSION,
+    PlannerOptions,
+    build_deployment,
+    register_planner,
+)
+
+
+@dataclass(frozen=True)
+class HetCommOptions(PlannerOptions):
+    """Options of the heterogeneous-communication planner.
+
+    Exactly one platform description applies (checked eagerly):
+
+    * ``bandwidths`` — explicit per-node access-link Mb/s;
+    * ``group_sizes`` + ``group_bandwidths`` — clustered uplinks
+      (a grid federation, :meth:`HetCommPlatform.clustered`);
+    * ``bandwidth`` — one uniform link speed (the paper's degenerate
+      case); also the fallback, using ``params.bandwidth``, when nothing
+      is specified.
+    """
+
+    bandwidth: float | None = None
+    bandwidths: Mapping[str, float] | None = None
+    group_sizes: tuple[int, ...] | None = None
+    group_bandwidths: tuple[float, ...] | None = None
+
+    def __post_init__(self) -> None:
+        grouped = self.group_sizes is not None or self.group_bandwidths is not None
+        if grouped and (self.group_sizes is None or self.group_bandwidths is None):
+            raise PlanningError(
+                "hetcomm: group_sizes and group_bandwidths must be given together"
+            )
+        modes = sum(
+            (self.bandwidth is not None, self.bandwidths is not None, grouped)
+        )
+        if modes > 1:
+            raise PlanningError(
+                "hetcomm: specify only one of bandwidth, bandwidths, or "
+                "group_sizes/group_bandwidths"
+            )
+        if self.bandwidth is not None and self.bandwidth <= 0.0:
+            raise PlanningError(
+                f"hetcomm: bandwidth must be > 0, got {self.bandwidth}"
+            )
+        if self.bandwidths is not None and not isinstance(self.bandwidths, Mapping):
+            raise PlanningError(
+                "hetcomm: bandwidths must be a mapping of node name to Mb/s"
+            )
+
+    def build_platform(self, pool: NodePool, params: ModelParams) -> HetCommPlatform:
+        """Materialize the platform this option set describes for ``pool``."""
+        if self.bandwidths is not None:
+            return HetCommPlatform(pool, dict(self.bandwidths))
+        if self.group_sizes is not None:
+            assert self.group_bandwidths is not None
+            return HetCommPlatform.clustered(
+                pool, self.group_sizes, self.group_bandwidths
+            )
+        uniform = self.bandwidth if self.bandwidth is not None else params.bandwidth
+        return HetCommPlatform.uniform(pool, uniform)
+
+
+@register_planner
+class HetCommRegistryPlanner:
+    """Deployment planning under per-node access-link bandwidths.
+
+    The returned deployment's ``report`` is the paper's homogeneous-link
+    Eq. 16 view (comparable across planners); the extended model's own
+    throughput and the platform's link map ride in
+    ``deployment.extras["het_throughput"]`` / ``extras["bandwidths"]``.
+    """
+
+    name = "hetcomm"
+    capabilities = frozenset({CAP_AUTOMATIC, CAP_DEMAND, CAP_EXTENSION})
+    options_type = HetCommOptions
+
+    def plan(self, request):
+        platform = request.options.build_platform(request.pool, request.params)
+        planner = HetCommPlanner(request.params)
+        result = planner.plan(
+            platform, request.app_work, demand=request.demand
+        )
+        return build_deployment(
+            request,
+            self.name,
+            result.hierarchy,
+            extras={
+                "het_throughput": result.throughput,
+                "bandwidths": dict(platform.bandwidths),
+            },
+        )

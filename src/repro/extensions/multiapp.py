@@ -326,3 +326,85 @@ class MultiAppPlanner:
                     changed = True
                     break
         return hierarchy
+
+
+# ---------------------------------------------------------------------- #
+# registry integration
+
+
+from repro.core.registry import (  # noqa: E402  (registration tail)
+    CAP_DEMAND,
+    CAP_EXTENSION,
+    PlannerOptions,
+    build_deployment,
+    register_planner,
+)
+from repro.core.throughput import hierarchy_throughput as _eq16_throughput
+
+
+@dataclass(frozen=True)
+class MultiAppOptions(PlannerOptions):
+    """Options of the multi-application planner.
+
+    ``applications`` is the workload portfolio to host.  When empty, the
+    planner derives a single :class:`Application` from the request's
+    ``app_work`` and ``demand`` (demand is then required).
+    """
+
+    applications: tuple[Application, ...] = ()
+
+    def __post_init__(self) -> None:
+        for app in self.applications:
+            if not isinstance(app, Application):
+                raise PlanningError(
+                    "multiapp: applications must be Application instances, "
+                    f"got {type(app).__name__}; build them with "
+                    "Application(name, app_work, demand)"
+                )
+
+
+@register_planner
+class MultiAppRegistryPlanner:
+    """Shared hierarchy hosting several applications at fixed demands.
+
+    The returned deployment's ``report`` evaluates Eq. 16 at the
+    demand-weighted mean application work (a single-application view for
+    cross-planner comparability); the per-application assignments, rates
+    and the achieved demand scale ride in ``deployment.extras``.
+    """
+
+    name = "multiapp"
+    capabilities = frozenset({CAP_DEMAND, CAP_EXTENSION})
+    options_type = MultiAppOptions
+
+    def plan(self, request):
+        applications = request.options.applications
+        if not applications:
+            if request.demand is None:
+                raise PlanningError(
+                    "multiapp planner needs options="
+                    "MultiAppOptions(applications=...) or a request demand "
+                    "to derive a single application"
+                )
+            applications = (
+                Application("app", request.app_work, request.demand),
+            )
+        planner = MultiAppPlanner(request.params)
+        plan = planner.plan(request.pool, list(applications))
+        total_demand = sum(a.demand for a in applications)
+        mean_work = (
+            sum(a.app_work * a.demand for a in applications) / total_demand
+        )
+        report = _eq16_throughput(plan.hierarchy, request.params, mean_work)
+        return build_deployment(
+            request,
+            self.name,
+            plan.hierarchy,
+            report=report,
+            extras={
+                "assignments": dict(plan.assignments),
+                "rates": dict(plan.rates),
+                "scale": plan.scale,
+                "fully_satisfied": plan.fully_satisfied,
+            },
+        )
