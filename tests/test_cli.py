@@ -112,5 +112,95 @@ class TestCompareCommand:
         )
         assert code == 0
         out = capsys.readouterr().out
-        assert "automatic" in out
+        assert "heuristic" in out
         assert "star" in out
+
+    def test_compare_explicit_methods(self, capsys):
+        code = main(
+            [
+                "compare", "--nodes", "8", "--dgemm", "200",
+                "--methods", "heuristic,chain",
+                "--clients", "10", "--duration", "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "chain" in out
+        assert "balanced" not in out
+
+
+class TestPoolValidation:
+    def test_zero_nodes_reports_positive_pool_error(self, capsys):
+        code = main(["plan", "--nodes", "0", "--dgemm", "100"])
+        assert code == 2
+        assert "pool size must be positive" in capsys.readouterr().err
+
+    def test_zero_random_reports_positive_pool_error(self, capsys):
+        code = main(["plan", "--random", "0", "--dgemm", "100"])
+        assert code == 2
+        assert "pool size must be positive" in capsys.readouterr().err
+
+    def test_empty_powers_is_error(self, capsys):
+        code = main(["plan", "--powers", ",", "--dgemm", "100"])
+        assert code == 2
+        assert "at least one node power" in capsys.readouterr().err
+
+
+class TestRegistryDrivenCli:
+    def test_method_choices_come_from_registry(self):
+        from repro.core.registry import REGISTRY
+
+        parser = build_parser()
+        for method in REGISTRY.available():
+            args = parser.parse_args(
+                ["plan", "--nodes", "4", "--dgemm", "100", "--method", method]
+            )
+            assert args.method == method
+        # extension planners appear without any CLI edit
+        assert {"hetcomm", "multiapp", "redeploy"} <= set(REGISTRY.available())
+
+    def test_planners_subcommand_lists_registry(self, capsys):
+        assert main(["planners"]) == 0
+        out = capsys.readouterr().out
+        for name in ("heuristic", "hetcomm", "multiapp", "redeploy"):
+            assert name in out
+        assert "HeuristicOptions" in out
+
+    def test_plan_with_typed_opt_flags(self, capsys):
+        code = main(
+            [
+                "plan", "--nodes", "12", "--dgemm", "200",
+                "--method", "balanced", "--opt", "middle_agents=2",
+            ]
+        )
+        assert code == 0
+        assert "balanced" in capsys.readouterr().out
+
+    def test_bad_opt_value_is_actionable(self, capsys):
+        code = main(
+            [
+                "plan", "--nodes", "12", "--dgemm", "200",
+                "--opt", "patience=soon",
+            ]
+        )
+        assert code == 2
+        assert "patience" in capsys.readouterr().err
+
+    def test_unknown_opt_lists_valid_ones(self, capsys):
+        code = main(
+            ["plan", "--nodes", "12", "--dgemm", "200", "--opt", "wibble=1"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "wibble" in err
+        assert "strategy" in err  # valid options are listed
+
+    def test_extension_method_plans_end_to_end(self, capsys):
+        code = main(
+            [
+                "plan", "--random", "8", "--seed", "3", "--dgemm", "150",
+                "--method", "redeploy", "--opt", "initial_fraction=0.6",
+            ]
+        )
+        assert code == 0
+        assert "redeploy" in capsys.readouterr().out
