@@ -1,0 +1,456 @@
+#!/usr/bin/env python
+"""Tracked performance suite — times the hot paths, writes BENCH_planning.json.
+
+Unlike the ``bench_*`` paper-artifact benchmarks, this suite exists to
+record a *performance trajectory* across PRs.  It times
+
+* heuristic planner scaling over pool sizes 64 → 2048, against a frozen
+  in-file reimplementation of the pre-optimization (PR 1) solver loop, so
+  the speedup of the vectorized/incremental evaluation layer stays
+  measurable forever;
+* a scenario-grid ``plan_many`` fan-out (100 requests across pools,
+  workloads and planner methods), serial vs. parallel;
+* discrete-event engine throughput: a schedule/fire ping-pong and a
+  cancellation-heavy churn storm that exercises heap compaction;
+* the batched kernels against their scalar counterparts.
+
+Run it from the repository root::
+
+    PYTHONPATH=src python benchmarks/perfsuite.py            # full, ~min
+    PYTHONPATH=src python benchmarks/perfsuite.py --quick    # CI smoke
+
+Output schema (``repro-bench/1``) — one JSON object::
+
+    {
+      "schema": "repro-bench/1",     # format version of this file
+      "suite": "planning",
+      "quick": false,                # --quick runs are smaller, not comparable
+      "created_unix": 1753...,       # seconds since epoch
+      "python": "3.12.1", "platform": "...", "numpy": "2.4.6" | null,
+      "cpu_count": 8,
+      "results": [                   # one entry per measurement
+        {
+          "name": "heuristic_plan",  # measurement family
+          "params": {"nodes": 1024}, # inputs that define the cell
+          "metric": "seconds",       # unit: seconds | events_per_s | ratio
+          "value": 0.142,            # best-of-repeat measurement
+          "extra": {...}             # free-form context (throughput, counts)
+        }, ...
+      ]
+    }
+
+Comparisons are valid between runs with equal (name, params, quick) cells
+on similar hardware.  The driver CI uploads the ``--quick`` artifact per
+commit; run the full suite locally before/after perf work.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.api import PlanningSession, scenario_grid  # noqa: E402
+from repro.core.heuristic import HeuristicPlanner, sort_nodes  # noqa: E402
+from repro.core.params import DEFAULT_PARAMS  # noqa: E402
+from repro.core.throughput import (  # noqa: E402
+    agent_sched_throughput,
+    server_sched_throughput,
+)
+from repro.core.kernels import (  # noqa: E402
+    HAVE_NUMPY,
+    supported_children_many,
+)
+from repro.platforms.pool import NodePool  # noqa: E402
+from repro.sim.engine import Simulator  # noqa: E402
+from repro.units import dgemm_mflop  # noqa: E402
+
+_REL_TOL = 1e-9
+
+
+def best_of(repeat: int, fn, *args):
+    """(best seconds, last result) over ``repeat`` timed calls."""
+    best = math.inf
+    result = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        result = fn(*args)
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+# --------------------------------------------------------------------- #
+# frozen pre-optimization reference (PR 1 solver loop, verbatim costs)
+
+
+def _legacy_supported_children(params, power, target_rate):
+    """The pre-PR ``supported_children``: constants re-derived per call."""
+    fixed = (params.wreq + params.wfix) / power + (
+        params.agent_sizes.sreq / params.bandwidth
+        + params.agent_sizes.srep / params.bandwidth
+    )
+    per_child = (
+        params.wsel / power
+        + params.agent_sizes.round_trip / params.bandwidth
+    )
+    budget = 1.0 / target_rate - fixed
+    if budget < per_child:
+        return 0
+    return int(math.floor(budget / per_child + _REL_TOL))
+
+
+def _legacy_solve(params, agents, candidates, app_work):
+    """The pre-PR ``_solve_for_agents`` search loop (throughput-max case).
+
+    Kept verbatim (scalar per-node recomputation, Python prefix sums) as
+    the fixed baseline the vectorized solver is measured against.
+    """
+    n_agents = len(agents)
+    n = n_agents + len(candidates)
+    if not candidates:
+        return None
+    k_min = 1 if n_agents == 1 else n_agents
+    k_cap = n - n_agents
+    if k_cap < k_min:
+        return None
+    t_hi = agent_sched_throughput(params, agents[0].power, 1)
+    for agent in agents[1:]:
+        t_hi = min(t_hi, agent_sched_throughput(params, agent.power, 2))
+    prefix_power = [0.0]
+    for node in candidates:
+        prefix_power.append(prefix_power[-1] + node.power)
+
+    def server_slots(t):
+        slots = 0
+        for agent in agents:
+            slots += min(_legacy_supported_children(params, agent.power, t), n)
+            if slots > n:
+                break
+        return max(0, min(slots - (n_agents - 1), k_cap))
+
+    def service_of(k):
+        comm = params.service_sizes.round_trip / params.bandwidth
+        pred = k * params.wpre / app_work
+        rate = prefix_power[k] / app_work
+        return 1.0 / (comm + (1.0 + pred) / rate)
+
+    def floor_of(k):
+        return server_sched_throughput(params, candidates[k - 1].power)
+
+    def achievable(t):
+        k = server_slots(t)
+        if k < k_min:
+            return None
+        return min(t, service_of(k), floor_of(k))
+
+    hi_value = achievable(t_hi)
+    if hi_value is not None and hi_value >= t_hi - _REL_TOL:
+        k = server_slots(t_hi)
+        return min(t_hi, service_of(k), floor_of(k)), k, t_hi
+    t_lo = t_hi
+    value = None
+    for _ in range(200):
+        t_lo /= 2.0
+        value = achievable(t_lo)
+        if value is not None and value >= t_lo - _REL_TOL:
+            break
+        if t_lo < 1e-12:
+            return None
+    lo, hi = t_lo, t_hi
+    for _ in range(64):
+        mid = 0.5 * (lo + hi)
+        v = achievable(mid)
+        if v is not None and v >= mid - _REL_TOL:
+            lo = mid
+        else:
+            hi = mid
+    k = server_slots(lo)
+    return min(lo, service_of(k), floor_of(k)), k, lo
+
+
+def _legacy_fixed_point_search(pool, app_work):
+    """Pre-PR fixed-point sweep: best (rho, A) over all agent-tier sizes."""
+    ranked = sort_nodes(pool, DEFAULT_PARAMS)
+    n = len(ranked)
+    best = None
+    for n_agents in range(1, max(1, n // 2) + 1):
+        agents = ranked[:n_agents]
+        candidates = ranked[n_agents:]
+        solved = _legacy_solve(DEFAULT_PARAMS, agents, candidates, app_work)
+        if solved is None:
+            continue
+        rho, n_servers, _ = solved
+        used = n_agents + n_servers
+        if best is None or (rho, -used) > (best[0], -best[1]):
+            best = (rho, used, n_agents)
+    return best
+
+
+# --------------------------------------------------------------------- #
+# measurement sections
+
+
+def bench_planner_scaling(sizes, repeat, legacy_cap):
+    app_work = dgemm_mflop(310)
+    results = []
+    for size in sizes:
+        pool = NodePool.uniform_random(size, low=80, high=400, seed=7)
+        seconds, plan = best_of(
+            repeat,
+            lambda: HeuristicPlanner(DEFAULT_PARAMS).plan(pool, app_work),
+        )
+        extra = {
+            "throughput_req_s": round(plan.throughput, 3),
+            "nodes_used": plan.nodes_used,
+        }
+        if size <= legacy_cap:
+            legacy_seconds, legacy = best_of(
+                max(1, repeat // 2), _legacy_fixed_point_search, pool, app_work
+            )
+            extra["legacy_seconds"] = round(legacy_seconds, 6)
+            extra["speedup_vs_legacy"] = round(legacy_seconds / seconds, 2)
+            # The sweeps must agree on what they found.
+            assert abs(legacy[0] - plan.throughput) <= 1e-6 * plan.throughput
+        results.append(
+            {
+                "name": "heuristic_plan",
+                "params": {"nodes": size},
+                "metric": "seconds",
+                "value": round(seconds, 6),
+                "extra": extra,
+            }
+        )
+        print(
+            f"  heuristic_plan nodes={size}: {seconds * 1000:.1f} ms"
+            + (
+                f"  (legacy {extra['legacy_seconds'] * 1000:.1f} ms, "
+                f"{extra['speedup_vs_legacy']}x)"
+                if "legacy_seconds" in extra
+                else ""
+            )
+        )
+    return results
+
+
+def bench_plan_many(quick):
+    if quick:
+        pools = [
+            NodePool.uniform_random(40, low=80, high=400, seed=s)
+            for s in range(2)
+        ]
+        works = [dgemm_mflop(k) for k in (100, 310)]
+        methods = ("heuristic", "star", "balanced")
+    else:
+        pools = [
+            NodePool.uniform_random(100, low=80, high=400, seed=s)
+            for s in range(5)
+        ]
+        works = [dgemm_mflop(k) for k in (100, 200, 310, 400)]
+        methods = ("heuristic", "star", "balanced", "chain", "homogeneous")
+    grid = scenario_grid(pools, works, methods=methods)
+    serial_seconds, serial = best_of(
+        1, lambda: PlanningSession().plan_many(grid)
+    )
+    parallel_seconds, parallel = best_of(
+        1, lambda: PlanningSession().plan_many(grid, parallel=True)
+    )
+    assert [d.describe() for d in serial] == [d.describe() for d in parallel]
+    print(
+        f"  plan_many grid={len(grid)}: serial {serial_seconds:.2f} s, "
+        f"parallel {parallel_seconds:.2f} s"
+    )
+    return [
+        {
+            "name": "plan_many_grid",
+            "params": {"requests": len(grid), "mode": "serial"},
+            "metric": "seconds",
+            "value": round(serial_seconds, 6),
+            "extra": {"requests_per_s": round(len(grid) / serial_seconds, 2)},
+        },
+        {
+            "name": "plan_many_grid",
+            "params": {"requests": len(grid), "mode": "parallel"},
+            "metric": "seconds",
+            "value": round(parallel_seconds, 6),
+            "extra": {
+                "requests_per_s": round(len(grid) / parallel_seconds, 2),
+                "workers": os.cpu_count(),
+            },
+        },
+    ]
+
+
+def bench_engine(quick):
+    rounds = 20_000 if quick else 200_000
+
+    def ping_pong():
+        sim = Simulator()
+        count = 0
+
+        def tick():
+            nonlocal count
+            count += 1
+            if count < rounds:
+                sim.schedule(0.001, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run()
+        return sim
+
+    seconds, sim = best_of(2, ping_pong)
+    results = [
+        {
+            "name": "engine_ping_pong",
+            "params": {"events": rounds},
+            "metric": "events_per_s",
+            "value": round(sim.events_processed / seconds, 1),
+            "extra": {"seconds": round(seconds, 6)},
+        }
+    ]
+    print(
+        f"  engine_ping_pong: {sim.events_processed / seconds:,.0f} events/s"
+    )
+
+    def churn():
+        sim = Simulator()
+        survivors = 0
+        for i in range(rounds):
+            event = sim.schedule(1.0 + (i % 11) * 0.1, lambda: None)
+            if i % 10:
+                event.cancel()
+            else:
+                survivors += 1
+        peak = sim.pending
+        sim.run()
+        return sim, peak, survivors
+
+    seconds, (sim, peak, survivors) = best_of(2, churn)
+    results.append(
+        {
+            "name": "engine_churn",
+            "params": {"events": rounds, "cancelled_pct": 90},
+            "metric": "events_per_s",
+            "value": round(rounds / seconds, 1),
+            "extra": {
+                "seconds": round(seconds, 6),
+                "peak_pending": peak,
+                "live_events": survivors,
+                "heap_compactions": sim.heap_compactions,
+            },
+        }
+    )
+    print(
+        f"  engine_churn: {rounds / seconds:,.0f} schedule+cancel/s, "
+        f"peak heap {peak} for {survivors} live events, "
+        f"{sim.heap_compactions} compactions"
+    )
+    return results
+
+
+def bench_kernels(quick):
+    size = 1024 if quick else 4096
+    pool = NodePool.uniform_random(size, low=80, high=400, seed=1)
+    powers = sorted(pool.powers, reverse=True)
+    target = agent_sched_throughput(DEFAULT_PARAMS, powers[0], 1) / 50.0
+
+    from repro.core.heuristic import supported_children
+
+    scalar_seconds, scalar = best_of(
+        3,
+        lambda: [
+            supported_children(DEFAULT_PARAMS, p, target) for p in powers
+        ],
+    )
+    batch_seconds, batch = best_of(
+        3, lambda: supported_children_many(DEFAULT_PARAMS, powers, target)
+    )
+    assert batch == scalar
+    ratio = scalar_seconds / batch_seconds
+    print(
+        f"  supported_children x{size}: scalar {scalar_seconds * 1e3:.2f} ms, "
+        f"batched {batch_seconds * 1e3:.2f} ms ({ratio:.1f}x)"
+    )
+    return [
+        {
+            "name": "kernel_supported_children",
+            "params": {"nodes": size},
+            "metric": "ratio",
+            "value": round(ratio, 2),
+            "extra": {
+                "scalar_seconds": round(scalar_seconds, 6),
+                "batched_seconds": round(batch_seconds, 6),
+                "numpy": HAVE_NUMPY,
+            },
+        }
+    ]
+
+
+# --------------------------------------------------------------------- #
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small CI-smoke sizes (not comparable with full runs)",
+    )
+    parser.add_argument(
+        "--output",
+        default="BENCH_planning.json",
+        help="output path (default: ./BENCH_planning.json)",
+    )
+    parser.add_argument(
+        "--repeat",
+        type=int,
+        default=5,
+        help="timed repetitions per planner cell (best-of)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        sizes, legacy_cap = (64, 256), 256
+    else:
+        sizes, legacy_cap = (64, 128, 256, 512, 1024, 2048), 1024
+
+    numpy_version = None
+    if HAVE_NUMPY:
+        import numpy
+
+        numpy_version = numpy.__version__
+
+    print(f"perfsuite ({'quick' if args.quick else 'full'}):")
+    results = []
+    results += bench_planner_scaling(sizes, args.repeat, legacy_cap)
+    results += bench_plan_many(args.quick)
+    results += bench_engine(args.quick)
+    results += bench_kernels(args.quick)
+
+    payload = {
+        "schema": "repro-bench/1",
+        "suite": "planning",
+        "quick": args.quick,
+        "created_unix": int(time.time()),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "numpy": numpy_version,
+        "cpu_count": os.cpu_count(),
+        "results": results,
+    }
+    out = Path(args.output)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out} ({len(results)} measurements)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

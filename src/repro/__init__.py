@@ -74,6 +74,7 @@ from repro.core import (
     HeuristicOptions,
     HeuristicPlanner,
     Hierarchy,
+    HierarchyEvaluator,
     HomogeneousOptions,
     HomogeneousPlanner,
     LevelSizes,
@@ -101,7 +102,7 @@ from repro.platforms import (
 )
 from repro.units import dgemm_mflop
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -129,6 +130,7 @@ __all__ = [
     "Role",
     "ThroughputReport",
     "hierarchy_throughput",
+    "HierarchyEvaluator",
     "HeuristicPlanner",
     "HomogeneousPlanner",
     "plan_deployment",

@@ -8,9 +8,10 @@ demand, parameters, planner name and typed options.  A
 
 * :meth:`PlanningSession.plan` — one request, with result caching;
 * :meth:`PlanningSession.plan_many` — a batch (e.g. a scenario grid from
-  :func:`scenario_grid`), optionally fanned out over a
-  :class:`concurrent.futures.ThreadPoolExecutor`; results are
-  deterministic and identical with or without ``parallel``;
+  :func:`scenario_grid`), optionally fanned out in chunks over a
+  :class:`concurrent.futures.ProcessPoolExecutor` (planning is CPU-bound,
+  so threads cannot scale it past the GIL); results are deterministic and
+  identical with or without ``parallel``;
 * :meth:`PlanningSession.rank` — the cross-planner comparison the CLI's
   ``compare`` subcommand and :mod:`repro.analysis.compare` build on:
   plan one pool with several methods, optionally measure each deployment
@@ -36,9 +37,11 @@ Every planner — including the extensions (``hetcomm``, ``multiapp``,
 from __future__ import annotations
 
 import dataclasses
+import math
+import os
 import threading
 from collections.abc import Iterable, Mapping, Sequence
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 
 from repro.core.params import ModelParams
@@ -215,6 +218,15 @@ def scenario_grid(
     return grid
 
 
+def _plan_request(request: PlanRequest) -> Deployment:
+    """Process-pool worker: plan one request against the global registry.
+
+    Module-level so it pickles by reference; the child process re-imports
+    :mod:`repro` and resolves the same registered planners.
+    """
+    return REGISTRY.plan(request)
+
+
 class PlanningSession:
     """Stateful planning front end: registry dispatch + result caching.
 
@@ -254,8 +266,7 @@ class PlanningSession:
             request = PlanRequest(**kwargs)  # type: ignore[arg-type]
         elif kwargs:
             request = request.replace(**kwargs)
-        if request.params is None and self.params is not None:
-            request = request.replace(params=self.params)
+        request = self._with_session_params(request)
         if not self._cache_enabled:
             return self.registry.plan(request)
         key = request.cache_key()
@@ -276,20 +287,110 @@ class PlanningSession:
         requests: Iterable[PlanRequest],
         parallel: bool = False,
         max_workers: int | None = None,
+        chunksize: int | None = None,
     ) -> list[Deployment]:
         """Execute a batch of requests, preserving order.
 
-        With ``parallel=True`` the batch fans out over a thread pool;
-        planning is deterministic and the cache is thread-safe, so the
-        result list is identical either way.
+        With ``parallel=True`` the unique requests fan out in chunks over a
+        :class:`~concurrent.futures.ProcessPoolExecutor` — planning is
+        CPU-bound, so separate interpreters are what actually scales it.
+        Requests are deduplicated by their frozen
+        :meth:`PlanRequest.cache_key` first, the session cache is consulted
+        before any dispatch, and worker results are folded back into it, so
+        repeated ``plan_many`` calls over overlapping grids replan nothing.
+        Planning is deterministic: the result list is identical with or
+        without ``parallel``.
+
+        The serial fast path — no executor, no process startup — is taken
+        when ``parallel`` is off, when ``max_workers`` is 1 (or the machine
+        has a single CPU), or when the batch holds at most one request.
+        Two situations fall back to a thread pool (the pre-process-pool
+        behaviour): sessions with a custom registry, and planners that were
+        registered into the global registry at runtime — a worker process
+        re-imports :mod:`repro`, so under spawn/forkserver start methods it
+        only sees import-time registrations.
+
+        ``chunksize`` overrides the per-worker batch size (default: unique
+        requests split roughly 4 ways per worker).
         """
-        requests = list(requests)
+        requests = [self._with_session_params(r) for r in requests]
         if not requests:
             return []
-        if parallel and len(requests) > 1:
-            with ThreadPoolExecutor(max_workers=max_workers) as executor:
+        workers = max_workers if max_workers is not None else os.cpu_count() or 1
+        if not parallel or workers <= 1 or len(requests) == 1:
+            return [self.plan(request) for request in requests]
+        if self.registry is not REGISTRY:
+            with ThreadPoolExecutor(max_workers=workers) as executor:
                 return list(executor.map(self.plan, requests))
-        return [self.plan(request) for request in requests]
+        def chunk_for(count: int) -> int:
+            if chunksize is not None:
+                return chunksize
+            return max(1, math.ceil(count / (workers * 4)))
+        if not self._cache_enabled:
+            # Mirror the serial no-cache semantics exactly: every request
+            # planned independently (no dedup aliasing), no hit/miss stats.
+            planned = self._fan_out(requests, workers, chunk_for(len(requests)))
+            if planned is None:
+                with ThreadPoolExecutor(max_workers=workers) as executor:
+                    return list(executor.map(self.plan, requests))
+            return planned
+        keys = [request.cache_key() for request in requests]
+        with self._lock:
+            resolved: dict[tuple, Deployment] = {
+                key: self._cache[key]
+                for key in set(keys)
+                if key in self._cache
+            }
+        pending: dict[tuple, PlanRequest] = {}
+        for key, request in zip(keys, requests):
+            if key not in resolved and key not in pending:
+                pending[key] = request
+        if pending:
+            todo = list(pending.values())
+            planned = self._fan_out(todo, workers, chunk_for(len(todo)))
+            if planned is None:
+                with ThreadPoolExecutor(max_workers=workers) as executor:
+                    return list(executor.map(self.plan, requests))
+            resolved.update(zip(pending, planned))
+            with self._lock:
+                self._hits += len(requests) - len(pending)
+                self._misses += len(pending)
+                for key in pending:
+                    self._cache.setdefault(key, resolved[key])
+        else:
+            with self._lock:
+                self._hits += len(requests)
+        return [resolved[key] for key in keys]
+
+    @staticmethod
+    def _fan_out(
+        requests: list[PlanRequest], workers: int, chunk: int
+    ) -> list[Deployment] | None:
+        """Plan ``requests`` on a process pool; None if workers lack planners.
+
+        A child process that cannot resolve a request's planner (it was
+        registered at runtime, after import) makes the whole fan-out
+        unusable — the caller then retries on threads, where the parent's
+        registry is visible.  Any other planning error propagates.
+        """
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as executor:
+                return list(
+                    executor.map(_plan_request, requests, chunksize=chunk)
+                )
+        except PlanningError as error:
+            # Match the registry's lookup error only ("unknown planner
+            # 'name'; ..."), not e.g. "unknown planner options: [...]" —
+            # option errors would just fail again on threads.
+            if str(error).startswith("unknown planner '"):
+                return None
+            raise
+
+    def _with_session_params(self, request: PlanRequest) -> PlanRequest:
+        """Fill in the session's default params, exactly like :meth:`plan`."""
+        if request.params is None and self.params is not None:
+            return request.replace(params=self.params)
+        return request
 
     def rank(
         self,

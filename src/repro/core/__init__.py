@@ -7,6 +7,9 @@ This package contains the paper's primary contribution:
   communication and computation time models (Eqs. 1–10);
 * :mod:`repro.core.throughput` — scheduling / service / platform throughput
   (Eqs. 11–16);
+* :mod:`repro.core.kernels` — batched/array versions of the throughput
+  kernels and the memoizing :class:`~repro.core.kernels.HierarchyEvaluator`
+  every planner's hot loop runs on;
 * :mod:`repro.core.hierarchy` — the deployment-tree data structure;
 * :mod:`repro.core.heuristic` — the heterogeneous deployment heuristic
   (Algorithm 1);
@@ -31,6 +34,13 @@ from repro.core.throughput import (
 )
 from repro.core.heuristic import HeuristicPlanner
 from repro.core.homogeneous import HomogeneousPlanner
+from repro.core.kernels import (
+    HierarchyEvaluator,
+    agent_sched_throughput_many,
+    server_sched_throughput_many,
+    service_throughput_prefixes,
+    supported_children_many,
+)
 from repro.core.baselines import balanced_deployment, chain_deployment, star_deployment
 from repro.core.registry import (
     REGISTRY,
@@ -70,6 +80,11 @@ __all__ = [
     "service_throughput",
     "hierarchy_throughput",
     "ThroughputReport",
+    "HierarchyEvaluator",
+    "agent_sched_throughput_many",
+    "server_sched_throughput_many",
+    "service_throughput_prefixes",
+    "supported_children_many",
     "HeuristicPlanner",
     "HomogeneousPlanner",
     "star_deployment",

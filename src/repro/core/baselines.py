@@ -19,7 +19,7 @@ power to emulate a slightly smarter human.
 
 from __future__ import annotations
 
-from repro.core.hierarchy import Hierarchy
+from repro.core.hierarchy import Hierarchy, Role
 from repro.errors import PlanningError
 from repro.platforms.pool import NodePool
 
@@ -131,22 +131,25 @@ def dary_deployment(pool: NodePool, degree: int) -> Hierarchy:
         return star_deployment(pool.take(2))
     nodes = list(pool)
     n = len(nodes)
-    hierarchy = Hierarchy()
-    hierarchy.set_root(nodes[0].name, nodes[0].power)
-    # Breadth-first slot assignment: node i's parent is node (i-1)//degree.
+    # Breadth-first slot assignment: node i's parent is node (i-1)//degree;
+    # a node is internal (an agent) iff it has at least one child.
     parent_index = [(i - 1) // degree for i in range(n)]
-    children: dict[int, list[int]] = {i: [] for i in range(n)}
+    has_children = [False] * n
     for i in range(1, n):
-        children[parent_index[i]].append(i)
-    # Internal iff it has children.
-    for i in range(1, n):
-        p = parent_index[i]
-        node = nodes[i]
-        if children[i]:
-            hierarchy.add_agent(node.name, node.power, nodes[p].name)
-        else:
-            hierarchy.add_server(node.name, node.power, nodes[p].name)
-    _repair_single_child_agents(hierarchy)
+        has_children[parent_index[i]] = True
+    hierarchy = Hierarchy.from_arrays(
+        [node.name for node in nodes],
+        [node.power for node in nodes],
+        parent_index,
+        [Role.AGENT if has_children[i] else Role.SERVER for i in range(n)],
+    )
+    # In a fresh complete d-ary tree every internal node except the last
+    # has a full d children, so a lone-child agent exists iff the last
+    # internal (index (n-2)//d) is a non-root holding exactly one child —
+    # checking that arithmetically skips a whole-tree scan per candidate.
+    last_internal = (n - 2) // degree
+    if last_internal > 0 and n - 1 - degree * last_internal == 1:
+        _repair_single_child_agents(hierarchy)
     return hierarchy
 
 
@@ -158,17 +161,25 @@ def _repair_single_child_agents(hierarchy: Hierarchy) -> None:
     agent is demoted to a server — preserving the node count while
     restoring validity.  Repeats until a fixed point is reached.
     """
-    changed = True
-    while changed:
-        changed = False
-        for agent in hierarchy.agents:
-            if agent == hierarchy.root:
-                continue
-            kids = hierarchy.children(agent)
-            if len(kids) == 1:
-                parent = hierarchy.parent(agent)
-                assert parent is not None
-                hierarchy.reattach(kids[0], parent)
-                hierarchy.demote(agent)
-                changed = True
-                break
+    role = hierarchy._role
+    children = hierarchy._children
+    while True:
+        root = hierarchy.root
+        # Scan in BFS order (like the historical hierarchy.agents walk) so
+        # repeated repairs pick the same agent first.
+        target = next(
+            (
+                node
+                for node in hierarchy
+                if node != root
+                and role[node] is Role.AGENT
+                and len(children[node]) == 1
+            ),
+            None,
+        )
+        if target is None:
+            return
+        parent = hierarchy.parent(target)
+        assert parent is not None
+        hierarchy.reattach(children[target][0], parent)
+        hierarchy.demote(target)

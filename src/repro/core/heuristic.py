@@ -43,15 +43,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from functools import lru_cache
 
-from repro.core.comm_model import agent_comm_time
 from repro.core.hierarchy import Hierarchy, NodeId
+from repro.core.kernels import HierarchyEvaluator, NodeArrays
 from repro.core.params import ModelParams
 from repro.core.throughput import (
     ThroughputReport,
     agent_sched_throughput,
-    hierarchy_throughput,
-    server_sched_throughput,
     service_throughput,
 )
 from repro.errors import PlanningError
@@ -95,20 +94,39 @@ def calc_hier_ser_pow(
     )
 
 
+@lru_cache(maxsize=256)
+def _sort_nodes_cached(
+    node_key: tuple[tuple[str, float, float, float], ...],
+    params: ModelParams,
+) -> tuple[Node, ...]:
+    """Memoized body of :func:`sort_nodes`, keyed by full node identity."""
+    nodes = tuple(
+        Node(power=power, name=name, base_power=base, background_load=load)
+        for name, power, base, load in node_key
+    )
+    children = max(1, len(nodes) - 1)
+    return tuple(
+        sorted(
+            nodes,
+            key=lambda n: (calc_sch_pow(params, n.power, children), n.name),
+            reverse=True,
+        )
+    )
+
+
 def sort_nodes(pool: NodePool, params: ModelParams) -> list[Node]:
     """Paper procedure ``sort_nodes``: rank nodes by agent suitability.
 
     Nodes are ordered by descending ``calc_sch_pow`` with ``n_nodes - 1``
     children (Steps 1–2 of Algorithm 1); with a common parameter set this
     coincides with descending computing power, ties broken by name for
-    determinism.
+    determinism.  The ranking is memoized per (pool contents, params) so
+    repeated planner probes of one pool sort only once.
     """
-    children = max(1, len(pool) - 1)
-    return sorted(
-        pool,
-        key=lambda n: (calc_sch_pow(params, n.power, children), n.name),
-        reverse=True,
+    node_key = tuple(
+        (n.name, n.power, n.base_power, n.background_load) for n in pool
     )
+    return list(_sort_nodes_cached(node_key, params))
 
 
 def supported_children(
@@ -126,8 +144,8 @@ def supported_children(
     """
     if target_rate <= 0.0:
         raise PlanningError(f"target_rate must be > 0, got {target_rate}")
-    fixed = (params.wreq + params.wfix) / power + agent_comm_time(params, 0)
-    per_child = params.wsel / power + params.agent_sizes.round_trip / params.bandwidth
+    fixed = params.agent_fixed_work / power + params.agent_comm_base
+    per_child = params.wsel / power + params.agent_child_comm
     budget = 1.0 / target_rate - fixed
     if budget < per_child:
         return 0
@@ -232,6 +250,9 @@ class HeuristicPlanner:
         self.patience = patience
         self.allow_promotion = allow_promotion
         self.agent_selection = agent_selection
+        # Per-planner memoized evaluator: rates survive across plan() calls
+        # (they depend only on params) and across incremental growth steps.
+        self._evaluator = HierarchyEvaluator(params)
 
     # ------------------------------------------------------------------ #
     # public API
@@ -292,7 +313,7 @@ class HeuristicPlanner:
         hierarchy = Hierarchy()
         hierarchy.set_root(root.name, root.power)
         hierarchy.add_server(first.name, first.power, root.name)
-        report = hierarchy_throughput(hierarchy, params, app_work)
+        report = self._evaluator.evaluate(hierarchy, app_work, validate=False)
         step = PlanStep(
             "stop", None, None, report.throughput,
             "scheduling-bound at degree 1: 1 agent + 1 server",
@@ -325,16 +346,16 @@ class HeuristicPlanner:
         self, ranked: list[Node], app_work: float, demand: float | None
     ) -> HeuristicPlan:
         n = len(ranked)
+        # Per-node model constants, computed once and sliced per probe.
+        arrays = NodeArrays.for_nodes(self.params, ranked)
         # Entries: (rho, used, n_agents, offset, target)
         best: tuple[float, int, int, int, float] | None = None
         cheapest: tuple[float, int, int, int, float] | None = None
         max_agents = max(1, n // 2)
         for n_agents in range(1, max_agents + 1):
             for offset in self._agent_windows(n, n_agents):
-                agents = ranked[offset : offset + n_agents]
-                candidates = ranked[:offset] + ranked[offset + n_agents :]
                 solved = self._solve_for_agents(
-                    agents, candidates, app_work, demand
+                    arrays, offset, n_agents, app_work, demand
                 )
                 if solved is None:
                     continue
@@ -358,7 +379,7 @@ class HeuristicPlanner:
         )
         self._repair(hierarchy)
         hierarchy.validate(strict=True)
-        report = hierarchy_throughput(hierarchy, self.params, app_work)
+        report = self._evaluator.evaluate(hierarchy, app_work, validate=False)
         return HeuristicPlan(
             hierarchy=hierarchy,
             report=report,
@@ -369,22 +390,26 @@ class HeuristicPlanner:
 
     def _solve_for_agents(
         self,
-        agents: list[Node],
-        candidates: list[Node],
+        arrays: NodeArrays,
+        offset: int,
+        n_agents: int,
         app_work: float,
         demand: float | None,
     ) -> tuple[float, int, float] | None:
         """Best (rho, n_servers, target_rate) for a fixed agent tier.
 
-        Binary-searches the scheduling target ``t``: lowering ``t`` lets
-        every agent support more children, admitting more servers and
-        raising service power.  The optimum is where service power crosses
-        ``t`` (or a boundary: all nodes used / minimum feasible servers).
+        The agent tier is ``ranked[offset : offset + n_agents]``; every
+        other ranked node is a server candidate.  Binary-searches the
+        scheduling target ``t``: lowering ``t`` lets every agent support
+        more children, admitting more servers and raising service power.
+        The optimum is where service power crosses ``t`` (or a boundary:
+        all nodes used / minimum feasible servers).  All per-node rates
+        come from the precomputed ``arrays``, so one probe is a few
+        vector ops per bisection step.
         """
         params = self.params
-        n_agents = len(agents)
-        n = n_agents + len(candidates)
-        if not candidates:
+        n = arrays.n
+        if n - n_agents < 1:
             return None
         # Validity floor on server count: total child slots A-1+k must give
         # the root >=1 and every non-root agent >=2 children.
@@ -393,36 +418,39 @@ class HeuristicPlanner:
         if k_cap < k_min:
             return None
 
+        a_lo, a_hi = offset, offset + n_agents
+
         # Feasibility ceiling on t: every non-root agent must support >= 2
         # children, the root >= 1.
-        t_hi = calc_sch_pow(params, agents[0].power, 1)
-        for agent in agents[1:]:
-            t_hi = min(t_hi, calc_sch_pow(params, agent.power, 2))
+        t_hi = float(arrays.sched_deg1[a_lo])
+        if n_agents > 1:
+            t_hi = min(t_hi, arrays.min_sched_deg2(a_lo + 1, a_hi))
         if demand is not None:
             # No point scheduling faster than the demand.
             t_hi = min(t_hi, demand)
 
-        prefix_power = [0.0]
-        for node in candidates:
-            prefix_power.append(prefix_power[-1] + node.power)
+        if offset == 0:
+            cand_sel: slice | list[int] = slice(n_agents, n)
+        else:
+            cand_sel = list(range(offset)) + list(range(a_hi, n))
+        cand_powers, _, _, cand_server_rate = arrays.select(cand_sel)
+        prefix_power = arrays.prefix_powers(cand_powers)
+
+        comm = params.service_comm
+        wpre = params.wpre
 
         def server_slots(t: float) -> int:
-            slots = 0
-            for agent in agents:
-                slots += min(supported_children(params, agent.power, t), n)
-                if slots > n:
-                    break
+            slots = arrays.slot_total(a_lo, a_hi, t, n)
             return max(0, min(slots - (n_agents - 1), k_cap))
 
         def service_of(k: int) -> float:
             # Servers are the k fastest candidates; Eq. 15 with scalar Wapp.
-            comm = params.service_sizes.round_trip / params.bandwidth
-            pred = k * params.wpre / app_work
+            pred = k * wpre / app_work
             rate = prefix_power[k] / app_work
             return 1.0 / (comm + (1.0 + pred) / rate)
 
         def floor_of(k: int) -> float:
-            return server_sched_throughput(params, candidates[k - 1].power)
+            return float(cand_server_rate[k - 1])
 
         def achievable(t: float) -> float | None:
             """rho when targeting scheduling rate t, or None if infeasible."""
@@ -440,7 +468,8 @@ class HeuristicPlanner:
                 k_min, k, t_hi if demand is None else min(t_hi, demand),
                 service_of, floor_of,
             )
-            return min(t_hi, service_of(k_best), floor_of(k_best)), k_best, t_hi
+            rho = min(t_hi, service_of(k_best), floor_of(k_best))
+            return float(rho), k_best, t_hi
 
         # Otherwise binary-search the crossing service(k(t)) == t.
         t_lo = t_hi
@@ -466,7 +495,7 @@ class HeuristicPlanner:
         if demand is not None and rho > demand:
             k = self._min_servers(k_min, k, demand, service_of, floor_of)
             rho = min(lo, service_of(k), floor_of(k))
-        return rho, k, lo
+        return float(rho), k, lo
 
     @staticmethod
     def _min_servers(k_min, k_max, target, service_of, floor_of) -> int:
@@ -599,7 +628,7 @@ class HeuristicPlanner:
         return self._finalize(best[2], app_work, steps, demand)
 
     def _rho(self, hierarchy: Hierarchy, app_work: float) -> float:
-        return hierarchy_throughput(hierarchy, self.params, app_work).throughput
+        return self._evaluator.evaluate(hierarchy, app_work).throughput
 
     def _best_move(
         self, hierarchy: Hierarchy, node: Node, app_work: float
@@ -615,8 +644,8 @@ class HeuristicPlanner:
         target = max(
             agents,
             key=lambda a: (
-                agent_sched_throughput(
-                    params, hierarchy.power(a), hierarchy.degree(a) + 1
+                self._evaluator.agent_rate(
+                    hierarchy.power(a), hierarchy.degree(a) + 1
                 ),
                 str(a),
             ),
@@ -629,10 +658,9 @@ class HeuristicPlanner:
         # children at the current service level (shift_nodes), attaching
         # the new node beneath it.
         if self.allow_promotion and hierarchy.servers:
-            service_now = calc_hier_ser_pow(
-                params,
+            service_now = self._evaluator.service_rate(
                 [hierarchy.power(s) for s in hierarchy.servers],
-                app_work,
+                [app_work] * len(hierarchy.servers),
             )
             promotable = [
                 s
@@ -666,7 +694,7 @@ class HeuristicPlanner:
         """Repair single-child agents, validate, and package the result."""
         self._repair(hierarchy)
         hierarchy.validate(strict=True)
-        report = hierarchy_throughput(hierarchy, self.params, app_work)
+        report = self._evaluator.evaluate(hierarchy, app_work, validate=False)
         return HeuristicPlan(
             hierarchy=hierarchy,
             report=report,

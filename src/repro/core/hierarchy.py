@@ -66,6 +66,52 @@ class Hierarchy:
         if power <= 0.0:
             raise HierarchyError(f"node {node!r} power must be > 0, got {power}")
 
+    @classmethod
+    def from_arrays(
+        cls,
+        names: list[NodeId],
+        powers: list[float],
+        parent_indices: list[int],
+        roles: list[Role],
+    ) -> "Hierarchy":
+        """Bulk-construct a tree from parallel arrays (trusted input).
+
+        ``parent_indices[i]`` is the index of node ``i``'s parent; entry 0
+        is the root (its parent index is ignored).  Children are attached
+        in index order, so the result is identical to the equivalent
+        sequence of :meth:`set_root` / :meth:`add_agent` /
+        :meth:`add_server` calls — but without per-node structural
+        revalidation, which matters to planners that build thousands of
+        candidate trees.  Callers must supply a sound tree: parents appear
+        before children and carry :attr:`Role.AGENT`.
+        """
+        if not names:
+            raise HierarchyError("from_arrays needs at least one node")
+        if min(powers) <= 0.0:
+            bad = next(
+                (name, p) for name, p in zip(names, powers) if p <= 0.0
+            )
+            raise HierarchyError(
+                f"node {bad[0]!r} power must be > 0, got {bad[1]}"
+            )
+        hierarchy = cls()
+        power_map = hierarchy._power
+        parent_map = hierarchy._parent
+        children_map = hierarchy._children
+        power_map.update(zip(names, map(float, powers)))
+        if len(power_map) != len(names):
+            raise HierarchyError("duplicate node names in from_arrays")
+        hierarchy._role.update(zip(names, roles))
+        for name in names:
+            children_map[name] = []
+        hierarchy._root = names[0]
+        parent_map[names[0]] = None
+        for i in range(1, len(names)):
+            parent_name = names[parent_indices[i]]
+            parent_map[names[i]] = parent_name
+            children_map[parent_name].append(names[i])
+        return hierarchy
+
     def set_root(self, node: NodeId, power: float) -> None:
         """Install ``node`` as the root agent of an empty hierarchy."""
         if self._root is not None:
@@ -206,6 +252,16 @@ class Hierarchy:
     def servers(self) -> list[NodeId]:
         """All server ids in breadth-first order."""
         return [n for n in self if self._role[n] is Role.SERVER]
+
+    @property
+    def agent_count(self) -> int:
+        """Number of agents (no traversal)."""
+        return sum(1 for role in self._role.values() if role is Role.AGENT)
+
+    @property
+    def server_count(self) -> int:
+        """Number of servers (no traversal)."""
+        return len(self._role) - self.agent_count
 
     @property
     def powers(self) -> Mapping[NodeId, float]:

@@ -23,8 +23,9 @@ from dataclasses import dataclass
 
 from repro.core.baselines import dary_deployment
 from repro.core.hierarchy import Hierarchy
+from repro.core.kernels import HierarchyEvaluator
 from repro.core.params import ModelParams
-from repro.core.throughput import ThroughputReport, hierarchy_throughput
+from repro.core.throughput import ThroughputReport
 from repro.errors import PlanningError
 from repro.platforms.pool import NodePool
 
@@ -76,6 +77,9 @@ class HomogeneousPlanner:
     def __init__(self, params: ModelParams, spanning_only: bool = False):
         self.params = params
         self.spanning_only = spanning_only
+        # The degree sweep re-prices the same (power, degree) pairs across
+        # candidate trees; the memoized evaluator computes each rate once.
+        self._evaluator = HierarchyEvaluator(params)
 
     def plan(
         self,
@@ -105,18 +109,23 @@ class HomogeneousPlanner:
             raise PlanningError(
                 f"planning needs >= 2 nodes, pool has {len(pool)}"
             )
-        candidates = self._candidates(pool, app_work)
+        scored = self._scored_candidates(pool, app_work)
+        chosen = None
         if demand is not None:
-            satisfying = [c for c in candidates if c.throughput >= demand]
+            satisfying = [c for c in scored if c[0] >= demand]
             if satisfying:
-                return min(
-                    satisfying, key=lambda c: (c.nodes_used, c.degree)
-                )
-        best = max(
-            candidates,
-            key=lambda c: (c.throughput, -c.nodes_used, -c.degree),
+                chosen = min(satisfying, key=lambda c: (c[1], c[2]))
+        if chosen is None:
+            chosen = max(scored, key=lambda c: (c[0], -c[1], -c[2]))
+        _, nodes_used, degree, hierarchy = chosen
+        # Only the winner needs the full Eq. 16 breakdown.
+        report = self._evaluator.evaluate(hierarchy, app_work, validate=False)
+        return HomogeneousPlan(
+            hierarchy=hierarchy,
+            report=report,
+            degree=degree,
+            nodes_used=nodes_used,
         )
-        return best
 
     def best_degree(self, pool: NodePool, app_work: float) -> int:
         """The selected degree only (the "Homo. Deg." column of Table 4)."""
@@ -124,15 +133,21 @@ class HomogeneousPlanner:
 
     # ------------------------------------------------------------------ #
 
-    def _candidates(
+    def _scored_candidates(
         self, pool: NodePool, app_work: float
-    ) -> list[HomogeneousPlan]:
+    ) -> list[tuple[float, int, int, Hierarchy]]:
+        """(rho, nodes_used, realized degree, hierarchy) per candidate tree.
+
+        The sweep scores every (size, degree) shape with the memoized
+        evaluator's throughput-only walk; the winner is re-evaluated in
+        full by :meth:`plan`.
+        """
         sizes = (
             [len(pool)]
             if self.spanning_only
             else list(range(2, len(pool) + 1))
         )
-        plans: list[HomogeneousPlan] = []
+        scored: list[tuple[float, int, int, Hierarchy]] = []
         seen_shapes: set[tuple[int, int]] = set()
         for size in sizes:
             sub = pool.take(size)
@@ -144,21 +159,16 @@ class HomogeneousPlanner:
                     continue
                 seen_shapes.add((size, degree))
                 hierarchy = dary_deployment(sub, degree)
-                report = hierarchy_throughput(hierarchy, self.params, app_work)
+                rho = self._evaluator.throughput(
+                    hierarchy, app_work, validate=False
+                )
                 # Repair can collapse near-star trees (e.g. d = n-2) into an
                 # actual star; report the realized root degree in that case
                 # so "degree" always describes the built hierarchy.
                 realized = (
                     hierarchy.degree(hierarchy.root)
-                    if len(hierarchy.agents) == 1
+                    if hierarchy.agent_count == 1
                     else degree
                 )
-                plans.append(
-                    HomogeneousPlan(
-                        hierarchy=hierarchy,
-                        report=report,
-                        degree=realized,
-                        nodes_used=len(hierarchy),
-                    )
-                )
-        return plans
+                scored.append((rho, len(hierarchy), realized, hierarchy))
+        return scored

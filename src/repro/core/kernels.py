@@ -1,0 +1,617 @@
+"""Batched throughput kernels and memoized hierarchy evaluation.
+
+This is the performance layer under every planner.  The scalar model
+functions in :mod:`repro.core.throughput` stay the readable single-node
+reference (Eqs. 11–16); this module evaluates the same closed forms over
+whole node pools in one call and memoizes the per-node quantities the
+planners probe over and over:
+
+* :func:`agent_sched_throughput_many` / :func:`server_sched_throughput_many`
+  / :func:`supported_children_many` — array-oriented versions of the Eq. 14
+  building blocks, NumPy-backed when available with a pure-Python fallback
+  that produces bit-identical results (both paths execute the same IEEE-754
+  operation sequence as the scalar functions);
+* :func:`service_throughput_prefixes` — Eq. 15 for every prefix of a server
+  ranking in one pass (the heuristic's ``service_of`` sweep);
+* :class:`NodeArrays` — per-node model constants for a ranked node list,
+  precomputed once per (nodes, params) pair and sliced by the fixed-point
+  solver instead of re-deriving them per probe;
+* :class:`HierarchyEvaluator` — a memoizing replacement for repeated
+  :func:`~repro.core.throughput.hierarchy_throughput` calls: per-node rates
+  are cached by ``(power, degree)``, service rates by server-power tuple, so
+  evaluating a candidate hierarchy recomputes only what changed.
+
+Every cached or vectorized quantity is defined by the *same* floating-point
+expression as its scalar counterpart, so planners wired through this layer
+return bit-identical deployments.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from typing import TYPE_CHECKING
+
+from repro.core.hierarchy import Hierarchy, NodeId, Role
+from repro.core.params import ModelParams
+from repro.core.throughput import (
+    ThroughputReport,
+    resolve_app_work_list,
+    service_throughput,
+)
+from repro.errors import ParameterError, PlanningError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.platforms.node import Node
+
+try:  # NumPy is an install-time dependency, but the kernels degrade cleanly.
+    import numpy as _np
+except Exception:  # pragma: no cover - exercised via the _USE_NUMPY switch
+    _np = None
+
+__all__ = [
+    "HAVE_NUMPY",
+    "agent_sched_throughput_many",
+    "server_sched_throughput_many",
+    "supported_children_many",
+    "service_throughput_prefixes",
+    "NodeArrays",
+    "HierarchyEvaluator",
+]
+
+HAVE_NUMPY = _np is not None
+
+#: Module switch for the backend; tests flip this to prove the NumPy and
+#: pure-Python paths agree bit-for-bit.
+_USE_NUMPY = HAVE_NUMPY
+
+_REL_TOL = 1e-9  # must match repro.core.heuristic._REL_TOL
+
+
+def _numpy_active() -> bool:
+    return _USE_NUMPY and _np is not None
+
+
+def _check_powers(powers: Sequence[float]) -> None:
+    for power in powers:
+        if power <= 0.0:
+            raise ParameterError(f"power must be > 0, got {power}")
+
+
+# ---------------------------------------------------------------------- #
+# batched Eq. 11-14 building blocks
+
+
+def _agent_rate_constants(params: ModelParams, degree: int) -> tuple[float, float]:
+    """(numerator MFlop, communication seconds) of the agent rate at ``degree``.
+
+    Mirrors ``agent_comp_time`` + ``agent_comm_time`` exactly: the work term
+    is ``Wreq + (Wfix + Wsel*d)`` and the communication term is Eq. 1 + Eq. 2
+    evaluated with the agent-level sizes.
+    """
+    if degree < 1:
+        raise ParameterError(f"an agent needs >= 1 child, got degree={degree}")
+    work = params.wreq + params.wrep(degree)
+    sizes = params.agent_sizes
+    comm = (sizes.sreq + degree * sizes.srep) / params.bandwidth + (
+        degree * sizes.sreq + sizes.srep
+    ) / params.bandwidth
+    return work, comm
+
+
+def agent_sched_throughput_many(
+    params: ModelParams,
+    powers: Sequence[float],
+    degrees: int | Sequence[int],
+) -> list[float]:
+    """Eq. 14 agent operand for a whole pool: one rate per (power, degree).
+
+    ``degrees`` may be a single degree shared by every node or one degree
+    per node.  Matches :func:`repro.core.throughput.agent_sched_throughput`
+    bit-for-bit.
+    """
+    _check_powers(powers)
+    if isinstance(degrees, int):
+        work, comm = _agent_rate_constants(params, degrees)
+        if _numpy_active():
+            p = _np.asarray(powers, dtype=_np.float64)
+            return (1.0 / (work / p + comm)).tolist()
+        return [1.0 / (work / power + comm) for power in powers]
+    if len(degrees) != len(powers):
+        raise ParameterError(
+            f"got {len(powers)} powers but {len(degrees)} degrees"
+        )
+    constants = {}
+    for degree in degrees:
+        if degree not in constants:
+            constants[degree] = _agent_rate_constants(params, degree)
+    return [
+        1.0 / (constants[degree][0] / power + constants[degree][1])
+        for power, degree in zip(powers, degrees)
+    ]
+
+
+def server_sched_throughput_many(
+    params: ModelParams, powers: Sequence[float]
+) -> list[float]:
+    """Eq. 14 server operand for a whole pool.
+
+    Matches :func:`repro.core.throughput.server_sched_throughput`
+    bit-for-bit.
+    """
+    _check_powers(powers)
+    comm = params.server_comm
+    if _numpy_active():
+        p = _np.asarray(powers, dtype=_np.float64)
+        return (1.0 / (params.wpre / p + comm)).tolist()
+    return [1.0 / (params.wpre / power + comm) for power in powers]
+
+
+def supported_children_many(
+    params: ModelParams,
+    powers: Sequence[float],
+    target_rate: float,
+) -> list[int]:
+    """Largest degree each node sustains at ``target_rate``, pool at a time.
+
+    Matches :func:`repro.core.heuristic.supported_children` exactly.
+    """
+    if target_rate <= 0.0:
+        # PlanningError, matching the scalar supported_children.
+        raise PlanningError(f"target_rate must be > 0, got {target_rate}")
+    _check_powers(powers)
+    fixed_work = params.agent_fixed_work
+    base_comm = params.agent_comm_base
+    child_comm = params.agent_child_comm
+    inverse = 1.0 / target_rate
+    if _numpy_active():
+        p = _np.asarray(powers, dtype=_np.float64)
+        budget = inverse - (fixed_work / p + base_comm)
+        per_child = params.wsel / p + child_comm
+        slots = _np.floor(budget / per_child + _REL_TOL)
+        slots = _np.where(budget < per_child, 0.0, slots)
+        return [int(s) for s in slots]
+    result = []
+    for power in powers:
+        budget = inverse - (fixed_work / power + base_comm)
+        per_child = params.wsel / power + child_comm
+        if budget < per_child:
+            result.append(0)
+        else:
+            result.append(int(math.floor(budget / per_child + _REL_TOL)))
+    return result
+
+
+def service_throughput_prefixes(
+    params: ModelParams, powers: Sequence[float], app_work: float
+) -> list[float]:
+    """Eq. 15 for every prefix ``powers[:k]`` of a server ranking, k=1..n.
+
+    Uses the closed scalar-``Wapp`` form (``k`` identical prediction terms
+    collapse to ``k * Wpre / Wapp``); the per-prefix values agree with
+    :func:`repro.core.throughput.service_throughput` to ~1 ulp.
+    """
+    if app_work <= 0.0:
+        raise ParameterError(f"app_work must be > 0, got {app_work}")
+    _check_powers(powers)
+    comm = params.service_comm
+    wpre = params.wpre
+    if _numpy_active():
+        p = _np.asarray(powers, dtype=_np.float64)
+        prefix = _np.cumsum(p)
+        k = _np.arange(1, len(powers) + 1, dtype=_np.float64)
+        pred = k * wpre / app_work
+        rate = prefix / app_work
+        return (1.0 / (comm + (1.0 + pred) / rate)).tolist()
+    result = []
+    total = 0.0
+    for k, power in enumerate(powers, start=1):
+        total += power
+        pred = k * wpre / app_work
+        rate = total / app_work
+        result.append(1.0 / (comm + (1.0 + pred) / rate))
+    return result
+
+
+# ---------------------------------------------------------------------- #
+# per-pool constant arrays for the fixed-point solver
+
+
+class NodeArrays:
+    """Per-node model constants for a ranked node list, computed once.
+
+    The fixed-point heuristic probes hundreds of agent/server splits of the
+    same ranking; every probe needs the same five per-node quantities.  This
+    precomputes them as arrays (NumPy when available, lists otherwise) so a
+    probe is slicing plus a handful of vector ops instead of ``O(n)``
+    re-derivations per bisection step.
+
+    Attributes
+    ----------
+    powers:
+        Node computing powers, ranking order.
+    sched_deg1 / sched_deg2:
+        Agent scheduling rate at degree 1 / 2 (the ``t_hi`` feasibility
+        bounds of the solver).
+    fixed, per_child:
+        The ``a`` and ``b`` of the supported-children closed form
+        ``rate = 1 / (a + b*d)`` (see ``supported_children``).
+    server_rate:
+        Server scheduling rate (the Eq. 14 first operand).
+    """
+
+    #: Agent-tier size above which ``slot_total`` switches from the scalar
+    #: early-exit loop to one vectorized pass (below it, per-call NumPy
+    #: dispatch overhead exceeds the arithmetic it saves).
+    VECTOR_TIER = 160
+
+    __slots__ = (
+        "params",
+        "n",
+        "powers",
+        "sched_deg1",
+        "sched_deg2",
+        "fixed",
+        "per_child",
+        "server_rate",
+        "_fixed_list",
+        "_per_child_list",
+        "_vectorized",
+    )
+
+    def __init__(self, params: ModelParams, powers: Sequence[float]):
+        _check_powers(powers)
+        self.params = params
+        self.n = len(powers)
+        self._vectorized = _numpy_active()
+        work1, comm1 = _agent_rate_constants(params, 1)
+        work2, comm2 = _agent_rate_constants(params, 2)
+        fixed_work = params.agent_fixed_work
+        base_comm = params.agent_comm_base
+        child_comm = params.agent_child_comm
+        server_comm = params.server_comm
+        # Python lists are the authoritative store (plain floats, exactly
+        # the scalar expressions); the NumPy views wrap the same values, so
+        # both backends read identical bits.
+        power_list = [float(p) for p in powers]
+        self._fixed_list = [fixed_work / p + base_comm for p in power_list]
+        self._per_child_list = [params.wsel / p + child_comm for p in power_list]
+        sched_deg1 = [1.0 / (work1 / p + comm1) for p in power_list]
+        sched_deg2 = [1.0 / (work2 / p + comm2) for p in power_list]
+        server_rate = [1.0 / (params.wpre / p + server_comm) for p in power_list]
+        if self._vectorized:
+            self.powers = _np.asarray(power_list, dtype=_np.float64)
+            self.sched_deg1 = _np.asarray(sched_deg1, dtype=_np.float64)
+            self.sched_deg2 = _np.asarray(sched_deg2, dtype=_np.float64)
+            self.fixed = _np.asarray(self._fixed_list, dtype=_np.float64)
+            self.per_child = _np.asarray(self._per_child_list, dtype=_np.float64)
+            self.server_rate = _np.asarray(server_rate, dtype=_np.float64)
+        else:
+            self.powers = power_list
+            self.sched_deg1 = sched_deg1
+            self.sched_deg2 = sched_deg2
+            self.fixed = self._fixed_list
+            self.per_child = self._per_child_list
+            self.server_rate = server_rate
+
+    @classmethod
+    def for_nodes(cls, params: ModelParams, nodes: Sequence["Node"]) -> "NodeArrays":
+        return cls(params, [node.power for node in nodes])
+
+    # ------------------------------------------------------------------ #
+
+    def select(self, indices: Sequence[int] | slice):
+        """(powers, fixed, per_child, server_rate) restricted to ``indices``."""
+        if self._vectorized and not isinstance(indices, slice):
+            idx = _np.asarray(indices, dtype=_np.intp)
+            return (
+                self.powers[idx],
+                self.fixed[idx],
+                self.per_child[idx],
+                self.server_rate[idx],
+            )
+        if isinstance(indices, slice):
+            return (
+                self.powers[indices],
+                self.fixed[indices],
+                self.per_child[indices],
+                self.server_rate[indices],
+            )
+        return (
+            [self.powers[i] for i in indices],
+            [self.fixed[i] for i in indices],
+            [self.per_child[i] for i in indices],
+            [self.server_rate[i] for i in indices],
+        )
+
+    def min_sched_deg2(self, lo: int, hi: int) -> float:
+        """``min(sched_deg2[lo:hi])`` (``inf`` on an empty range)."""
+        if hi <= lo:
+            return math.inf
+        if self._vectorized:
+            return float(_np.min(self.sched_deg2[lo:hi]))
+        return min(self.sched_deg2[lo:hi])
+
+    def slot_total(
+        self, lo: int, hi: int, target_rate: float, clip: int
+    ) -> int:
+        """Total supported children over the agent tier ``[lo, hi)``.
+
+        ``sum(min(supported_children(params, w, t), clip))`` over the tier,
+        with each term defined exactly as the scalar function.  Once the
+        running total exceeds ``clip`` the exact remainder is irrelevant to
+        every caller (they clamp to the candidate budget), so the scalar
+        path may return early; the vectorized path returns the full sum —
+        both land on the same value after the caller's clamp.
+        """
+        inverse = 1.0 / target_rate
+        fixed = self._fixed_list
+        per_child = self._per_child_list
+        total = 0
+        # Peel the leading agents scalar-style: the ranking is
+        # power-descending, so the strongest agents usually exhaust the
+        # clip budget within a step or two — no vector dispatch needed.
+        peel = hi if (hi - lo) < self.VECTOR_TIER or not self._vectorized else lo + 2
+        i = lo
+        while i < peel:
+            budget = inverse - fixed[i]
+            b = per_child[i]
+            if budget < b:
+                # The ranking is power-descending, so the per-node terms
+                # are non-increasing: every later term is zero as well.
+                return total
+            # budget/b >= 1, so truncation is floor.
+            slots = int(budget / b + _REL_TOL)
+            if slots > clip:
+                slots = clip
+            total += slots
+            if total > clip:
+                return total
+            i += 1
+        if i == hi:
+            return total
+        budget = inverse - self.fixed[i:hi]
+        per = self.per_child[i:hi]
+        slots = _np.floor(budget / per + _REL_TOL)
+        slots = _np.where(budget < per, 0.0, _np.minimum(slots, float(clip)))
+        # Each term is an integer in [0, clip]; the float sum is exact.
+        return total + int(float(_np.sum(slots)))
+
+    def prefix_powers(self, powers) -> Sequence[float]:
+        """``[0, p0, p0+p1, ...]`` running sums of a power selection."""
+        if self._vectorized:
+            prefix = _np.empty(len(powers) + 1, dtype=_np.float64)
+            prefix[0] = 0.0
+            _np.cumsum(powers, out=prefix[1:])
+            return prefix
+        prefix = [0.0]
+        for power in powers:
+            prefix.append(prefix[-1] + power)
+        return prefix
+
+
+# ---------------------------------------------------------------------- #
+# memoizing hierarchy evaluation
+
+
+class HierarchyEvaluator:
+    """Caches per-node rates so repeated candidate evaluations are cheap.
+
+    One evaluator serves one parameter set.  Planners that score many
+    candidate hierarchies over the same pool (the homogeneous degree sweep,
+    the incremental heuristic, the exhaustive reference) share agent rates
+    keyed by ``(power, degree)``, server rates keyed by power, and service
+    rates keyed by the server-power tuple — a candidate change re-prices
+    only the nodes it touched.
+
+    :meth:`evaluate` returns a :class:`ThroughputReport` identical (bit for
+    bit) to cold :func:`~repro.core.throughput.hierarchy_throughput`.
+    """
+
+    #: Cap on each rate cache, cleared wholesale when full.  The service
+    #: cache is keyed by whole server-power tuples, which the incremental
+    #: heuristic's growing trials never repeat (O(n^2) floats per planned
+    #: pool without a bound); the scalar-keyed caches only grow past this
+    #: for planners reused across many continuous-power pools, but a
+    #: long-lived process must not accumulate them forever either.
+    SERVICE_CACHE_MAX = 4096
+    RATE_CACHE_MAX = 65536
+
+    __slots__ = ("params", "_agent_rates", "_server_rates", "_service_rates")
+
+    def __init__(self, params: ModelParams):
+        self.params = params
+        self._agent_rates: dict[tuple[float, int], float] = {}
+        self._server_rates: dict[float, float] = {}
+        self._service_rates: dict[tuple, float] = {}
+
+    # -- cached scalar rates ------------------------------------------- #
+
+    def agent_rate(self, power: float, degree: int) -> float:
+        """Cached :func:`~repro.core.throughput.agent_sched_throughput`."""
+        key = (power, degree)
+        rate = self._agent_rates.get(key)
+        if rate is None:
+            work, comm = _agent_rate_constants(self.params, degree)
+            if power <= 0.0:
+                raise ParameterError(f"power must be > 0, got {power}")
+            rate = 1.0 / (work / power + comm)
+            if len(self._agent_rates) >= self.RATE_CACHE_MAX:
+                self._agent_rates.clear()
+            self._agent_rates[key] = rate
+        return rate
+
+    def server_rate(self, power: float) -> float:
+        """Cached :func:`~repro.core.throughput.server_sched_throughput`."""
+        rate = self._server_rates.get(power)
+        if rate is None:
+            if power <= 0.0:
+                raise ParameterError(f"power must be > 0, got {power}")
+            rate = 1.0 / (self.params.wpre / power + self.params.server_comm)
+            if len(self._server_rates) >= self.RATE_CACHE_MAX:
+                self._server_rates.clear()
+            self._server_rates[power] = rate
+        return rate
+
+    def service_rate(
+        self, powers: Sequence[float], app_works: Sequence[float]
+    ) -> float:
+        """Cached :func:`~repro.core.throughput.service_throughput`."""
+        key = (tuple(powers), tuple(app_works))
+        rate = self._service_rates.get(key)
+        if rate is None:
+            rate = service_throughput(self.params, powers, app_works)
+            if len(self._service_rates) >= self.SERVICE_CACHE_MAX:
+                self._service_rates.clear()
+            self._service_rates[key] = rate
+        return rate
+
+    # -- whole-hierarchy evaluation ------------------------------------ #
+
+    def _walk(
+        self, hierarchy: Hierarchy
+    ) -> tuple[dict[NodeId, float], NodeId, list[NodeId], list[float]]:
+        """One BFS pass: (rates, limiting node, servers BFS-ordered, powers).
+
+        Reads the hierarchy's internal maps directly — this is the hottest
+        loop of every candidate-sweeping planner, and the attribute/BFS
+        overhead of the public accessors triples its cost.
+        """
+        role_map = hierarchy._role
+        power_map = hierarchy._power
+        children_map = hierarchy._children
+        agent_rates = self._agent_rates
+        server_rates = self._server_rates
+        rates: dict[NodeId, float] = {}
+        server_nodes: list[NodeId] = []
+        server_powers: list[float] = []
+        queue: list[NodeId] = [hierarchy.root]
+        index = 0
+        # Track the minimum on the fly; like min(), ties keep the first
+        # BFS-encountered node.
+        limiting = queue[0]
+        limit_rate = math.inf
+        while index < len(queue):
+            node = queue[index]
+            index += 1
+            power = power_map[node]
+            if role_map[node] is Role.AGENT:
+                children = children_map[node]
+                queue.extend(children)
+                key = (power, len(children))
+                rate = agent_rates.get(key)
+                if rate is None:
+                    rate = self.agent_rate(power, len(children))
+            else:
+                rate = server_rates.get(power)
+                if rate is None:
+                    rate = self.server_rate(power)
+                server_nodes.append(node)
+                server_powers.append(power)
+            rates[node] = rate
+            if rate < limit_rate:
+                limit_rate = rate
+                limiting = node
+        return rates, limiting, server_nodes, server_powers
+
+    def sched_throughput(
+        self, hierarchy: Hierarchy
+    ) -> tuple[float, NodeId, dict[NodeId, float]]:
+        """Eq. 14 over a hierarchy, using the rate caches."""
+        rates, limiting, _, _ = self._walk(hierarchy)
+        return rates[limiting], limiting, rates
+
+    def evaluate(
+        self,
+        hierarchy: Hierarchy,
+        app_work,
+        validate: bool = True,
+    ) -> ThroughputReport:
+        """Eq. 16 — memoized equivalent of ``hierarchy_throughput``.
+
+        ``validate=False`` skips the structural re-check for hierarchies a
+        planner just built itself.
+        """
+        if validate:
+            hierarchy.validate(strict=False)
+        rates, limiting, servers, powers = self._walk(hierarchy)
+        if not servers:
+            raise ParameterError(
+                "deployment has no servers; throughput undefined"
+            )
+        sched = rates[limiting]
+        works = resolve_app_work_list(servers, app_work)
+        service = self.service_rate(powers, works)
+        if sched <= service:
+            bottleneck = "scheduling"
+            rho = sched
+        else:
+            bottleneck = "service"
+            rho = service
+        return ThroughputReport(
+            throughput=rho,
+            sched=sched,
+            service=service,
+            bottleneck=bottleneck,
+            limiting_node=limiting,
+            node_rates=rates,
+        )
+
+    def throughput(
+        self,
+        hierarchy: Hierarchy,
+        app_work,
+        validate: bool = True,
+    ) -> float:
+        """Eq. 16 ``rho`` only — the cheapest way to score a candidate.
+
+        Identical to ``evaluate(...).throughput`` but skips the per-node
+        rate report, which candidate-sweeping planners discard for every
+        tree except the winner.
+        """
+        if validate:
+            hierarchy.validate(strict=False)
+        role_map = hierarchy._role
+        power_map = hierarchy._power
+        children_map = hierarchy._children
+        agent_rates = self._agent_rates
+        server_rates = self._server_rates
+        server_nodes: list[NodeId] = []
+        server_powers: list[float] = []
+        queue: list[NodeId] = [hierarchy.root]
+        index = 0
+        sched = math.inf
+        while index < len(queue):
+            node = queue[index]
+            index += 1
+            power = power_map[node]
+            if role_map[node] is Role.AGENT:
+                children = children_map[node]
+                queue.extend(children)
+                key = (power, len(children))
+                rate = agent_rates.get(key)
+                if rate is None:
+                    rate = self.agent_rate(power, len(children))
+            else:
+                rate = server_rates.get(power)
+                if rate is None:
+                    rate = self.server_rate(power)
+                server_nodes.append(node)
+                server_powers.append(power)
+            if rate < sched:
+                sched = rate
+        if not server_nodes:
+            raise ParameterError(
+                "deployment has no servers; throughput undefined"
+            )
+        works = resolve_app_work_list(server_nodes, app_work)
+        service = self.service_rate(server_powers, works)
+        return sched if sched <= service else service
+
+    def cache_info(self) -> dict[str, int]:
+        """Sizes of the rate caches (diagnostics for tests/benchmarks)."""
+        return {
+            "agent_rates": len(self._agent_rates),
+            "server_rates": len(self._server_rates),
+            "service_rates": len(self._service_rates),
+        }

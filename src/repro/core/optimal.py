@@ -25,14 +25,9 @@ from dataclasses import dataclass
 from itertools import product
 
 from repro.core.hierarchy import Hierarchy
+from repro.core.kernels import HierarchyEvaluator
 from repro.core.params import ModelParams
-from repro.core.throughput import (
-    ThroughputReport,
-    agent_sched_throughput,
-    hierarchy_throughput,
-    server_sched_throughput,
-    service_throughput,
-)
+from repro.core.throughput import ThroughputReport
 from repro.errors import PlanningError
 from repro.platforms.pool import NodePool
 
@@ -181,6 +176,9 @@ def exhaustive_plan(
     names = pool.names
     best: tuple[float, int, dict[str, int], list[str]] | None = None
     satisfying: tuple[float, int, dict[str, int], list[str]] | None = None
+    # The enumeration revisits the same (power, degree) pairs and server
+    # sets constantly; the memoized evaluator prices each exactly once.
+    evaluator = HierarchyEvaluator(params)
 
     for roles in product((0, 1, 2), repeat=n):  # 0 unused, 1 agent, 2 server
         agent_names = [names[i] for i in range(n) if roles[i] == 1]
@@ -189,16 +187,16 @@ def exhaustive_plan(
             continue
         used = len(agent_names) + len(server_names)
         server_powers = [pool[s].power for s in server_names]
-        service = service_throughput(
-            params, server_powers, [app_work] * len(server_powers)
+        service = evaluator.service_rate(
+            server_powers, [app_work] * len(server_powers)
         )
         server_floor = min(
-            server_sched_throughput(params, p) for p in server_powers
+            evaluator.server_rate(p) for p in server_powers
         )
         for degrees in _degree_multisets(used - 1, len(agent_names)):
             assignment = _pair_degrees_to_agents(pool, agent_names, degrees)
             sched = min(
-                agent_sched_throughput(params, pool[a].power, d)
+                evaluator.agent_rate(pool[a].power, d)
                 for a, d in assignment.items()
             )
             rho = min(sched, server_floor, service)
@@ -216,5 +214,5 @@ def exhaustive_plan(
     )
     hierarchy = build_from_roles(pool, assignment, server_names)
     hierarchy.validate(strict=True)
-    report = hierarchy_throughput(hierarchy, params, app_work)
+    report = evaluator.evaluate(hierarchy, app_work, validate=False)
     return ExhaustivePlan(hierarchy=hierarchy, report=report, nodes_used=used)

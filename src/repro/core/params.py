@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
+from functools import cached_property
 
 from repro.errors import ParameterError
 
@@ -106,6 +107,44 @@ class ModelParams:
         if degree < 0:
             raise ParameterError(f"degree must be >= 0, got {degree}")
         return self.wfix + self.wsel * degree
+
+    # ------------------------------------------------------------------ #
+    # Derived constants, precomputed once per parameter set.  These are the
+    # per-request quantities every planner probe needs; hoisting them here
+    # keeps the hot loops free of repeated divisions.  Each expression
+    # mirrors the op-for-op float sequence of the scalar model functions so
+    # substituting a cached constant never changes a result bit.
+
+    @cached_property
+    def agent_fixed_work(self) -> float:
+        """``Wreq + Wfix`` — the degree-independent agent work (MFlop)."""
+        return self.wreq + self.wfix
+
+    @cached_property
+    def agent_comm_base(self) -> float:
+        """Degree-0 agent communication seconds (Eqs. 1–2 with ``d = 0``)."""
+        return (
+            self.agent_sizes.sreq / self.bandwidth
+            + self.agent_sizes.srep / self.bandwidth
+        )
+
+    @cached_property
+    def agent_child_comm(self) -> float:
+        """Per-child agent communication seconds (one Sreq + Srep pair)."""
+        return self.agent_sizes.round_trip / self.bandwidth
+
+    @cached_property
+    def server_comm(self) -> float:
+        """Per-request server scheduling communication seconds (Eqs. 3–4)."""
+        return (
+            self.server_sizes.sreq / self.bandwidth
+            + self.server_sizes.srep / self.bandwidth
+        )
+
+    @cached_property
+    def service_comm(self) -> float:
+        """Per-request client-server communication seconds (service phase)."""
+        return self.service_sizes.round_trip / self.bandwidth
 
     def replace(self, **changes: object) -> "ModelParams":
         """Return a copy with the given fields replaced."""

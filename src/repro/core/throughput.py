@@ -32,6 +32,7 @@ __all__ = [
     "hierarchy_throughput",
     "ThroughputReport",
     "resolve_app_work",
+    "resolve_app_work_list",
 ]
 
 
@@ -74,15 +75,11 @@ def service_throughput(
     return 1.0 / (comm + comp)
 
 
-def resolve_app_work(
-    hierarchy: Hierarchy,
+def resolve_app_work_list(
+    servers: Sequence[NodeId],
     app_work: float | Mapping[NodeId, float],
 ) -> list[float]:
-    """Expand a scalar or per-server mapping of ``Wapp`` into a list.
-
-    The list is ordered like ``hierarchy.servers``.
-    """
-    servers = hierarchy.servers
+    """Expand a scalar or per-server mapping of ``Wapp`` over ``servers``."""
     if isinstance(app_work, Mapping):
         missing = [s for s in servers if s not in app_work]
         if missing:
@@ -92,6 +89,17 @@ def resolve_app_work(
     if work <= 0.0:
         raise ParameterError(f"app_work must be > 0, got {work}")
     return [work] * len(servers)
+
+
+def resolve_app_work(
+    hierarchy: Hierarchy,
+    app_work: float | Mapping[NodeId, float],
+) -> list[float]:
+    """Expand a scalar or per-server mapping of ``Wapp`` into a list.
+
+    The list is ordered like ``hierarchy.servers``.
+    """
+    return resolve_app_work_list(hierarchy.servers, app_work)
 
 
 @dataclass(frozen=True)

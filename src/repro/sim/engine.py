@@ -6,6 +6,13 @@ fire in scheduling order, which keeps every run bit-reproducible.  The
 engine knows nothing about resources or middleware — those layers schedule
 callbacks on it.
 
+Cancellation is lazy — :meth:`Event.cancel` just clears the callback — but
+not unbounded: the simulator counts dead entries and compacts the heap once
+they exceed half of it, so churn-heavy runs (retries, preemption storms,
+timeout ladders) hold memory proportional to the *live* event count.
+Compaction preserves the (time, sequence) total order, so firing order and
+results are bit-identical with or without it.
+
 Design notes (per the HPC guides): the hot loop avoids attribute lookups
 and allocation where it matters, supports millions of events per run, and
 exposes ``run_until`` / ``run`` with event and time budgets so harnesses
@@ -30,6 +37,9 @@ class Event:
     time: float
     sequence: int
     callback: Callable[[], None] | None = field(compare=False)
+    #: Owning simulator, so cancellation can be counted for heap
+    #: compaction.  ``None`` for events constructed outside a simulator.
+    owner: "Simulator | None" = field(compare=False, default=None, repr=False)
 
     @property
     def cancelled(self) -> bool:
@@ -37,7 +47,11 @@ class Event:
 
     def cancel(self) -> None:
         """Cancel the event in place (lazy deletion from the heap)."""
+        if self.callback is None:
+            return
         self.callback = None
+        if self.owner is not None:
+            self.owner._note_cancelled()
 
 
 class Simulator:
@@ -54,11 +68,17 @@ class Simulator:
     [1.0, 2.0]
     """
 
+    #: Compaction triggers only above this heap size — tiny heaps are
+    #: cheaper to drain lazily than to rebuild.
+    COMPACT_MIN_SIZE = 512
+
     def __init__(self) -> None:
         self.now: float = 0.0
         self._heap: list[Event] = []
         self._sequence: int = 0
         self._events_processed: int = 0
+        self._cancelled_in_heap: int = 0
+        self._compactions: int = 0
 
     # ------------------------------------------------------------------ #
 
@@ -67,7 +87,7 @@ class Simulator:
         if delay < 0.0:
             raise SimulationError(f"cannot schedule in the past: delay={delay}")
         self._sequence += 1
-        event = Event(self.now + delay, self._sequence, callback)
+        event = Event(self.now + delay, self._sequence, callback, self)
         heapq.heappush(self._heap, event)
         return event
 
@@ -87,12 +107,39 @@ class Simulator:
         """Number of callbacks fired so far."""
         return self._events_processed
 
+    @property
+    def heap_compactions(self) -> int:
+        """Number of times the event heap has been compacted."""
+        return self._compactions
+
     def peek_time(self) -> float | None:
         """Time of the next live event, or None if the heap is drained."""
         heap = self._heap
-        while heap and heap[0].cancelled:
+        while heap and heap[0].callback is None:
             heapq.heappop(heap)
+            self._cancelled_in_heap -= 1
         return heap[0].time if heap else None
+
+    # ------------------------------------------------------------------ #
+
+    def _note_cancelled(self) -> None:
+        """Bookkeeping hook for :meth:`Event.cancel`; may compact the heap.
+
+        Compaction drops dead entries and re-heapifies.  Heap order is a
+        total order here — sequence numbers are unique — so the surviving
+        events pop in exactly the order they would have anyway: lazily and
+        eagerly deleted runs are bit-identical.
+        """
+        self._cancelled_in_heap += 1
+        heap = self._heap
+        if (
+            len(heap) >= self.COMPACT_MIN_SIZE
+            and 2 * self._cancelled_in_heap > len(heap)
+        ):
+            self._heap = [event for event in heap if event.callback is not None]
+            heapq.heapify(self._heap)
+            self._cancelled_in_heap = 0
+            self._compactions += 1
 
     # ------------------------------------------------------------------ #
 
@@ -102,6 +149,7 @@ class Simulator:
         while heap:
             event = heapq.heappop(heap)
             if event.callback is None:
+                self._cancelled_in_heap -= 1
                 continue
             if event.time < self.now:
                 raise SimulationError(

@@ -163,6 +163,102 @@ class TestScenarioGrid:
     def test_plan_many_empty(self):
         assert PlanningSession().plan_many([]) == []
 
+    def test_plan_many_process_pool_matches_serial(self, pool):
+        # Force the process-pool path even on single-CPU machines.
+        grid = scenario_grid(
+            pools=[pool],
+            app_works=[dgemm_mflop(100), dgemm_mflop(310)],
+            methods=("heuristic", "star"),
+        )
+        serial = PlanningSession().plan_many(grid)
+        spawned = PlanningSession().plan_many(
+            grid, parallel=True, max_workers=2
+        )
+        assert [d.describe() for d in serial] == [
+            d.describe() for d in spawned
+        ]
+        assert [d.hierarchy.describe() for d in serial] == [
+            d.hierarchy.describe() for d in spawned
+        ]
+
+    def test_plan_many_single_worker_takes_serial_path(self, pool, monkeypatch):
+        import repro.api as api_module
+
+        def boom(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("executor must not start for max_workers=1")
+
+        monkeypatch.setattr(api_module, "ProcessPoolExecutor", boom)
+        monkeypatch.setattr(api_module, "ThreadPoolExecutor", boom)
+        grid = scenario_grid(
+            pools=[pool], app_works=[dgemm_mflop(100)], methods=("star",)
+        )
+        result = PlanningSession().plan_many(
+            grid, parallel=True, max_workers=1
+        )
+        assert len(result) == len(grid)
+
+    def test_plan_many_single_request_takes_serial_path(self, pool, monkeypatch):
+        import repro.api as api_module
+
+        def boom(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("executor must not start for one request")
+
+        monkeypatch.setattr(api_module, "ProcessPoolExecutor", boom)
+        request = PlanRequest(pool=pool, app_work=dgemm_mflop(100))
+        result = PlanningSession().plan_many(
+            [request], parallel=True, max_workers=4
+        )
+        assert len(result) == 1
+
+    def test_plan_many_uncached_session_matches_serial_semantics(self, pool):
+        request = PlanRequest(
+            pool=pool, app_work=dgemm_mflop(100), method="star"
+        )
+        batch = [request, request.replace(label="twin")]
+        session = PlanningSession(cache=False)
+        first, second = session.plan_many(
+            batch, parallel=True, max_workers=2
+        )
+        # Like the serial no-cache path: independent objects, no stats.
+        assert first is not second
+        assert first.describe() == second.describe()
+        assert session.cache_info() == {"hits": 0, "misses": 0, "size": 0}
+
+    def test_plan_many_falls_back_to_threads_without_worker_planners(
+        self, pool, monkeypatch
+    ):
+        # A planner registered at runtime is invisible to spawned workers;
+        # the session must retry on threads instead of failing the batch.
+        monkeypatch.setattr(
+            PlanningSession, "_fan_out", staticmethod(lambda *a: None)
+        )
+        grid = scenario_grid(
+            pools=[pool], app_works=[dgemm_mflop(100)],
+            methods=("star", "heuristic"),
+        )
+        serial = PlanningSession().plan_many(grid)
+        fallback = PlanningSession().plan_many(
+            grid, parallel=True, max_workers=2
+        )
+        assert [d.describe() for d in serial] == [
+            d.describe() for d in fallback
+        ]
+
+    def test_plan_many_deduplicates_and_caches_across_calls(self, pool):
+        session = PlanningSession()
+        request = PlanRequest(
+            pool=pool, app_work=dgemm_mflop(100), method="star"
+        )
+        batch = [request, request.replace(label="twin"), request]
+        first = session.plan_many(batch, parallel=True, max_workers=2)
+        assert session.cache_info()["misses"] == 1
+        assert session.cache_info()["hits"] == 2
+        second = session.plan_many(batch, parallel=True, max_workers=2)
+        assert session.cache_info()["misses"] == 1
+        assert [d.describe() for d in first] == [
+            d.describe() for d in second
+        ]
+
     def test_options_by_method(self, pool):
         grid = scenario_grid(
             pools=[pool],

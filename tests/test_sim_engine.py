@@ -75,6 +75,60 @@ class TestCancellation:
         assert sim.peek_time() == 2.0
 
 
+class TestHeapCompaction:
+    @staticmethod
+    def churn(sim, rounds=2000, keep_every=10):
+        """Schedule a storm of events, cancelling all but every k-th."""
+        fired = []
+        for i in range(rounds):
+            event = sim.schedule(
+                1.0 + (i % 7) * 0.25, lambda i=i: fired.append((sim.now, i))
+            )
+            if i % keep_every:
+                event.cancel()
+        return fired
+
+    def test_compaction_bounds_dead_entries(self, monkeypatch):
+        sim = Simulator()
+        monkeypatch.setattr(Simulator, "COMPACT_MIN_SIZE", 64)
+        self.churn(sim)
+        # 90% of the 2000 events were cancelled; lazy deletion alone would
+        # leave them all queued.
+        assert sim.heap_compactions > 0
+        assert sim.pending < 500
+
+    def test_compaction_preserves_firing_order(self, monkeypatch):
+        lazy = Simulator()
+        monkeypatch.setattr(lazy, "COMPACT_MIN_SIZE", 10**9)  # never compact
+        lazy_fired = self.churn(lazy)
+        lazy.run()
+
+        compacting = Simulator()
+        monkeypatch.setattr(compacting, "COMPACT_MIN_SIZE", 32)
+        compacting_fired = self.churn(compacting)
+        compacting.run()
+
+        assert compacting.heap_compactions > 0
+        assert compacting_fired == lazy_fired
+        assert compacting.now == lazy.now
+        assert compacting.events_processed == lazy.events_processed
+
+    def test_cancel_is_idempotent_in_count(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert sim._cancelled_in_heap == 1
+
+    def test_small_heaps_never_compact(self):
+        sim = Simulator()
+        for _ in range(100):
+            sim.schedule(1.0, lambda: None).cancel()
+        assert sim.heap_compactions == 0
+        sim.run()
+        assert sim.events_processed == 0
+
+
 class TestRunUntil:
     def test_stops_at_horizon(self):
         sim = Simulator()
