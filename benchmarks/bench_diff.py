@@ -1,0 +1,137 @@
+#!/usr/bin/env python
+"""Warn-only comparison of two BENCH_planning.json files.
+
+Usage::
+
+    python benchmarks/bench_diff.py BASELINE.json CURRENT.json
+    python benchmarks/bench_diff.py --threshold 0.3 base.json current.json
+
+Loads two ``repro-bench/1`` files, matches measurement cells by
+``(name, params)``, and prints the relative change per common cell.
+Cells whose regression exceeds ``--threshold`` (default 25 %) are
+flagged with ``!!``.  Quick and full runs use different problem sizes —
+when the two files disagree on the ``quick`` flag, cells rarely overlap
+and the script says so instead of comparing apples to oranges.
+
+This is the CI ``bench-smoke`` job's trend check.  It **always exits
+0**: the benchmark JSON exists to make performance drifts attributable,
+not to gate merges (see benchmarks/README.md), and CI noise would make
+a hard gate flaky anyway.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def _cells(payload: dict) -> dict[tuple, dict]:
+    cells = {}
+    for result in payload.get("results", []):
+        key = (
+            result.get("name", "?"),
+            tuple(sorted(result.get("params", {}).items())),
+        )
+        cells[key] = result
+    return cells
+
+
+def _format_key(key: tuple) -> str:
+    name, params = key
+    rendered = ",".join(f"{k}={v}" for k, v in params)
+    return f"{name}[{rendered}]" if rendered else name
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", type=Path)
+    parser.add_argument("current", type=Path)
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="relative regression that earns a '!!' flag (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+    # Warn-only contract: whatever is wrong with the inputs, report and
+    # exit 0 — this tool must never fail the build.
+    try:
+        return _compare(args)
+    except Exception as exc:  # noqa: BLE001 - warn-only by design
+        print(f"bench-diff: comparison failed ({exc!r}); skipping")
+        return 0
+
+
+def _compare(args: argparse.Namespace) -> int:
+    try:
+        baseline = json.loads(args.baseline.read_text())
+        current = json.loads(args.current.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"bench-diff: cannot load inputs ({exc}); skipping")
+        return 0
+
+    for payload, path in ((baseline, args.baseline), (current, args.current)):
+        if payload.get("schema") != "repro-bench/1":
+            print(
+                f"bench-diff: {path} has schema "
+                f"{payload.get('schema')!r}, expected repro-bench/1; skipping"
+            )
+            return 0
+
+    if baseline.get("quick") != current.get("quick"):
+        print(
+            "bench-diff: baseline and current differ in the `quick` flag "
+            f"(baseline quick={baseline.get('quick')}, "
+            f"current quick={current.get('quick')}); sizes are not "
+            "comparable, reporting overlapping cells only"
+        )
+
+    base_cells = _cells(baseline)
+    cur_cells = _cells(current)
+    common = sorted(set(base_cells) & set(cur_cells))
+    if not common:
+        print("bench-diff: no common measurement cells; nothing to compare")
+        return 0
+
+    print(
+        f"bench-diff: {len(common)} common cell(s), "
+        f"threshold {args.threshold:.0%} "
+        "(warn-only; this never fails the build)"
+    )
+    flagged = 0
+    for key in common:
+        base, cur = base_cells[key], cur_cells[key]
+        metric = base.get("metric", "?")
+        before, after = base.get("value"), cur.get("value")
+        if (
+            not isinstance(before, (int, float))
+            or not isinstance(after, (int, float))
+            or before == 0
+        ):
+            print(
+                f"     {_format_key(key)}: skipped "
+                f"(baseline={before!r}, current={after!r})"
+            )
+            continue
+        change = (after - before) / before
+        # For `seconds`, larger is worse; for rates/ratios, smaller is.
+        regression = change if metric == "seconds" else -change
+        flag = "!!" if regression > args.threshold else "  "
+        if flag == "!!":
+            flagged += 1
+        print(
+            f"  {flag} {_format_key(key)}: {before:g} -> {after:g} "
+            f"{metric} ({change:+.1%})"
+        )
+    if flagged:
+        print(
+            f"bench-diff: {flagged} cell(s) regressed beyond "
+            f"{args.threshold:.0%} — worth a look (not failing the build)"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,6 +14,8 @@ The library provides:
   :mod:`repro.middleware`) standing in for the paper's Grid'5000 testbed,
 * plan serialization and a GoDIET-style launcher (:mod:`repro.deploy`),
 * workload and load-injection tooling (:mod:`repro.workloads`),
+* an online control plane — time-varying workload traces and
+  rolling-horizon autoscaling over the simulator (:mod:`repro.control`),
 * a calibration campaign reproducing Table 3 (:mod:`repro.calibration`),
 * experiment harnesses for every figure and table (:mod:`repro.analysis`).
 
@@ -102,7 +104,21 @@ from repro.platforms import (
 )
 from repro.units import dgemm_mflop
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
+
+#: Control-plane names exported lazily (PEP 562): repro.control pulls in
+#: the middleware/sim/extensions stack, which the registry deliberately
+#: defers to first lookup — `import repro` must stay cheap for CLI
+#: startup and plan_many worker processes.
+_CONTROL_EXPORTS = ("ControlLoop", "ControlTimeline", "Trace")
+
+
+def __getattr__(name):
+    if name in _CONTROL_EXPORTS:
+        from repro import control
+
+        return getattr(control, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
 
 __all__ = [
     "__version__",
@@ -137,6 +153,10 @@ __all__ = [
     "star_deployment",
     "balanced_deployment",
     "chain_deployment",
+    # control plane
+    "ControlLoop",
+    "ControlTimeline",
+    "Trace",
     # platforms
     "Node",
     "NodePool",

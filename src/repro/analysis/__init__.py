@@ -25,7 +25,7 @@ from repro.analysis.compare import (
     percent_of_optimal,
     predicted_vs_measured,
 )
-from repro.analysis.report import ascii_chart, ascii_table
+from repro.analysis.report import ascii_chart, ascii_table, render_timeline
 
 __all__ = [
     "ExperimentResult",
@@ -40,4 +40,5 @@ __all__ = [
     "predicted_vs_measured",
     "ascii_table",
     "ascii_chart",
+    "render_timeline",
 ]

@@ -13,7 +13,7 @@ from collections.abc import Sequence
 
 import numpy as np
 
-__all__ = ["ascii_table", "ascii_chart", "format_rate"]
+__all__ = ["ascii_table", "ascii_chart", "format_rate", "render_timeline"]
 
 
 def format_rate(value: float) -> str:
@@ -55,6 +55,47 @@ def ascii_table(
         out.append(line(row))
     out.append(separator)
     return "\n".join(out)
+
+
+def render_timeline(timeline, max_reason: int = 44) -> str:
+    """Render a :class:`~repro.control.loop.ControlTimeline` as a table.
+
+    One row per control epoch — offered clients, served rate, modeled
+    capacity, deployment size and the policy verdict — followed by the
+    timeline's one-line summary.  Redeploys are flagged with ``*`` in
+    the act column.
+    """
+    rows = []
+    for record in timeline.records:
+        reason = record.reason
+        if len(reason) > max_reason:
+            reason = reason[: max_reason - 1] + "…"
+        rows.append(
+            [
+                record.index,
+                f"{record.start:.0f}",
+                record.offered,
+                format_rate(record.served_rate),
+                format_rate(record.capacity),
+                record.deployed_nodes,
+                record.spares,
+                f"{record.busiest_utilization:.2f}",
+                ("*" if record.applied else " ") + record.action,
+                reason,
+            ]
+        )
+    table = ascii_table(
+        headers=[
+            "epoch", "t", "clients", "req/s", "cap", "nodes", "spare",
+            "util", "act", "reason",
+        ],
+        rows=rows,
+        title=(
+            f"Control timeline — policy={timeline.policy} "
+            f"trace={timeline.trace_name} seed={timeline.seed}"
+        ),
+    )
+    return f"{table}\n{timeline.describe()}"
 
 
 def ascii_chart(

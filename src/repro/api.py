@@ -15,7 +15,11 @@ demand, parameters, planner name and typed options.  A
 * :meth:`PlanningSession.rank` — the cross-planner comparison the CLI's
   ``compare`` subcommand and :mod:`repro.analysis.compare` build on:
   plan one pool with several methods, optionally measure each deployment
-  in the discrete-event simulator, and sort best-first.
+  in the discrete-event simulator, and sort best-first;
+* :meth:`PlanningSession.control_run` — the online control plane: run a
+  deployment in the simulator under a time-varying workload trace and
+  let an autoscaling policy adapt it epoch by epoch
+  (:mod:`repro.control`).
 
 Quickstart::
 
@@ -474,6 +478,55 @@ class PlanningSession:
             )
         ranked.sort(key=lambda entry: entry.throughput, reverse=True)
         return ranked
+
+    def control_run(
+        self,
+        pool: NodePool,
+        app_work: float,
+        trace: object,
+        policy: str | object = "reactive",
+        epochs: int = 30,
+        epoch_duration: float = 5.0,
+        base_method: str = "heuristic",
+        initial_fraction: float = 0.5,
+        policy_options: Mapping[str, object] | None = None,
+        seed: int = 0,
+        **loop_kwargs: object,
+    ):
+        """Run the online autoscaling control loop over the simulator.
+
+        Plans an initial deployment for a fraction of ``pool`` with
+        ``base_method``, then drives it through ``epochs`` control
+        epochs under ``trace`` (a :class:`repro.control.traces.Trace`),
+        letting ``policy`` (a registered policy name or a
+        :class:`repro.control.policy.ControlPolicy` instance) grow,
+        shrink or hold it.  Returns the structured
+        :class:`repro.control.loop.ControlTimeline`.
+
+        The session's default params and registry apply, so custom
+        planners registered here are usable as ``base_method``.  Extra
+        keyword arguments go straight to
+        :class:`repro.control.loop.ControlLoop` (``cost_model``,
+        ``recorder``, ``think_time``, ...).
+        """
+        from repro.control.loop import ControlLoop
+
+        loop = ControlLoop(
+            pool=pool,
+            app_work=app_work,
+            trace=trace,
+            policy=policy,
+            params=self.params,
+            registry=self.registry,
+            epochs=epochs,
+            epoch_duration=epoch_duration,
+            base_method=base_method,
+            initial_fraction=initial_fraction,
+            policy_options=dict(policy_options) if policy_options else None,
+            seed=seed,
+            **loop_kwargs,
+        )
+        return loop.run()
 
     # -------------------------------------------------------------- #
 

@@ -9,6 +9,12 @@ Subcommands mirror the paper's workflow:
   sustained throughput under a client ramp (§5.1 protocol);
 * ``compare``   — rank planning methods on one pool (the Figure 6/7
   experiment in miniature, via :meth:`PlanningSession.rank`);
+* ``improve``   — iteratively remove bottlenecks from a deployed plan
+  using spare nodes (the prior-work mechanism in
+  :mod:`repro.extensions.redeploy`);
+* ``control``   — run the online autoscaling control loop: a deployment
+  under a time-varying workload trace, adapted epoch by epoch by a
+  registered policy (:mod:`repro.control`);
 * ``planners``  — list every registered planner, its capabilities and
   its typed options;
 * ``calibrate`` — run the §5.1 calibration campaign and print Table 3.
@@ -34,6 +40,7 @@ from pathlib import Path
 from repro.analysis.report import ascii_table, format_rate
 from repro.api import PlanningSession
 from repro.calibration.table3 import calibrate, render_table3
+from repro.control.policy import available_policies
 from repro.core.params import DEFAULT_PARAMS
 from repro.core.registry import REGISTRY
 from repro.deploy.godiet import GoDIET
@@ -85,26 +92,29 @@ def _add_workload_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _pool_from_args(args: argparse.Namespace) -> NodePool:
+def _pool_from_args(
+    args: argparse.Namespace, prefix: str = "node"
+) -> NodePool:
     if args.powers is not None:
         powers = [float(p) for p in args.powers.split(",") if p.strip()]
         if not powers:
             raise ReproError("--powers must list at least one node power")
-        pool = NodePool.heterogeneous(powers)
+        pool = NodePool.heterogeneous(powers, prefix=prefix)
     elif args.random is not None:
         if args.random <= 0:
             raise ReproError(
                 f"pool size must be positive, got --random {args.random}"
             )
         pool = NodePool.uniform_random(
-            args.random, low=args.low, high=args.high, seed=args.seed
+            args.random, low=args.low, high=args.high, seed=args.seed,
+            prefix=prefix,
         )
     elif args.nodes is not None:
         if args.nodes <= 0:
             raise ReproError(
                 f"pool size must be positive, got --nodes {args.nodes}"
             )
-        pool = NodePool.homogeneous(args.nodes, args.power)
+        pool = NodePool.homogeneous(args.nodes, args.power, prefix=prefix)
     else:
         raise ReproError(
             "specify a pool with --nodes, --powers or --random"
@@ -124,16 +134,19 @@ def _app_work_from_args(args: argparse.Namespace) -> float:
     raise ReproError("specify a workload with --dgemm or --app-work")
 
 
-def _options_from_args(args: argparse.Namespace) -> dict[str, str] | None:
-    """Parse repeatable ``--opt key=value`` flags into a mapping."""
-    if not getattr(args, "opt", None):
+def _options_from_args(
+    args: argparse.Namespace, attribute: str = "opt", flag: str = "--opt"
+) -> dict[str, str] | None:
+    """Parse repeatable ``key=value`` flags (``--opt``, ``--policy-opt``)."""
+    items = getattr(args, attribute, None)
+    if not items:
         return None
     options: dict[str, str] = {}
-    for item in args.opt:
+    for item in items:
         key, separator, value = item.partition("=")
         if not separator or not key:
             raise ReproError(
-                f"--opt expects key=value, got {item!r}"
+                f"{flag} expects key=value, got {item!r}"
             )
         options[key.strip().replace("-", "_")] = value.strip()
     return options
@@ -241,6 +254,93 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_improve(args: argparse.Namespace) -> int:
+    from repro.extensions.redeploy import improve_deployment
+
+    plan = plan_from_xml(Path(args.plan).read_text())
+    has_pool_flags = (
+        args.nodes is not None
+        or args.powers is not None
+        or args.random is not None
+    )
+    spares = (
+        list(_pool_from_args(args, prefix=args.spare_prefix))
+        if has_pool_flags
+        else []
+    )
+    result = improve_deployment(
+        plan.hierarchy,
+        spares,
+        plan.params,
+        plan.app_work,
+        max_iterations=args.max_iterations,
+    )
+    if result.actions:
+        print(
+            ascii_table(
+                headers=["step", "move", "node", "target", "rho before",
+                         "rho after"],
+                rows=[
+                    [
+                        index + 1, action.move, action.node, action.target,
+                        format_rate(action.throughput_before),
+                        format_rate(action.throughput_after),
+                    ]
+                    for index, action in enumerate(result.actions)
+                ],
+                title=f"Improvement plan for {args.plan}",
+            )
+        )
+    else:
+        print("no improving move found; the deployment is already tight")
+    print(
+        f"throughput {format_rate(result.initial_throughput)} -> "
+        f"{format_rate(result.final_throughput)} req/s "
+        f"({result.improvement_factor:.2f}x), "
+        f"{len(result.spares_left)} spare(s) left"
+    )
+    if args.output:
+        improved = DeploymentPlan(
+            hierarchy=result.hierarchy,
+            params=plan.params,
+            app_work=plan.app_work,
+            method=f"{plan.method}+improve",
+            metadata=dict(plan.metadata),
+        )
+        Path(args.output).write_text(plan_to_xml(improved))
+        print(f"improved plan written to {args.output}")
+    if args.show_tree:
+        print(result.hierarchy.describe())
+    return 0
+
+
+def _cmd_control(args: argparse.Namespace) -> int:
+    from repro.analysis.report import render_timeline
+    from repro.control.traces import from_spec
+
+    pool = _pool_from_args(args)
+    app_work = _app_work_from_args(args)
+    policy_options = _options_from_args(
+        args, attribute="policy_opt", flag="--policy-opt"
+    )
+    session = PlanningSession()
+    timeline = session.control_run(
+        pool,
+        app_work,
+        trace=from_spec(args.trace),
+        policy=args.policy,
+        epochs=args.epochs,
+        epoch_duration=args.epoch_duration,
+        base_method=args.base_method,
+        initial_fraction=args.initial_fraction,
+        policy_options=policy_options,
+        think_time=args.think_time,
+        seed=args.seed,
+    )
+    print(render_timeline(timeline))
+    return 0
+
+
 def _cmd_planners(args: argparse.Namespace) -> int:
     rows = []
     for planner in REGISTRY:
@@ -338,6 +438,70 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument("--clients", type=int, default=100)
     p_cmp.add_argument("--duration", type=float, default=15.0)
     p_cmp.set_defaults(func=_cmd_compare)
+
+    p_improve = sub.add_parser(
+        "improve",
+        help="iteratively remove bottlenecks from a deployed plan",
+    )
+    p_improve.add_argument("plan", type=str, help="plan XML file")
+    _add_pool_args(p_improve)
+    p_improve.add_argument(
+        "--spare-prefix", type=str, default="spare",
+        help="name prefix for the spare pool (avoids collisions with "
+        "deployed node names; default 'spare')",
+    )
+    p_improve.add_argument(
+        "--max-iterations", type=int, default=100,
+        help="improvement step budget (default 100)",
+    )
+    p_improve.add_argument(
+        "--output", type=str, help="write the improved plan XML here"
+    )
+    p_improve.add_argument(
+        "--show-tree", action="store_true", help="print the improved tree"
+    )
+    p_improve.set_defaults(func=_cmd_improve)
+
+    p_control = sub.add_parser(
+        "control", help="run the online autoscaling control loop"
+    )
+    _add_pool_args(p_control)
+    _add_workload_args(p_control)
+    p_control.add_argument(
+        "--trace", type=str, required=True,
+        help="workload trace spec, e.g. 'flash:base=5,peak=60,at=30' or "
+        "'diurnal:base=5,peak=40,period=120' "
+        "(types: constant, ramp, diurnal, burst, flash, piecewise)",
+    )
+    p_control.add_argument(
+        "--policy", choices=available_policies(), default="reactive",
+        help="autoscaling policy (default reactive)",
+    )
+    p_control.add_argument(
+        "--policy-opt", action="append", metavar="KEY=VALUE",
+        help="policy option (repeatable), e.g. hysteresis=1",
+    )
+    p_control.add_argument(
+        "--epochs", type=int, default=30,
+        help="number of control epochs (default 30)",
+    )
+    p_control.add_argument(
+        "--epoch-duration", type=float, default=5.0,
+        help="simulated seconds per epoch (default 5)",
+    )
+    p_control.add_argument(
+        "--base-method", choices=REGISTRY.available(), default="heuristic",
+        help="planner for the initial deployment and replans",
+    )
+    p_control.add_argument(
+        "--initial-fraction", type=float, default=0.5,
+        help="fraction of the pool deployed initially (default 0.5)",
+    )
+    p_control.add_argument(
+        "--think-time", type=float, default=0.0,
+        help="client think time between requests (default 0)",
+    )
+    p_control.set_defaults(func=_cmd_control)
 
     p_list = sub.add_parser(
         "planners", help="list registered planners and their options"

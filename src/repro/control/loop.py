@@ -1,0 +1,556 @@
+"""The rolling-horizon autoscaling controller — *act* stage and driver.
+
+:class:`ControlLoop` runs a deployment inside the discrete-event
+simulator under a time-varying :class:`~repro.control.traces.Trace` and
+adapts it epoch by epoch:
+
+1. **simulate** — adjust the closed-loop client population to the trace
+   level and advance the engine one epoch;
+2. **observe** — :class:`~repro.control.monitor.SLOMonitor` condenses
+   the window (served rate, per-tier utilization, queue depth);
+3. **decide** — the configured policy returns ``hold`` / ``improve`` /
+   ``replan``;
+4. **act** — the loop realizes the decision: ``improve`` runs the
+   prior-work bottleneck-removal mechanism over the spares, ``replan``
+   goes through the planner registry; either way the candidate is priced
+   by the :class:`~repro.control.policy.MigrationCostModel` and a
+   scale-up that cannot amortize its migration downtime is **vetoed**.
+   Applied redeploys stop the clients, advance the clock by the
+   migration downtime (in-flight requests drain meanwhile), rebuild the
+   middleware on the *same* simulator, and re-attach the monitor.
+
+The run returns a :class:`ControlTimeline`: one frozen
+:class:`EpochRecord` per epoch plus totals.  Everything is a pure
+function of (pool, trace, policy, params, seed) — wall-clock never leaks
+into the timeline, so two runs with the same seed compare equal, which
+the test suite asserts.  Controller bookkeeping cost is exposed
+separately as :attr:`ControlLoop.overhead_seconds` for the benchmark
+suite.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.api import PlanRequest
+from repro.control.monitor import SLOMonitor, WindowObservation
+from repro.control.policy import (
+    ControlContext,
+    ControlDecision,
+    ControlPolicy,
+    MigrationCostModel,
+    make_policy,
+)
+from repro.control.traces import Trace
+from repro.core.hierarchy import Hierarchy
+from repro.core.params import DEFAULT_PARAMS, ModelParams
+from repro.core.registry import CAP_DEMAND, REGISTRY, PlannerRegistry
+from repro.core.throughput import hierarchy_throughput
+from repro.errors import ControlError
+from repro.extensions.redeploy import improve_deployment
+from repro.middleware.client import ClosedLoopClient
+from repro.middleware.system import MiddlewareSystem
+from repro.platforms.pool import NodePool
+from repro.sim.engine import Simulator
+from repro.sim.stats import IntervalCounter
+from repro.sim.trace import TraceRecorder
+
+__all__ = ["EpochRecord", "ControlTimeline", "ControlLoop"]
+
+_REL_TOL = 1e-9
+
+
+
+@dataclass(frozen=True)
+class EpochRecord:
+    """One epoch of the control timeline.
+
+    ``action``/``reason`` echo the policy decision; ``applied`` says
+    whether the loop actually redeployed (a decision can be a no-op —
+    no improving move found, replan produced the current deployment —
+    or vetoed by the migration-cost gate, in which case ``reason`` says
+    so).  ``migration_seconds`` is the downtime paid this epoch.
+    """
+
+    #: All fields describe the epoch as it ran — the deployment that
+    #: served it, its capacity, its node counts.  A redeploy applied at
+    #: the epoch's end shows up in ``applied``/``migration_seconds``
+    #: here and in the *next* record's deployment fields.
+    index: int
+    start: float
+    end: float
+    offered: int
+    served: int
+    served_rate: float
+    capacity: float
+    deployed_nodes: int
+    spares: int
+    busiest_node: str
+    busiest_utilization: float
+    queue_depth: int
+    action: str
+    reason: str
+    applied: bool
+    migration_seconds: float
+
+
+@dataclass(frozen=True)
+class ControlTimeline:
+    """Structured outcome of one controller run."""
+
+    policy: str
+    trace_name: str
+    seed: int
+    epoch_duration: float
+    records: tuple[EpochRecord, ...] = field(repr=False)
+    total_served: int = 0
+    redeploys: int = 0
+    final_shape: tuple[int, int, int, int] = (0, 0, 0, 0)
+    final_capacity: float = 0.0
+
+    @property
+    def served_in_epochs(self) -> int:
+        """Completions inside measured windows (excludes drain time)."""
+        return sum(record.served for record in self.records)
+
+    @property
+    def mean_served_rate(self) -> float:
+        """Served requests/s averaged over the measured windows."""
+        window = sum(r.end - r.start for r in self.records)
+        return self.served_in_epochs / window if window > 0.0 else 0.0
+
+    @property
+    def migration_downtime(self) -> float:
+        """Total seconds spent migrating across the run."""
+        return sum(r.migration_seconds for r in self.records)
+
+    def describe(self) -> str:
+        return (
+            f"ControlTimeline[{self.policy}] on {self.trace_name}: "
+            f"{len(self.records)} epochs x {self.epoch_duration:g}s, "
+            f"served {self.total_served} "
+            f"({self.mean_served_rate:.1f} req/s mean), "
+            f"{self.redeploys} redeploys "
+            f"({self.migration_downtime:.2f}s downtime), final shape "
+            f"nodes={self.final_shape[0]} agents={self.final_shape[1]} "
+            f"servers={self.final_shape[2]} height={self.final_shape[3]}"
+        )
+
+
+class ControlLoop:
+    """Online autoscaling controller over the simulated platform.
+
+    Parameters
+    ----------
+    pool:
+        Every node the controller may ever use.  The initial deployment
+        takes the first ``round(initial_fraction * n)`` (at least
+        ``min_nodes``); the rest start as spares.
+    app_work:
+        Application work ``Wapp`` per request (MFlop).
+    trace:
+        Target client population over time.
+    policy:
+        A registered policy name (optionally with ``policy_options``) or
+        a :class:`~repro.control.policy.ControlPolicy` instance.
+    epochs, epoch_duration:
+        Rolling-horizon geometry: number of control epochs and seconds
+        of simulation per epoch.
+    base_method:
+        Planner used for the initial deployment and for replans.
+    cost_model:
+        Migration pricing; defaults to
+        :class:`~repro.control.policy.MigrationCostModel`.
+    amortize_epochs:
+        Scale-up gate: the modeled throughput gain must repay the
+        migration downtime within this many epochs.
+    recorder:
+        Optional :class:`~repro.sim.trace.TraceRecorder` wired into
+        every generation of the platform (spanning redeploys).  Leave
+        ``None`` for the zero-cost path.
+    think_time:
+        Client think time between requests.  0 reproduces the paper's
+        load scripts (each client saturates); > 0 makes each trace level
+        an open-ish load so utilization genuinely falls when the trace
+        does — which is what gives scale-down policies something to see.
+    seed:
+        Master seed.  Every stochastic component (middleware RNGs per
+        generation) derives from it; same seed ⇒ identical timeline.
+    """
+
+    def __init__(
+        self,
+        pool: NodePool,
+        app_work: float,
+        trace: Trace,
+        policy: str | ControlPolicy = "reactive",
+        params: ModelParams | None = None,
+        registry: PlannerRegistry | None = None,
+        epochs: int = 30,
+        epoch_duration: float = 5.0,
+        base_method: str = "heuristic",
+        initial_fraction: float = 0.5,
+        min_nodes: int = 2,
+        policy_options: dict[str, object] | None = None,
+        cost_model: MigrationCostModel | None = None,
+        amortize_epochs: int = 4,
+        recorder: TraceRecorder | None = None,
+        think_time: float = 0.0,
+        seed: int = 0,
+    ):
+        if len(pool) < 2:
+            raise ControlError(
+                f"control loop needs a pool of >= 2 nodes, got {len(pool)}"
+            )
+        if not isinstance(trace, Trace):
+            raise ControlError(
+                f"trace must be a control Trace, got {type(trace).__name__}"
+            )
+        if epochs < 1:
+            raise ControlError(f"epochs must be >= 1, got {epochs}")
+        if epoch_duration <= 0.0:
+            raise ControlError(
+                f"epoch_duration must be > 0, got {epoch_duration}"
+            )
+        if not (0.0 < initial_fraction <= 1.0):
+            raise ControlError(
+                f"initial_fraction must be in (0, 1], got {initial_fraction}"
+            )
+        if min_nodes < 2:
+            raise ControlError(f"min_nodes must be >= 2, got {min_nodes}")
+        if amortize_epochs < 1:
+            raise ControlError(
+                f"amortize_epochs must be >= 1, got {amortize_epochs}"
+            )
+        if think_time < 0.0:
+            raise ControlError(
+                f"think_time must be >= 0, got {think_time}"
+            )
+        self.pool = pool
+        self.app_work = float(app_work)
+        self.trace = trace
+        self.policy = make_policy(policy, policy_options)
+        self.params = params if params is not None else DEFAULT_PARAMS
+        self.registry = registry if registry is not None else REGISTRY
+        self.epochs = epochs
+        self.epoch_duration = float(epoch_duration)
+        self.base_method = base_method
+        self.initial_fraction = initial_fraction
+        self.min_nodes = min_nodes
+        self.cost_model = (
+            cost_model if cost_model is not None else MigrationCostModel()
+        )
+        self.amortize_epochs = amortize_epochs
+        self.recorder = recorder
+        self.think_time = float(think_time)
+        self.seed = seed
+        #: Wall-clock seconds the controller itself spent (planning,
+        #: observing, deciding, pricing) in the last :meth:`run` —
+        #: telemetry only, never part of the timeline.
+        self.overhead_seconds = 0.0
+        #: The last run's final demand-unit estimate (req/s one
+        #: unsaturated client generates); telemetry only.
+        self.demand_unit_estimate = 0.0
+
+    # ------------------------------------------------------------------ #
+
+    def run(self) -> ControlTimeline:
+        """Execute the simulate → observe → decide → act loop."""
+        self.overhead_seconds = 0.0
+        params = self.params
+        tick = time.perf_counter()
+        initial = min(
+            len(self.pool),
+            max(self.min_nodes, round(self.initial_fraction * len(self.pool))),
+        )
+        deployment = self.registry.plan(
+            PlanRequest(
+                pool=self.pool.take(initial),
+                app_work=self.app_work,
+                params=params,
+                method=self.base_method,
+                seed=self.seed,
+            )
+        )
+        sim = Simulator()
+        completions = IntervalCounter()
+        monitor = SLOMonitor(completions)
+        hierarchy = deployment.hierarchy
+        spares = self._spares_for(hierarchy)
+        system = self._build_system(sim, hierarchy, generation=0)
+        monitor.attach(system)
+        # Model capacity of the live deployment; only changes on redeploy.
+        capacity = hierarchy_throughput(
+            hierarchy, params, self.app_work
+        ).throughput
+        self.overhead_seconds += time.perf_counter() - tick
+
+        clients: list[ClosedLoopClient] = []
+        observations: list[WindowObservation] = []
+        records: list[EpochRecord] = []
+        generation = 0
+        redeploys = 0
+        # Policies gate their cooldown on `redeploys > 0`, so the value
+        # before the first redeploy is immaterial.
+        epochs_since_redeploy = self.epochs
+        demand_unit = 0.0
+        client_serial = 0
+        # Stopped clients whose final request is still in flight; their
+        # completions land in windows whose `offered` no longer counts
+        # them, so calibration is suppressed until the drain finishes.
+        draining: list[ClosedLoopClient] = []
+
+        def record_completion(request) -> None:
+            completions.record(sim.now)
+
+        for index in range(self.epochs):
+            start = sim.now
+            end = start + self.epoch_duration
+            offered = self.trace.level(start)
+
+            # simulate: reconcile the client population, advance one epoch.
+            while len(clients) < offered:
+                client = ClosedLoopClient(
+                    system,
+                    f"c{generation}-{client_serial:05d}",
+                    think_time=self.think_time,
+                    on_complete=record_completion,
+                )
+                client_serial += 1
+                clients.append(client)
+                client.start()
+            while len(clients) > offered:
+                stopped = clients.pop()
+                stopped.stop()
+                draining.append(stopped)
+            # A drain finishing mid-window still contaminates it, so the
+            # calibration guard sees the window-start state; the list is
+            # pruned afterwards for the next epoch.
+            window_contaminated = bool(draining)
+            sim.run_until(end)
+            draining = [client for client in draining if client.active]
+
+            # observe.
+            tick = time.perf_counter()
+            observation = monitor.observe(index, start, end, offered)
+            observations.append(observation)
+            if observation.offered > 0 and not window_contaminated:
+                # served/offered never exceeds the rate one unsaturated
+                # client generates (latency only grows with contention),
+                # so the running max is a safe demand-unit estimate — but
+                # only for windows free of drain contamination: stopped
+                # clients (population shrink or redeploy) complete their
+                # final requests inside windows whose `offered` no longer
+                # counts them, inflating the ratio for as long as the
+                # drain lasts.  Calibration waits until every stopped
+                # client has gone quiet; the estimate stays a lower bound.
+                demand_unit = max(demand_unit, observation.per_client_rate)
+
+            # decide.
+            context = ControlContext(
+                observations=tuple(observations),
+                capacity=capacity,
+                deployed_nodes=len(hierarchy),
+                pool_size=len(self.pool),
+                spares=len(spares),
+                min_nodes=self.min_nodes,
+                epoch_duration=self.epoch_duration,
+                next_start=sim.now,
+                trace=self.trace,
+                demand_unit=demand_unit,
+                redeploys=redeploys,
+                epochs_since_redeploy=epochs_since_redeploy,
+            )
+            decision = self.policy.decide(context)
+
+            # act.
+            candidate, reason, migration, new_capacity = self._realize(
+                decision, hierarchy, spares, capacity, observation
+            )
+
+            applied = False
+            epoch_capacity = capacity
+            epoch_nodes = len(hierarchy)
+            epoch_spares = len(spares)
+            if candidate is not None:
+                hierarchy = candidate
+                spares = self._spares_for(hierarchy)
+                capacity = new_capacity
+                self.overhead_seconds += time.perf_counter() - tick
+                for client in clients:
+                    client.stop()
+                draining.extend(clients)
+                clients = []
+                # Downtime: in-flight requests drain on the old platform
+                # while the new one is configured and launched.  Drained
+                # completions landing after the migration window count
+                # toward the *next* epoch's served rate: the completion
+                # series is deliberately continuous across generations
+                # (served is served, whichever deployment did it), and
+                # the post-redeploy cooldown keeps policies from reading
+                # drain residue as demand.
+                sim.run_until(sim.now + migration)
+                tick = time.perf_counter()
+                generation += 1
+                redeploys += 1
+                system = self._build_system(sim, hierarchy, generation)
+                monitor.attach(system)
+                self.overhead_seconds += time.perf_counter() - tick
+                applied = True
+                epochs_since_redeploy = 0
+            else:
+                self.overhead_seconds += time.perf_counter() - tick
+                epochs_since_redeploy += 1
+
+            records.append(
+                EpochRecord(
+                    index=index,
+                    start=start,
+                    end=end,
+                    offered=offered,
+                    served=observation.served,
+                    served_rate=observation.served_rate,
+                    capacity=epoch_capacity,
+                    deployed_nodes=epoch_nodes,
+                    spares=epoch_spares,
+                    busiest_node=observation.busiest_node,
+                    busiest_utilization=observation.busiest_utilization,
+                    queue_depth=observation.queue_depth,
+                    action=decision.action,
+                    reason=reason,
+                    applied=applied,
+                    migration_seconds=migration,
+                )
+            )
+
+        self.demand_unit_estimate = demand_unit
+        return ControlTimeline(
+            policy=self.policy.name,
+            trace_name=self.trace.name,
+            seed=self.seed,
+            epoch_duration=self.epoch_duration,
+            records=tuple(records),
+            total_served=completions.count,
+            redeploys=redeploys,
+            final_shape=hierarchy.shape_signature(),
+            final_capacity=capacity,
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def _spares_for(self, hierarchy: Hierarchy):
+        deployed = {str(node) for node in hierarchy}
+        return [node for node in self.pool if node.name not in deployed]
+
+    def _build_system(
+        self, sim: Simulator, hierarchy: Hierarchy, generation: int
+    ) -> MiddlewareSystem:
+        return MiddlewareSystem(
+            sim,
+            hierarchy,
+            self.params,
+            self.app_work,
+            trace=self.recorder,
+            seed=self.seed + generation,
+        )
+
+    def _realize(
+        self,
+        decision: ControlDecision,
+        hierarchy: Hierarchy,
+        spares,
+        capacity: float,
+        observation: WindowObservation,
+    ) -> tuple[Hierarchy | None, str, float, float]:
+        """Turn a decision into ``(candidate, reason, migration s, rho)``.
+
+        ``candidate`` is ``None`` (cost and rho 0) when the decision is a
+        no-op or the migration-cost gate vetoes it; ``reason`` then says
+        why.  ``rho`` is the candidate's modeled throughput — already
+        computed by the improve/replan machinery, so the caller never
+        re-evaluates the model.
+        """
+        reason = decision.reason
+        if decision.action == "hold":
+            return None, reason, 0.0, 0.0
+        if decision.action == "improve":
+            if not spares:
+                return None, f"{reason} [no-op: no spares]", 0.0, 0.0
+            result = improve_deployment(
+                hierarchy, list(spares), self.params, self.app_work
+            )
+            gain = result.final_throughput - result.initial_throughput
+            if not result.actions or gain <= capacity * _REL_TOL:
+                return None, f"{reason} [no-op: no improving move]", 0.0, 0.0
+            return self._gate_scale_up(
+                result.hierarchy, hierarchy, result.final_throughput,
+                gain, observation, reason,
+            )
+        # replan
+        if decision.demand is not None and CAP_DEMAND not in self.registry.get(
+            self.base_method
+        ).capabilities:
+            # A demand-blind planner would plan the full pool for maximum
+            # throughput — turning a shrink decision into a scale-up, the
+            # opposite of what the policy asked for.
+            return None, (
+                f"{reason} [no-op: planner {self.base_method!r} ignores "
+                "demand caps]"
+            ), 0.0, 0.0
+        planned = self.registry.plan(
+            PlanRequest(
+                pool=self.pool,
+                app_work=self.app_work,
+                demand=decision.demand,
+                params=self.params,
+                method=self.base_method,
+                seed=self.seed,
+            )
+        )
+        candidate = planned.hierarchy
+        if self.cost_model.touched_nodes(hierarchy, candidate) == 0:
+            return (
+                None, f"{reason} [no-op: replan kept the deployment]",
+                0.0, 0.0,
+            )
+        cost = self.cost_model.cost_seconds(hierarchy, candidate, self.params)
+        gain = planned.throughput - capacity
+        if gain > capacity * _REL_TOL:
+            return self._gate_scale_up(
+                candidate, hierarchy, planned.throughput, gain,
+                observation, reason, cost,
+            )
+        # Scale-down (or sideways): efficiency move, no throughput gate —
+        # but never below the configured deployment floor.
+        if len(candidate) < self.min_nodes:
+            return None, (
+                f"{reason} [no-op: candidate has {len(candidate)} nodes, "
+                f"below min_nodes={self.min_nodes}]"
+            ), 0.0, 0.0
+        return candidate, reason, cost, planned.throughput
+
+    def _gate_scale_up(
+        self,
+        candidate: Hierarchy,
+        current: Hierarchy,
+        rho: float,
+        gain: float,
+        observation: WindowObservation,
+        reason: str,
+        cost: float | None = None,
+    ) -> tuple[Hierarchy | None, str, float, float]:
+        """Veto scale-ups whose gain cannot amortize the migration loss."""
+        if cost is None:
+            cost = self.cost_model.cost_seconds(
+                current, candidate, self.params
+            )
+        lost_requests = cost * observation.served_rate
+        gained_requests = gain * self.amortize_epochs * self.epoch_duration
+        if gained_requests <= lost_requests:
+            return None, (
+                f"{reason} [vetoed: migration loses "
+                f"{lost_requests:.0f} requests vs {gained_requests:.0f} "
+                f"gained over {self.amortize_epochs} epochs]"
+            ), 0.0, 0.0
+        return candidate, reason, cost, rho

@@ -1,0 +1,169 @@
+"""Windowed SLO observation over the simulated platform.
+
+The control loop's *sense* stage.  :class:`SLOMonitor` watches one
+:class:`~repro.middleware.system.MiddlewareSystem` at a time and, once per
+control epoch, condenses the window into a :class:`WindowObservation`:
+served throughput (from a completion counter the controller owns, so the
+series survives redeploys), per-tier utilization (agents vs. servers,
+computed over the *window* by diffing
+:meth:`~repro.sim.resources.SerialResource.busy_seconds` snapshots — the
+cumulative :meth:`~repro.sim.resources.SerialResource.utilization` would
+smear the past into the present), and queue depth (work items waiting
+across every node resource, the earliest saturation signal).
+
+The monitor is strictly read-only with respect to the simulation: it
+never schedules events, so attaching it cannot perturb a run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ControlError
+from repro.middleware.system import MiddlewareSystem
+from repro.sim.stats import IntervalCounter
+
+__all__ = ["WindowObservation", "SLOMonitor"]
+
+
+@dataclass(frozen=True)
+class WindowObservation:
+    """What the monitor saw during one control epoch.
+
+    Attributes
+    ----------
+    index:
+        Epoch number (0-based).
+    start, end:
+        Window bounds in simulation time.
+    offered:
+        Target client population during the window (the trace level).
+    served:
+        Requests completed inside the window.
+    served_rate:
+        ``served / (end - start)`` — requests/s.
+    agent_utilization:
+        Busiest agent's busy fraction over the window.
+    server_utilization:
+        Mean server busy fraction over the window.
+    busiest_node, busiest_utilization:
+        The window's bottleneck node — the live analogue of the model's
+        limiting element.
+    queue_depth:
+        Work items waiting across all node resources at window end.
+    """
+
+    index: int
+    start: float
+    end: float
+    offered: int
+    served: int
+    served_rate: float
+    agent_utilization: float
+    server_utilization: float
+    busiest_node: str
+    busiest_utilization: float
+    queue_depth: int
+
+    @property
+    def per_client_rate(self) -> float:
+        """Requests/s each offered client achieved (0 when idle)."""
+        if self.offered <= 0:
+            return 0.0
+        return self.served_rate / self.offered
+
+
+class SLOMonitor:
+    """Windowed observer over the running (simulated) platform.
+
+    Parameters
+    ----------
+    completions:
+        The controller-owned completion counter.  Owning it here rather
+        than reading ``system.completions`` keeps the served series
+        continuous across redeploys, when the system object is replaced.
+    """
+
+    def __init__(self, completions: IntervalCounter):
+        self.completions = completions
+        self._system: MiddlewareSystem | None = None
+        self._busy_snapshot: dict[str, float] = {}
+        self._snapshot_time = 0.0
+
+    # ------------------------------------------------------------------ #
+
+    def attach(self, system: MiddlewareSystem) -> None:
+        """Point the monitor at a (new) platform and reset busy baselines."""
+        self._system = system
+        self._snapshot_time = system.sim.now
+        self._busy_snapshot = {
+            name: element.resource.busy_seconds()
+            for name, element in self._elements(system)
+        }
+
+    @staticmethod
+    def _elements(system: MiddlewareSystem):
+        yield from system.agents.items()
+        yield from system.servers.items()
+
+    def window_utilization(self) -> dict[str, float]:
+        """Per-node busy fraction since the last attach/observe snapshot."""
+        if self._system is None:
+            raise ControlError("monitor is not attached to a system")
+        elapsed = self._system.sim.now - self._snapshot_time
+        if elapsed <= 0.0:
+            return {name: 0.0 for name, _ in self._elements(self._system)}
+        report = {}
+        for name, element in self._elements(self._system):
+            before = self._busy_snapshot.get(name, 0.0)
+            busy = element.resource.busy_seconds() - before
+            report[name] = min(1.0, max(0.0, busy / elapsed))
+        return report
+
+    def observe(
+        self, index: int, start: float, end: float, offered: int
+    ) -> WindowObservation:
+        """Condense the window ``(start, end]`` into one observation.
+
+        Also advances the busy-time snapshot, so consecutive calls yield
+        independent windows.
+        """
+        if self._system is None:
+            raise ControlError("monitor is not attached to a system")
+        if end <= start:
+            raise ControlError(f"bad observation window: ({start}, {end})")
+        system = self._system
+        utilization = self.window_utilization()
+        agent_utils = {
+            name: utilization[name] for name in system.agents
+        }
+        server_utils = [utilization[name] for name in system.servers]
+        busiest = max(utilization, key=lambda k: (utilization[k], k))
+        served = self.completions.count_in(start, end)
+        queue_depth = sum(
+            element.resource.queue_length
+            for _, element in self._elements(system)
+        )
+        # Roll the snapshot forward for the next window.
+        self._snapshot_time = system.sim.now
+        self._busy_snapshot = {
+            name: element.resource.busy_seconds()
+            for name, element in self._elements(system)
+        }
+        return WindowObservation(
+            index=index,
+            start=start,
+            end=end,
+            offered=offered,
+            served=served,
+            served_rate=served / (end - start),
+            agent_utilization=(
+                max(agent_utils.values()) if agent_utils else 0.0
+            ),
+            server_utilization=(
+                sum(server_utils) / len(server_utils) if server_utils else 0.0
+            ),
+            busiest_node=busiest,
+            busiest_utilization=utilization[busiest],
+            queue_depth=queue_depth,
+        )

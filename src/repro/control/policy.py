@@ -1,0 +1,592 @@
+"""Autoscaling policies — the control loop's *decide* stage.
+
+A policy looks at the monitor's windowed observations (plus the model's
+capacity estimate of the live deployment) and chooses one of three
+actions per epoch:
+
+``hold``
+    Keep the current deployment.
+``improve``
+    Grow the running deployment in place with
+    :func:`repro.extensions.redeploy.improve_deployment` — the paper's
+    prior-work mechanism, consuming spare nodes.  Cheap migration: only
+    the touched nodes move.
+``replan``
+    Plan a fresh deployment over the whole pool through the planner
+    registry, optionally capped to a demand target (requests/s) so the
+    platform can also *shrink*.
+
+Policies register by name (:func:`register_policy`) exactly like
+planners, so ``repro-deploy control --policy NAME`` and third-party
+policies come for free:
+
+* ``hold`` — the static no-op baseline (what the paper's one-shot plan
+  amounts to);
+* ``reactive`` — threshold rules on the window's bottleneck utilization
+  and queue depth, gated by hysteresis (N consecutive windows) and a
+  post-redeploy cooldown;
+* ``predictive`` — linear lookahead on the offered-client trend, scaled
+  through the throughput model's capacity estimate, acting *before*
+  saturation;
+* ``oracle`` — reads the true future trace level and replans whenever
+  required capacity drifts from deployed capacity.  An upper bound on
+  responsiveness and a deliberately migration-oblivious baseline: it
+  redeploys on every demand shift, so a good reactive policy should
+  approach its served throughput with far fewer redeploys.
+
+Every decision the loop applies is additionally priced through a
+:class:`MigrationCostModel` (seconds of control-plane downtime derived
+from :class:`~repro.core.params.ModelParams` communication constants);
+scale-ups whose modeled gain does not amortize the migration loss are
+vetoed by the loop.
+"""
+
+from __future__ import annotations
+
+import inspect
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.control.traces import Trace
+from repro.core.hierarchy import Hierarchy
+from repro.core.params import ModelParams
+from repro.errors import ControlError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.control.monitor import WindowObservation
+
+__all__ = [
+    "ControlDecision",
+    "ControlContext",
+    "ControlPolicy",
+    "MigrationCostModel",
+    "register_policy",
+    "available_policies",
+    "make_policy",
+    "StaticPolicy",
+    "ReactivePolicy",
+    "PredictivePolicy",
+    "OraclePolicy",
+]
+
+
+@dataclass(frozen=True)
+class ControlDecision:
+    """One policy verdict for the upcoming epoch.
+
+    ``demand`` is the capacity target (requests/s) of a ``replan`` —
+    ``None`` means plan for maximum throughput.
+    """
+
+    action: str  # "hold" | "improve" | "replan"
+    reason: str = ""
+    demand: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.action not in ("hold", "improve", "replan"):
+            raise ControlError(
+                f"unknown control action {self.action!r}; "
+                "expected hold, improve or replan"
+            )
+        if self.demand is not None and self.demand <= 0.0:
+            raise ControlError(
+                f"replan demand must be > 0, got {self.demand}"
+            )
+
+    @classmethod
+    def hold(cls, reason: str = "") -> "ControlDecision":
+        return cls("hold", reason)
+
+
+@dataclass(frozen=True)
+class ControlContext:
+    """Everything a policy may look at when deciding.
+
+    Attributes
+    ----------
+    observations:
+        Monitor history, oldest first; ``observations[-1]`` is the epoch
+        that just finished.
+    capacity:
+        Model-predicted throughput (Eq. 16) of the live deployment.
+    deployed_nodes, pool_size, spares:
+        Node accounting; ``spares`` are pool nodes not deployed.
+    min_nodes:
+        Smallest deployment the controller will shrink to.
+    epoch_duration, next_start:
+        Epoch length and the upcoming epoch's start time.
+    trace:
+        The workload trace.  Only the oracle may *peek ahead* on it;
+        causal policies must restrict themselves to ``observations``.
+    demand_unit:
+        Online estimate of the requests/s one unsaturated closed-loop
+        client generates (0 while unknown) — the bridge from trace
+        levels (clients) to capacity targets (requests/s).
+    redeploys, epochs_since_redeploy:
+        Redeploy accounting, the raw material of cooldown gates.
+    """
+
+    observations: tuple[WindowObservation, ...]
+    capacity: float
+    deployed_nodes: int
+    pool_size: int
+    spares: int
+    min_nodes: int
+    epoch_duration: float
+    next_start: float
+    trace: Trace
+    demand_unit: float
+    redeploys: int
+    epochs_since_redeploy: int
+
+    @property
+    def last(self) -> WindowObservation | None:
+        return self.observations[-1] if self.observations else None
+
+    def required_rate(self, level: int, headroom: float = 1.0) -> float:
+        """Capacity (req/s) needed to serve ``level`` clients unsaturated."""
+        return max(0.0, level * self.demand_unit * headroom)
+
+    def can_shrink(self) -> bool:
+        return self.deployed_nodes > self.min_nodes
+
+
+class ControlPolicy:
+    """Protocol-by-convention base: a ``name`` and a ``decide``.
+
+    Subclasses implement :meth:`decide`; stateless by design — all state
+    a policy needs (hysteresis counters included) is derivable from the
+    context's observation history, which keeps runs replayable.
+    """
+
+    name = "abstract"
+
+    def decide(self, ctx: ControlContext) -> ControlDecision:
+        raise NotImplementedError  # pragma: no cover
+
+    def describe(self) -> str:
+        options = ", ".join(
+            f"{key}={value!r}"
+            for key, value in sorted(vars(self).items())
+        )
+        return f"{self.name}({options})"
+
+
+# ---------------------------------------------------------------------- #
+# registry
+
+_POLICIES: dict[str, type] = {}
+
+
+def register_policy(cls: type) -> type:
+    """Class decorator registering a policy under ``cls.name``."""
+    name = getattr(cls, "name", None)
+    if not name or not isinstance(name, str):
+        raise ControlError(
+            f"policy {cls!r} needs a non-empty string `name`"
+        )
+    if not callable(getattr(cls, "decide", None)):
+        raise ControlError(f"policy {name!r} needs a decide() method")
+    if name in _POLICIES:
+        raise ControlError(f"policy {name!r} is already registered")
+    _POLICIES[name] = cls
+    return cls
+
+
+def available_policies() -> tuple[str, ...]:
+    """Registered policy names, sorted."""
+    return tuple(sorted(_POLICIES))
+
+
+def make_policy(
+    policy: "str | ControlPolicy",
+    options: Mapping[str, object] | None = None,
+) -> "ControlPolicy":
+    """Resolve a policy name (plus loose options) into an instance.
+
+    String-valued options (the CLI's ``--policy-opt key=value``) are
+    coerced to the type of the constructor default, mirroring the typed
+    planner options.
+    """
+    if isinstance(policy, ControlPolicy):
+        if options:
+            raise ControlError(
+                "policy options only apply when the policy is given by "
+                "name, not as an instance"
+            )
+        return policy
+    if policy not in _POLICIES:
+        raise ControlError(
+            f"unknown control policy {policy!r}; "
+            f"available policies: {', '.join(available_policies())}"
+        )
+    cls = _POLICIES[policy]
+    if not options:
+        return cls()
+    parameters = {
+        name: parameter
+        for name, parameter in inspect.signature(cls.__init__).parameters.items()
+        if name != "self"
+        and parameter.kind
+        in (
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+            inspect.Parameter.KEYWORD_ONLY,
+        )
+    }
+    unknown = sorted(set(options) - set(parameters))
+    if unknown:
+        raise ControlError(
+            f"unknown option(s) {unknown} for policy {policy!r}; "
+            f"valid options: {sorted(parameters)}"
+        )
+    kwargs: dict[str, object] = {}
+    for key, value in options.items():
+        default = parameters[key].default
+        if default is inspect.Parameter.empty and isinstance(value, str):
+            # No default to infer a type from: passing the raw string on
+            # would fail deep inside decide() instead of here.
+            raise ControlError(
+                f"policy option {key!r} of {policy!r} has no default to "
+                "infer a type from; pass a pre-typed value via the API "
+                "or give the parameter a default"
+            )
+        if isinstance(value, str) and default is not inspect.Parameter.empty:
+            try:
+                if isinstance(default, bool):
+                    lowered = value.strip().lower()
+                    if lowered in ("1", "true", "yes", "on"):
+                        value = True
+                    elif lowered in ("0", "false", "no", "off"):
+                        value = False
+                    else:
+                        raise ValueError(f"not a boolean: {value!r}")
+                elif isinstance(default, int):
+                    value = int(value)
+                elif isinstance(default, float):
+                    value = float(value)
+            except ValueError as exc:
+                raise ControlError(
+                    f"policy option {key}={value!r} is not a valid "
+                    f"{type(default).__name__}: {exc}"
+                ) from exc
+        kwargs[key] = value
+    return cls(**kwargs)
+
+
+# ---------------------------------------------------------------------- #
+# migration pricing
+
+
+@dataclass(frozen=True)
+class MigrationCostModel:
+    """Downtime (seconds) of switching deployments, priced from the model.
+
+    A redeploy touches every node that is added, removed, re-parented or
+    role-changed between the old and new hierarchies.  Each touched node
+    costs a configuration push (``config_mb`` over the platform link) plus
+    ``control_round_trips`` agent-level request/reply exchanges — the same
+    :class:`~repro.core.params.ModelParams` communication constants the
+    throughput model bills (Table 3 sizes over ``bandwidth``) — on top of
+    a fixed control-plane ``restart_seconds``.  GoDIET-style launchers
+    behave exactly like this: per-element config, serial acks, one
+    restart barrier.
+    """
+
+    restart_seconds: float = 0.25
+    config_mb: float = 1.0
+    control_round_trips: int = 2
+
+    def __post_init__(self) -> None:
+        if self.restart_seconds < 0.0:
+            raise ControlError(
+                f"restart_seconds must be >= 0, got {self.restart_seconds}"
+            )
+        if self.config_mb < 0.0:
+            raise ControlError(
+                f"config_mb must be >= 0, got {self.config_mb}"
+            )
+        if self.control_round_trips < 0:
+            raise ControlError(
+                "control_round_trips must be >= 0, "
+                f"got {self.control_round_trips}"
+            )
+
+    @staticmethod
+    def touched_nodes(old: Hierarchy | None, new: Hierarchy) -> int:
+        """Nodes added, removed, re-parented or role-changed."""
+        if old is None:
+            return len(new)
+
+        def placement(h: Hierarchy) -> dict[str, tuple[str, object]]:
+            return {
+                str(node): (str(h.parent(node)), h.role(node)) for node in h
+            }
+
+        before, after = placement(old), placement(new)
+        added = set(after) - set(before)
+        removed = set(before) - set(after)
+        moved = {
+            node
+            for node in set(before) & set(after)
+            if before[node] != after[node]
+        }
+        return len(added) + len(removed) + len(moved)
+
+    def cost_seconds(
+        self, old: Hierarchy | None, new: Hierarchy, params: ModelParams
+    ) -> float:
+        """Predicted downtime of migrating ``old`` → ``new``."""
+        per_node = (
+            self.config_mb / params.bandwidth
+            + self.control_round_trips * params.agent_child_comm
+        )
+        return self.restart_seconds + self.touched_nodes(old, new) * per_node
+
+
+# ---------------------------------------------------------------------- #
+# built-in policies
+
+
+@register_policy
+class StaticPolicy(ControlPolicy):
+    """Never adapt — the paper's one-shot deployment as a baseline."""
+
+    name = "hold"
+
+    def decide(self, ctx: ControlContext) -> ControlDecision:
+        return ControlDecision.hold("static policy")
+
+
+@register_policy
+class ReactivePolicy(ControlPolicy):
+    """Threshold rules with hysteresis and cooldown.
+
+    Scale **up** (``improve``, consuming spare nodes) after
+    ``hysteresis`` consecutive *saturated* windows: the
+    aggregate served rate has reached ``up_fraction`` of the modeled
+    capacity **and** the bottleneck node is pinned (utilization at
+    ``up_utilization`` or queues backing up).  Both conditions matter —
+    a single slow server can sit at 100 % utilization while the platform
+    as a whole has plenty of headroom, and the aggregate alone cannot
+    distinguish "at capacity" from "exactly sized".
+
+    Scale **down** (demand-capped ``replan``) after ``hysteresis``
+    consecutive windows whose served rate falls below ``down_fraction``
+    of capacity — the platform is provably over-provisioned — sized to
+    the recent peak offered level times ``headroom``.  Right-sizing is
+    not just thrift: a smaller hierarchy has lower fan-out and latency,
+    so closed-loop clients are actually served *faster* on it.
+
+    Both directions respect a ``cooldown`` of epochs after any redeploy,
+    which (with the hysteresis) is what keeps the policy still on a
+    plateau instead of oscillating around a threshold.
+    """
+
+    name = "reactive"
+
+    def __init__(
+        self,
+        up_utilization: float = 0.90,
+        up_fraction: float = 0.90,
+        down_fraction: float = 0.40,
+        hysteresis: int = 2,
+        cooldown: int = 2,
+        headroom: float = 1.3,
+    ):
+        if not (0.0 < up_utilization <= 1.0):
+            raise ControlError(
+                f"up_utilization must be in (0, 1], got {up_utilization}"
+            )
+        if not (0.0 < down_fraction < up_fraction <= 1.0):
+            raise ControlError(
+                "need 0 < down_fraction < up_fraction <= 1, got "
+                f"({down_fraction}, {up_fraction})"
+            )
+        if hysteresis < 1:
+            raise ControlError(f"hysteresis must be >= 1, got {hysteresis}")
+        if cooldown < 0:
+            raise ControlError(f"cooldown must be >= 0, got {cooldown}")
+        if headroom < 1.0:
+            raise ControlError(f"headroom must be >= 1, got {headroom}")
+        self.up_utilization = up_utilization
+        self.up_fraction = up_fraction
+        self.down_fraction = down_fraction
+        self.hysteresis = hysteresis
+        self.cooldown = cooldown
+        self.headroom = headroom
+
+    def decide(self, ctx: ControlContext) -> ControlDecision:
+        if len(ctx.observations) < self.hysteresis:
+            return ControlDecision.hold("warming up")
+        if ctx.redeploys > 0 and ctx.epochs_since_redeploy < self.cooldown:
+            return ControlDecision.hold("cooldown after redeploy")
+        # Observations measured under a *previous* deployment compare a
+        # stale served rate against the current capacity; only decide on
+        # windows that lie entirely after the last redeploy.
+        if ctx.redeploys > 0 and ctx.epochs_since_redeploy + 1 < self.hysteresis:
+            return ControlDecision.hold("hysteresis window spans a redeploy")
+        recent = ctx.observations[-self.hysteresis:]
+        overloaded = all(
+            o.offered > 0
+            and o.served_rate >= self.up_fraction * ctx.capacity
+            and (
+                o.busiest_utilization >= self.up_utilization
+                or o.queue_depth > o.offered
+            )
+            for o in recent
+        )
+        if overloaded:
+            if ctx.spares > 0:
+                return ControlDecision(
+                    "improve",
+                    f"saturated {self.hysteresis} epochs "
+                    f"(util {recent[-1].busiest_utilization:.2f} at "
+                    f"{recent[-1].busiest_node})",
+                )
+            # Every pool node is deployed (the loop keeps
+            # deployed + spares == pool); nothing left to grow with.
+            # Restructuring-only replans are a ROADMAP follow-on.
+            return ControlDecision.hold("saturated but pool exhausted")
+        idle = all(
+            o.served_rate <= self.down_fraction * ctx.capacity
+            for o in recent
+        )
+        if idle and ctx.can_shrink() and ctx.demand_unit > 0.0:
+            peak_offered = max(o.offered for o in recent)
+            required = max(
+                ctx.required_rate(peak_offered, self.headroom),
+                ctx.demand_unit,
+            )
+            if required < ctx.capacity:
+                return ControlDecision(
+                    "replan",
+                    f"over-provisioned {self.hysteresis} epochs "
+                    f"(serving {recent[-1].served_rate:.1f} of "
+                    f"{ctx.capacity:.1f} req/s capacity)",
+                    demand=required,
+                )
+        return ControlDecision.hold("within thresholds")
+
+
+@register_policy
+class PredictivePolicy(ControlPolicy):
+    """Linear lookahead on the offered-client trend through the model.
+
+    Extrapolates the offered level ``lookahead`` epochs ahead, converts
+    it to a required rate via the online demand-unit estimate, and acts
+    when the *predicted* requirement crosses the deployment's modeled
+    capacity — scaling before saturation instead of after it.  Shares
+    the reactive policy's cooldown gate; the trend window doubles as
+    hysteresis.
+    """
+
+    name = "predictive"
+
+    def __init__(
+        self,
+        lookahead: int = 2,
+        window: int = 3,
+        headroom: float = 1.25,
+        down_fraction: float = 0.4,
+        cooldown: int = 2,
+    ):
+        if lookahead < 1:
+            raise ControlError(f"lookahead must be >= 1, got {lookahead}")
+        if window < 2:
+            raise ControlError(f"window must be >= 2, got {window}")
+        if headroom < 1.0:
+            raise ControlError(f"headroom must be >= 1, got {headroom}")
+        if not (0.0 < down_fraction < 1.0):
+            raise ControlError(
+                f"down_fraction must be in (0, 1), got {down_fraction}"
+            )
+        if cooldown < 0:
+            raise ControlError(f"cooldown must be >= 0, got {cooldown}")
+        self.lookahead = lookahead
+        self.window = window
+        self.headroom = headroom
+        self.down_fraction = down_fraction
+        self.cooldown = cooldown
+
+    def decide(self, ctx: ControlContext) -> ControlDecision:
+        if len(ctx.observations) < self.window or ctx.demand_unit <= 0.0:
+            return ControlDecision.hold("warming up")
+        if ctx.redeploys > 0 and ctx.epochs_since_redeploy < self.cooldown:
+            return ControlDecision.hold("cooldown after redeploy")
+        if ctx.redeploys > 0 and ctx.epochs_since_redeploy + 1 < self.window:
+            return ControlDecision.hold("trend window spans a redeploy")
+        recent = ctx.observations[-self.window:]
+        slope = (recent[-1].offered - recent[0].offered) / (self.window - 1)
+        predicted = max(0.0, recent[-1].offered + slope * self.lookahead)
+        required = max(
+            predicted * ctx.demand_unit * self.headroom, ctx.demand_unit
+        )
+        if required > ctx.capacity:
+            if ctx.spares > 0:
+                return ControlDecision(
+                    "improve",
+                    f"predicted {predicted:.0f} clients needs "
+                    f"{required:.1f} req/s > capacity {ctx.capacity:.1f}",
+                )
+            return ControlDecision.hold("predicted overload; pool exhausted")
+        if required < ctx.capacity * self.down_fraction and ctx.can_shrink():
+            return ControlDecision(
+                "replan",
+                f"predicted demand {required:.1f} req/s well under "
+                f"capacity {ctx.capacity:.1f}",
+                demand=required,
+            )
+        return ControlDecision.hold("capacity matches prediction")
+
+
+@register_policy
+class OraclePolicy(ControlPolicy):
+    """Clairvoyant replanner: reads the true future trace level.
+
+    Every epoch it peeks at the trace over the next epoch, converts the
+    peak upcoming level into a required rate, and replans the full pool
+    whenever required and deployed capacity differ by more than
+    ``tolerance`` — no hysteresis, no cooldown, no migration awareness.
+    It bounds how much throughput *any* causal policy could recover, at
+    the price of redeploying on every demand shift.
+    """
+
+    name = "oracle"
+
+    def __init__(self, headroom: float = 1.2, tolerance: float = 0.15):
+        if headroom < 1.0:
+            raise ControlError(f"headroom must be >= 1, got {headroom}")
+        if tolerance <= 0.0:
+            raise ControlError(f"tolerance must be > 0, got {tolerance}")
+        self.headroom = headroom
+        self.tolerance = tolerance
+
+    def decide(self, ctx: ControlContext) -> ControlDecision:
+        if ctx.demand_unit <= 0.0:
+            return ControlDecision.hold("calibrating demand unit")
+        step = max(ctx.epoch_duration / 4.0, 1e-6)
+        upcoming = ctx.trace.peak(
+            ctx.next_start, ctx.next_start + ctx.epoch_duration, step
+        )
+        required = max(
+            ctx.required_rate(upcoming, self.headroom), ctx.demand_unit
+        )
+        if required > ctx.capacity * (1.0 + self.tolerance):
+            return ControlDecision(
+                "replan",
+                f"oracle: {upcoming} clients next epoch needs "
+                f"{required:.1f} req/s > capacity {ctx.capacity:.1f}",
+                demand=required,
+            )
+        if (
+            required < ctx.capacity * (1.0 - self.tolerance)
+            and ctx.can_shrink()
+        ):
+            return ControlDecision(
+                "replan",
+                f"oracle: {upcoming} clients next epoch needs only "
+                f"{required:.1f} req/s < capacity {ctx.capacity:.1f}",
+                demand=required,
+            )
+        return ControlDecision.hold("oracle: capacity matches demand")

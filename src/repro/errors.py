@@ -16,6 +16,7 @@ __all__ = [
     "DeploymentError",
     "SimulationError",
     "CalibrationError",
+    "ControlError",
 ]
 
 
@@ -51,3 +52,11 @@ class SimulationError(ReproError, RuntimeError):
 
 class CalibrationError(ReproError, RuntimeError):
     """A calibration campaign failed to produce a usable parameter fit."""
+
+
+class ControlError(ReproError, RuntimeError):
+    """The online control plane was misconfigured or reached a bad state.
+
+    Raised for invalid workload traces, unknown control policies, and
+    controller configurations that cannot run (e.g. a non-positive epoch).
+    """

@@ -140,15 +140,30 @@ class SerialResource:
             item[0] for item in self._low_queue
         )
 
+    def busy_seconds(self, horizon: float | None = None) -> float:
+        """Cumulative busy seconds, including the in-progress item's elapsed
+        part (up to ``horizon`` or now).
+
+        ``horizon`` clamps only the in-progress item — completed work is
+        always counted in full, so this is an as-of-now accounting, not a
+        rewind: past horizons are meaningful only back to the start of
+        the current item.  Windowed observers (the control plane's
+        monitor) should snapshot at both window edges and diff, which is
+        exactly what per-window utilization needs and the cumulative
+        :meth:`utilization` cannot provide.
+        """
+        end = self.sim.now if horizon is None else horizon
+        busy = self.busy_time
+        if self._busy:
+            busy += max(0.0, min(end, self.sim.now) - self._busy_since)
+        return busy
+
     def utilization(self, horizon: float | None = None) -> float:
         """Fraction of time busy since t=0 (up to ``horizon`` or now)."""
         end = self.sim.now if horizon is None else horizon
         if end <= 0.0:
             return 0.0
-        busy = self.busy_time
-        if self._busy:
-            busy += min(end, self.sim.now) - self._busy_since
-        return min(1.0, busy / end)
+        return min(1.0, self.busy_seconds(end) / end)
 
     def kind_time(self, kind: str) -> float:
         """Cumulative busy seconds spent on one task kind."""

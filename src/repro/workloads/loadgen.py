@@ -12,10 +12,27 @@ watches the completion rate and freezes the ramp once the rate has
 plateaued; the platform then holds at peak load while the sustained
 throughput is measured.  All time constants are configurable because
 simulated minutes are cheaper than real ones but not free.
+
+**Determinism contract.**  Every stochastic path in the load machinery
+flows from an explicit integer seed — there is no hidden global RNG
+anywhere between a workload description and a measurement:
+
+* the platform's tie-breaking randomness is seeded through
+  :class:`~repro.middleware.system.MiddlewareSystem` (``seed=``);
+* the ramp's only randomness, the optional client start-time jitter
+  below, is drawn from ``random.Random(seed)`` and is off (bit-identical
+  to the paper's exact 1-client-per-interval protocol) unless
+  ``start_jitter > 0``;
+* the control plane's trace generators follow the same rule
+  (:meth:`repro.control.traces.Trace.jittered` *requires* a seed).
+
+Same seeds ⇒ the same event sequence ⇒ bit-identical results, which is
+what lets the test suite compare whole experiment outputs by equality.
 """
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -77,6 +94,16 @@ class ClientRamp:
         Seconds to keep running at frozen load (600 in the paper).
     think_time:
         Client think time between requests (0 in the paper).
+    start_jitter:
+        Relative jitter on the interval between client starts: each
+        interval is scaled by ``1 + U(-start_jitter, +start_jitter)``.
+        0 (the default) reproduces the paper's exact
+        one-client-per-interval protocol; > 0 models operators launching
+        load scripts by hand.
+    seed:
+        Seed for the start-jitter draws (the ramp's only randomness).
+        Explicit per the module's determinism contract; unused when
+        ``start_jitter`` is 0.
     """
 
     def __init__(
@@ -88,6 +115,8 @@ class ClientRamp:
         plateau_tolerance: float = 0.02,
         hold_duration: float = 30.0,
         think_time: float = 0.0,
+        start_jitter: float = 0.0,
+        seed: int = 0,
     ):
         if client_interval <= 0.0:
             raise SimulationError(
@@ -105,6 +134,10 @@ class ClientRamp:
             raise SimulationError(
                 f"hold_duration must be > 0, got {hold_duration}"
             )
+        if not (0.0 <= start_jitter < 1.0):
+            raise SimulationError(
+                f"start_jitter must be in [0, 1), got {start_jitter}"
+            )
         self.client_interval = client_interval
         self.max_clients = max_clients
         self.window = window
@@ -112,6 +145,8 @@ class ClientRamp:
         self.plateau_tolerance = plateau_tolerance
         self.hold_duration = hold_duration
         self.think_time = think_time
+        self.start_jitter = start_jitter
+        self.seed = seed
 
     # ------------------------------------------------------------------ #
 
@@ -130,6 +165,10 @@ class ClientRamp:
             end = sim.now
             return system.completions.rate(end - self.window, end)
 
+        jitter_rng = (
+            random.Random(self.seed) if self.start_jitter > 0.0 else None
+        )
+
         # The ramp controller runs once per client interval: record the
         # last bucket, check the plateau, maybe start a client.
         while not frozen and len(clients) < self.max_clients:
@@ -138,7 +177,12 @@ class ClientRamp:
             )
             clients.append(client)
             client.start()
-            sim.run_until(sim.now + self.client_interval)
+            interval = self.client_interval
+            if jitter_rng is not None:
+                interval *= 1.0 + jitter_rng.uniform(
+                    -self.start_jitter, self.start_jitter
+                )
+            sim.run_until(sim.now + interval)
             rate = bucket_edge_rate()
             bucket_clients.append(len(clients))
             bucket_rates.append(rate)

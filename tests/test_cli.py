@@ -129,6 +129,94 @@ class TestCompareCommand:
         assert "balanced" not in out
 
 
+class TestImproveCommand:
+    def test_improve_round_trip(self, capsys, tmp_path):
+        plan_path = tmp_path / "plan.xml"
+        improved_path = tmp_path / "improved.xml"
+        assert main(
+            ["plan", "--nodes", "8", "--dgemm", "200",
+             "--output", str(plan_path)]
+        ) == 0
+        capsys.readouterr()
+        code = main(
+            [
+                "improve", str(plan_path), "--random", "4", "--seed", "2",
+                "--output", str(improved_path), "--show-tree",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Improvement plan" in out
+        assert "spare-" in out  # spares get a non-colliding prefix
+        assert improved_path.exists()
+        # The improved plan is itself a loadable plan.
+        capsys.readouterr()
+        assert main(["predict", str(improved_path)]) == 0
+        assert "+improve" in capsys.readouterr().out
+
+    def test_improve_without_spares_still_reports(self, capsys, tmp_path):
+        plan_path = tmp_path / "plan.xml"
+        assert main(
+            ["plan", "--nodes", "4", "--dgemm", "200",
+             "--output", str(plan_path)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["improve", str(plan_path)]) == 0
+        assert "throughput" in capsys.readouterr().out
+
+
+class TestControlCommand:
+    def test_control_runs_and_prints_timeline(self, capsys):
+        code = main(
+            [
+                "control", "--random", "8", "--seed", "2", "--dgemm", "200",
+                "--trace", "burst:base=2,burst_level=12,at=4,duration=6",
+                "--epochs", "5", "--epoch-duration", "2",
+                "--policy", "reactive", "--policy-opt", "hysteresis=1",
+                "--policy-opt", "cooldown=1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Control timeline" in out
+        assert "policy=reactive" in out
+        assert "epoch" in out
+
+    def test_control_bad_trace_spec_is_error(self, capsys):
+        code = main(
+            [
+                "control", "--nodes", "6", "--dgemm", "200",
+                "--trace", "tsunami:level=3", "--epochs", "2",
+            ]
+        )
+        assert code == 2
+        assert "unknown trace type" in capsys.readouterr().err
+
+    def test_control_bad_policy_opt_is_error(self, capsys):
+        code = main(
+            [
+                "control", "--nodes", "6", "--dgemm", "200",
+                "--trace", "constant:level=3", "--epochs", "2",
+                "--policy-opt", "vibes=1",
+            ]
+        )
+        assert code == 2
+        assert "valid options" in capsys.readouterr().err
+
+    def test_policy_choices_come_from_registry(self):
+        from repro.control.policy import available_policies
+
+        parser = build_parser()
+        for policy in available_policies():
+            args = parser.parse_args(
+                [
+                    "control", "--nodes", "4", "--dgemm", "100",
+                    "--trace", "constant:level=2", "--policy", policy,
+                ]
+            )
+            assert args.policy == policy
+
+
 class TestPoolValidation:
     def test_zero_nodes_reports_positive_pool_error(self, capsys):
         code = main(["plan", "--nodes", "0", "--dgemm", "100"])
