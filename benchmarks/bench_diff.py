@@ -13,6 +13,12 @@ flagged with ``!!``.  Quick and full runs use different problem sizes —
 when the two files disagree on the ``quick`` flag, cells rarely overlap
 and the script says so instead of comparing apples to oranges.
 
+Control-plane cells additionally carry the controller's own adaptation
+cost in ``extra.overhead_fraction``; the ROADMAP budgets that at ~5 % of
+wall time.  The current file's ``control_loop`` / ``live_migration``
+cells are checked against ``--overhead-budget`` (default 0.05) and
+flagged — warn-only, like everything here.
+
 This is the CI ``bench-smoke`` job's trend check.  It **always exits
 0**: the benchmark JSON exists to make performance drifts attributable,
 not to gate merges (see benchmarks/README.md), and CI noise would make
@@ -54,6 +60,14 @@ def main(argv: list[str] | None = None) -> int:
         default=0.25,
         help="relative regression that earns a '!!' flag (default 0.25)",
     )
+    parser.add_argument(
+        "--overhead-budget",
+        type=float,
+        default=0.05,
+        help="controller adaptation overhead_fraction that earns a "
+        "'!!' flag on control-plane cells (default 0.05, the "
+        "ROADMAP's ~5%% budget)",
+    )
     args = parser.parse_args(argv)
     # Warn-only contract: whatever is wrong with the inputs, report and
     # exit 0 — this tool must never fail the build.
@@ -93,6 +107,7 @@ def _compare(args: argparse.Namespace) -> int:
     common = sorted(set(base_cells) & set(cur_cells))
     if not common:
         print("bench-diff: no common measurement cells; nothing to compare")
+        _check_overhead_budget(current, args.overhead_budget)
         return 0
 
     print(
@@ -130,7 +145,40 @@ def _compare(args: argparse.Namespace) -> int:
             f"bench-diff: {flagged} cell(s) regressed beyond "
             f"{args.threshold:.0%} — worth a look (not failing the build)"
         )
+    _check_overhead_budget(current, args.overhead_budget)
     return 0
+
+
+#: Measurement families whose `extra.overhead_fraction` is controller
+#: adaptation cost, subject to the ROADMAP's ~5 % budget.
+_CONTROL_CELLS = ("control_loop", "live_migration")
+
+
+def _check_overhead_budget(current: dict, budget: float) -> None:
+    """Flag control-plane cells whose adaptation overhead busts the budget.
+
+    Checked on the *current* run only — the budget is absolute, not a
+    trend, so it needs no baseline cell to compare against.
+    """
+    over = []
+    for key, result in _cells(current).items():
+        if key[0] not in _CONTROL_CELLS:
+            continue
+        fraction = result.get("extra", {}).get("overhead_fraction")
+        if isinstance(fraction, (int, float)) and fraction > budget:
+            over.append((key, fraction))
+    for key, fraction in over:
+        print(
+            f"  !! {_format_key(key)}: adaptation overhead "
+            f"{fraction:.1%} of wall time exceeds the ~{budget:.0%} "
+            "budget (warn-only)"
+        )
+    if over:
+        print(
+            f"bench-diff: {len(over)} control-plane cell(s) over the "
+            f"adaptation-overhead budget — worth a look "
+            "(not failing the build)"
+        )
 
 
 if __name__ == "__main__":

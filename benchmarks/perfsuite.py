@@ -15,7 +15,10 @@ record a *performance trajectory* across PRs.  It times
 * the batched kernels against their scalar counterparts;
 * the online control plane: a full autoscaling run under a flash-crowd
   trace (reactive policy vs. the static ``hold`` baseline), separating
-  total wall time from the controller's own adaptation overhead.
+  total wall time from the controller's own adaptation overhead;
+* live migration vs. stop-the-world restarts: the same reactive run on
+  the ``black_friday`` trace fixture once per migration mode, recording
+  served requests and effective downtime alongside wall time.
 
 Run it from the repository root::
 
@@ -422,6 +425,11 @@ def bench_control(quick):
             epochs=epochs,
             epoch_duration=epoch_duration,
             initial_fraction=0.4,
+            # Pinned to the legacy mechanism: this cell tracks the
+            # controller's adaptation overhead across PRs, so its
+            # scenario stays fixed; bench_live_migration covers the
+            # mode comparison.
+            migration="restart",
             seed=3,
         )
         # best_of would pair one run's wall time with another run's
@@ -471,6 +479,80 @@ def bench_control(quick):
     return results
 
 
+def bench_live_migration(quick):
+    from repro.control import ControlLoop, fixture
+
+    if quick:
+        # Short but still spanning the doors-open surge at t=20s, so
+        # both modes actually migrate.
+        pool_size, epochs, epoch_duration = 12, 12, 4.0
+    else:
+        pool_size, epochs, epoch_duration = 16, 30, 4.0
+    trace = fixture("black_friday")
+    pool = NodePool.uniform_random(pool_size, low=80, high=400, seed=7)
+    app_work = dgemm_mflop(200)
+
+    results = []
+    for mode in ("restart", "live"):
+        loop = ControlLoop(
+            pool,
+            app_work,
+            trace,
+            policy="reactive",
+            policy_options={"hysteresis": 1, "cooldown": 1},
+            epochs=epochs,
+            epoch_duration=epoch_duration,
+            initial_fraction=0.4,
+            migration=mode,
+            seed=3,
+        )
+        best = None
+        for _ in range(2):
+            start = time.perf_counter()
+            timeline = loop.run()
+            wall = time.perf_counter() - start
+            if best is None or wall < best[0]:
+                best = (wall, loop.overhead_seconds, timeline)
+        seconds, overhead_seconds, timeline = best
+        results.append(
+            {
+                "name": "live_migration",
+                "params": {
+                    "mode": mode,
+                    "pool": pool_size,
+                    "epochs": epochs,
+                },
+                "metric": "seconds",
+                "value": round(seconds, 6),
+                "extra": {
+                    "overhead_seconds": round(overhead_seconds, 6),
+                    "overhead_fraction": round(
+                        overhead_seconds / seconds, 4
+                    ),
+                    # Simulation-domain outcomes: deterministic for
+                    # fixed inputs, so a change here is behaviour, not
+                    # noise.  `downtime_seconds` is the effective
+                    # (service-weighted) outage; `migration_steps` the
+                    # itemized step count across the run.
+                    "served": timeline.total_served,
+                    "redeploys": timeline.redeploys,
+                    "downtime_seconds": round(
+                        timeline.migration_downtime, 4
+                    ),
+                    "migration_steps": timeline.migration_step_count,
+                    "epochs_per_s": round(epochs / seconds, 2),
+                },
+            }
+        )
+        print(
+            f"  live_migration mode={mode}: {seconds:.3f} s wall, "
+            f"served {timeline.total_served}, "
+            f"{timeline.migration_downtime:.3f} s downtime over "
+            f"{timeline.migration_step_count} steps"
+        )
+    return results
+
+
 # --------------------------------------------------------------------- #
 
 
@@ -512,6 +594,7 @@ def main(argv=None):
     results += bench_engine(args.quick)
     results += bench_kernels(args.quick)
     results += bench_control(args.quick)
+    results += bench_live_migration(args.quick)
 
     payload = {
         "schema": "repro-bench/1",

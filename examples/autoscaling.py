@@ -12,10 +12,24 @@ over a couple of minutes.  Four controllers face the same trace:
 * ``oracle``    — clairvoyant: reads the true future trace and replans
   on every demand shift, migration costs be damned.
 
-The demo prints each timeline and checks the headline claim: the
-reactive policy recovers **at least 90 %** of the oracle's served
-throughput while performing **strictly fewer** redeploys — you don't
-need to see the future, you need hysteresis and a cheap improve path.
+All four run with **live migration** (the default): redeploys drain one
+subtree at a time inside the running simulation while the rest of the
+platform keeps serving.  The demo checks the headline claim: the
+reactive policy recovers **at least 85 %** of the oracle's served
+throughput while performing **strictly fewer** redeploys — live
+migration makes the oracle's replan-happy strategy nearly free, so it
+is a stronger upper bound than under stop-the-world restarts, and
+hysteresis plus a cheap improve path still gets within striking
+distance of it without seeing the future.
+
+The second act compares the two **migration mechanisms** head to head on
+the ``black_friday`` trace fixture (a double-peaked retail surge that
+forces both scale-ups and a scale-down): with identical seed, trace and
+policy, ``migration="live"`` must serve strictly more requests with
+strictly less downtime than ``migration="restart"`` — and the per-step
+downtime itemization in the timeline shows where the restart pays
+(one full-platform outage per redeploy) versus where live pays (a few
+subtree drains, zero for pure growth).
 
 Run:  python examples/autoscaling.py
 """
@@ -25,7 +39,7 @@ from __future__ import annotations
 from repro import NodePool, dgemm_mflop
 from repro.analysis.report import ascii_table, render_timeline
 from repro.api import PlanningSession
-from repro.control import flash_crowd
+from repro.control import flash_crowd, from_spec
 
 POOL_SIZE = 16
 DGEMM_SIZE = 200
@@ -39,19 +53,22 @@ SEED = 3
 REACTIVE_OPTIONS = {"hysteresis": 1, "cooldown": 1}
 
 
+def _session_pool():
+    pool = NodePool.uniform_random(POOL_SIZE, low=80, high=400, seed=7)
+    return PlanningSession(), pool, dgemm_mflop(DGEMM_SIZE)
+
+
 def run_policies(
     verbose: bool = True, policies: tuple[str, ...] | None = None
 ) -> dict[str, object]:
-    """Run the controllers on the flash-crowd scenario.
+    """Run the controllers on the flash-crowd scenario (live migration).
 
     Returns ``{policy_name: ControlTimeline}``; used by the test suite
     to assert the demo's claims without re-tuning the scenario there
     (``policies`` narrows the run to the named subset).
     """
-    pool = NodePool.uniform_random(POOL_SIZE, low=80, high=400, seed=7)
-    app_work = dgemm_mflop(DGEMM_SIZE)
+    session, pool, app_work = _session_pool()
     trace = flash_crowd(base=4, peak=40, at=20, rise=5, fall=25)
-    session = PlanningSession()
 
     timelines: dict[str, object] = {}
     for policy, options in (
@@ -79,6 +96,52 @@ def run_policies(
     return timelines
 
 
+def run_migration_modes(verbose: bool = True) -> dict[str, object]:
+    """Live vs stop-the-world on the ``black_friday`` fixture.
+
+    Identical seed, trace and (reactive) policy; only the migration
+    mechanism differs.  Returns ``{mode: ControlTimeline}``.
+    """
+    session, pool, app_work = _session_pool()
+    trace = from_spec("black_friday")
+
+    timelines: dict[str, object] = {}
+    for mode in ("restart", "live"):
+        timelines[mode] = session.control_run(
+            pool,
+            app_work,
+            trace=trace,
+            policy="reactive",
+            policy_options=REACTIVE_OPTIONS,
+            epochs=EPOCHS,
+            epoch_duration=EPOCH_DURATION,
+            initial_fraction=0.4,
+            migration=mode,
+            seed=SEED,
+        )
+        if verbose:
+            print(render_timeline(timelines[mode]))
+            print()
+    return timelines
+
+
+def _migration_step_rows(timeline) -> list[list[object]]:
+    rows = []
+    for record in timeline.records:
+        for step in record.migration_steps:
+            rows.append(
+                [
+                    record.index,
+                    step.op,
+                    step.target,
+                    f"{step.seconds:.3f}",
+                    f"{step.drained_nodes}/{step.deployed_nodes}",
+                    f"{step.downtime:.3f}",
+                ]
+            )
+    return rows
+
+
 def main() -> None:
     timelines = run_policies()
 
@@ -99,7 +162,7 @@ def main() -> None:
                 ]
                 for name, tl in timelines.items()
             ],
-            title="Flash crowd, four controllers",
+            title="Flash crowd, four controllers (live migration)",
         )
     )
 
@@ -113,12 +176,63 @@ def main() -> None:
         f"(oracle: {oracle.redeploys}); holding still would have served "
         f"{hold.total_served / oracle.total_served:.1%}"
     )
-    assert recovery >= 0.90, (
+    assert recovery >= 0.85, (
         f"reactive recovered only {recovery:.1%} of the oracle throughput"
     )
     assert reactive.redeploys < oracle.redeploys, (
         f"reactive used {reactive.redeploys} redeploys, oracle "
         f"{oracle.redeploys}"
+    )
+
+    # ------------------------------------------------------------------ #
+    # Act two: the migration mechanism itself.
+
+    modes = run_migration_modes(verbose=False)
+    live, restart = modes["live"], modes["restart"]
+    print(
+        ascii_table(
+            headers=[
+                "migration", "served", "mean req/s", "redeploys",
+                "downtime s", "migration steps",
+            ],
+            rows=[
+                [
+                    mode,
+                    tl.total_served,
+                    f"{tl.mean_served_rate:.1f}",
+                    tl.redeploys,
+                    f"{tl.migration_downtime:.2f}",
+                    tl.migration_step_count,
+                ]
+                for mode, tl in modes.items()
+            ],
+            title="\nBlack Friday, reactive policy, live vs stop-the-world",
+        )
+    )
+    print(
+        ascii_table(
+            headers=["epoch", "op", "target", "window s", "dark", "downtime s"],
+            rows=[
+                *(_migration_step_rows(restart)),
+                *(_migration_step_rows(live)),
+            ],
+            title="Downtime, itemized per migration step (restart first)",
+        )
+    )
+    extra = live.total_served - restart.total_served
+    saved = restart.migration_downtime - live.migration_downtime
+    print(
+        f"\nlive migration served {extra} more requests "
+        f"({live.total_served} vs {restart.total_served}) and paid "
+        f"{saved:.2f}s less downtime ({live.migration_downtime:.2f}s vs "
+        f"{restart.migration_downtime:.2f}s) — same seed, trace, policy"
+    )
+    assert live.total_served > restart.total_served, (
+        f"live served {live.total_served}, restart {restart.total_served}"
+    )
+    assert live.migration_downtime < restart.migration_downtime, (
+        f"live downtime {live.migration_downtime:.3f}s, restart "
+        f"{restart.migration_downtime:.3f}s"
     )
 
 

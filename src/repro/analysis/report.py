@@ -61,15 +61,22 @@ def render_timeline(timeline, max_reason: int = 44) -> str:
     """Render a :class:`~repro.control.loop.ControlTimeline` as a table.
 
     One row per control epoch — offered clients, served rate, modeled
-    capacity, deployment size and the policy verdict — followed by the
-    timeline's one-line summary.  Redeploys are flagged with ``*`` in
-    the act column.
+    capacity, deployment size, the effective migration downtime paid
+    (with the itemized step count) and the policy verdict — followed by
+    the timeline's one-line summary.  Redeploys are flagged with ``*``
+    in the act column.
     """
     rows = []
     for record in timeline.records:
         reason = record.reason
         if len(reason) > max_reason:
             reason = reason[: max_reason - 1] + "…"
+        steps = getattr(record, "migration_steps", ())
+        down = (
+            f"{record.migration_seconds:.2f}/{len(steps)}"
+            if steps
+            else "-"
+        )
         rows.append(
             [
                 record.index,
@@ -80,6 +87,7 @@ def render_timeline(timeline, max_reason: int = 44) -> str:
                 record.deployed_nodes,
                 record.spares,
                 f"{record.busiest_utilization:.2f}",
+                down,
                 ("*" if record.applied else " ") + record.action,
                 reason,
             ]
@@ -87,12 +95,13 @@ def render_timeline(timeline, max_reason: int = 44) -> str:
     table = ascii_table(
         headers=[
             "epoch", "t", "clients", "req/s", "cap", "nodes", "spare",
-            "util", "act", "reason",
+            "util", "down/steps", "act", "reason",
         ],
         rows=rows,
         title=(
             f"Control timeline — policy={timeline.policy} "
-            f"trace={timeline.trace_name} seed={timeline.seed}"
+            f"trace={timeline.trace_name} seed={timeline.seed} "
+            f"migration={getattr(timeline, 'migration', '?')}"
         ),
     )
     return f"{table}\n{timeline.describe()}"

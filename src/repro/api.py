@@ -19,7 +19,12 @@ demand, parameters, planner name and typed options.  A
 * :meth:`PlanningSession.control_run` — the online control plane: run a
   deployment in the simulator under a time-varying workload trace and
   let an autoscaling policy adapt it epoch by epoch
-  (:mod:`repro.control`).
+  (:mod:`repro.control`), with live subtree migration or stop-the-world
+  restarts per redeploy;
+* :meth:`PlanningSession.control_sweep` — a (trace, policy, seed) grid
+  of controller runs, fanned out over the same process-pool machinery
+  as :meth:`plan_many` (controller runs are simulation-bound, so
+  separate interpreters are what scales a tuning campaign).
 
 Quickstart::
 
@@ -63,6 +68,7 @@ __all__ = [
     "PlanRequest",
     "PlanningSession",
     "RankedPlan",
+    "ControlCell",
     "scenario_grid",
     "default_middle_agents",
 ]
@@ -229,6 +235,44 @@ def _plan_request(request: PlanRequest) -> Deployment:
     :mod:`repro` and resolves the same registered planners.
     """
     return REGISTRY.plan(request)
+
+
+@dataclass(frozen=True)
+class ControlCell:
+    """One (trace, policy, seed) cell of a controller sweep."""
+
+    trace: str
+    policy: str
+    seed: int
+    timeline: object  # repro.control.loop.ControlTimeline
+
+    @property
+    def label(self) -> str:
+        return f"{self.trace}/{self.policy}/s{self.seed}"
+
+
+def _control_cell(args: tuple) -> object:
+    """Process-pool worker: run one controller cell.
+
+    Traces travel as ``from_spec`` strings and policies as
+    ``(name, options)`` pairs, so every argument pickles by value; the
+    child rebuilds the loop against the global registry.
+    """
+    (pool, app_work, trace_spec, policy, policy_options, params,
+     control_kwargs) = args
+    from repro.control.loop import ControlLoop
+    from repro.control.traces import from_spec
+
+    loop = ControlLoop(
+        pool=pool,
+        app_work=app_work,
+        trace=from_spec(trace_spec),
+        policy=policy,
+        params=params,
+        policy_options=dict(policy_options) if policy_options else None,
+        **control_kwargs,
+    )
+    return loop.run()
 
 
 class PlanningSession:
@@ -490,6 +534,7 @@ class PlanningSession:
         base_method: str = "heuristic",
         initial_fraction: float = 0.5,
         policy_options: Mapping[str, object] | None = None,
+        migration: str = "live",
         seed: int = 0,
         **loop_kwargs: object,
     ):
@@ -500,7 +545,10 @@ class PlanningSession:
         epochs under ``trace`` (a :class:`repro.control.traces.Trace`),
         letting ``policy`` (a registered policy name or a
         :class:`repro.control.policy.ControlPolicy` instance) grow,
-        shrink or hold it.  Returns the structured
+        shrink or hold it.  ``migration`` selects how redeploys are
+        realized: ``"live"`` (subtree-granular migration inside the
+        running simulation) or ``"restart"`` (stop-the-world rebuild).
+        Returns the structured
         :class:`repro.control.loop.ControlTimeline`.
 
         The session's default params and registry apply, so custom
@@ -523,10 +571,120 @@ class PlanningSession:
             base_method=base_method,
             initial_fraction=initial_fraction,
             policy_options=dict(policy_options) if policy_options else None,
+            migration=migration,
             seed=seed,
             **loop_kwargs,
         )
         return loop.run()
+
+    def control_sweep(
+        self,
+        pool: NodePool,
+        app_work: float,
+        traces: Sequence[str],
+        policies: Sequence[str] = ("reactive",),
+        seeds: Sequence[int] = (0,),
+        policy_options: Mapping[str, Mapping[str, object]] | None = None,
+        parallel: bool = True,
+        max_workers: int | None = None,
+        **control_kwargs: object,
+    ) -> "list[ControlCell]":
+        """Run the (trace, policy, seed) grid of controller runs.
+
+        ``traces`` are :func:`repro.control.traces.from_spec` strings
+        (e.g. ``"flash:base=5,peak=60,at=30"`` or a fixture name like
+        ``"wikipedia_flash"``) — strings rather than ``Trace`` objects
+        so cells pickle into worker processes.  ``policy_options`` maps
+        policy names to their option mappings.  Extra keyword arguments
+        go to every cell's :class:`~repro.control.loop.ControlLoop`
+        (``epochs``, ``epoch_duration``, ``migration``, ...).
+
+        With ``parallel=True`` (the default) the grid fans out in
+        chunks over a :class:`~concurrent.futures.ProcessPoolExecutor`,
+        exactly like :meth:`plan_many` — controller runs are
+        simulation-bound, so separate interpreters are what scales a
+        tuning campaign.  Each cell is a pure function of its inputs,
+        so results are deterministic and identical with or without
+        ``parallel``; the serial path is taken for single-cell grids,
+        ``max_workers=1``, single-CPU machines, or sessions with a
+        custom registry (which does not transport across processes).
+
+        Returns one :class:`ControlCell` per grid point, in
+        trace-major, then policy, then seed order.
+        """
+        from repro.control.traces import from_spec
+
+        if not traces or not policies or not seeds:
+            raise PlanningError(
+                "control_sweep needs at least one trace, policy and seed"
+            )
+        for spec in traces:
+            if not isinstance(spec, str):
+                raise PlanningError(
+                    "control_sweep traces must be from_spec strings "
+                    f"(picklable grid cells), got {type(spec).__name__}"
+                )
+            from_spec(spec)  # validate eagerly, before any fan-out
+        policy_options = dict(policy_options or {})
+        unknown = sorted(set(policy_options) - set(policies))
+        if unknown:
+            raise PlanningError(
+                f"policy_options given for unswept policies: {unknown}"
+            )
+        grid = [
+            (spec, policy, seed)
+            for spec in traces
+            for policy in policies
+            for seed in seeds
+        ]
+        cell_args = [
+            (
+                pool,
+                app_work,
+                spec,
+                policy,
+                policy_options.get(policy),
+                self.params,
+                {**control_kwargs, "seed": seed},
+            )
+            for spec, policy, seed in grid
+        ]
+        workers = (
+            max_workers if max_workers is not None else os.cpu_count() or 1
+        )
+        serial = (
+            not parallel
+            or workers <= 1
+            or len(grid) == 1
+            or self.registry is not REGISTRY
+        )
+        if serial:
+            # The in-process path goes through control_run, so a custom
+            # session registry applies (it cannot transport to workers).
+            timelines = [
+                self.control_run(
+                    pool,
+                    app_work,
+                    trace=from_spec(spec),
+                    policy=policy,
+                    policy_options=policy_options.get(policy),
+                    seed=seed,
+                    **control_kwargs,
+                )
+                for spec, policy, seed in grid
+            ]
+        else:
+            chunk = max(1, math.ceil(len(grid) / (workers * 4)))
+            with ProcessPoolExecutor(max_workers=workers) as executor:
+                timelines = list(
+                    executor.map(_control_cell, cell_args, chunksize=chunk)
+                )
+        return [
+            ControlCell(
+                trace=spec, policy=policy, seed=seed, timeline=timeline
+            )
+            for (spec, policy, seed), timeline in zip(grid, timelines)
+        ]
 
     # -------------------------------------------------------------- #
 

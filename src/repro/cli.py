@@ -14,7 +14,9 @@ Subcommands mirror the paper's workflow:
   :mod:`repro.extensions.redeploy`);
 * ``control``   — run the online autoscaling control loop: a deployment
   under a time-varying workload trace, adapted epoch by epoch by a
-  registered policy (:mod:`repro.control`);
+  registered policy (:mod:`repro.control`) with live subtree migration
+  or stop-the-world restarts (``--migration``); ``--sweep`` fans a
+  (trace x policy x seed) grid over a process pool;
 * ``planners``  — list every registered planner, its capabilities and
   its typed options;
 * ``calibrate`` — run the §5.1 calibration campaign and print Table 3.
@@ -314,6 +316,41 @@ def _cmd_improve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _sweep_policy_options(
+    policies: tuple[str, ...], options: dict[str, str] | None
+) -> dict[str, dict[str, str]] | None:
+    """Distribute ``--policy-opt`` flags across the swept policies.
+
+    Each option goes to every policy that accepts it (e.g.
+    ``hysteresis=1`` tunes ``reactive`` without breaking ``hold``,
+    which takes no options); an option no swept policy accepts is an
+    error, not a silent drop.
+    """
+    from repro.control.policy import accepted_options
+
+    if not options:
+        return None
+    per_policy: dict[str, dict[str, str]] = {}
+    claimed: set[str] = set()
+    for policy in policies:
+        accepted = accepted_options(policy)
+        chosen = {
+            key: value
+            for key, value in options.items()
+            if accepted is None or key in accepted
+        }
+        claimed.update(chosen)
+        if chosen:
+            per_policy[policy] = chosen
+    orphaned = sorted(set(options) - claimed)
+    if orphaned:
+        raise ReproError(
+            f"--policy-opt {orphaned} not accepted by any swept policy "
+            f"({', '.join(policies)})"
+        )
+    return per_policy or None
+
+
 def _cmd_control(args: argparse.Namespace) -> int:
     from repro.analysis.report import render_timeline
     from repro.control.traces import from_spec
@@ -324,16 +361,76 @@ def _cmd_control(args: argparse.Namespace) -> int:
         args, attribute="policy_opt", flag="--policy-opt"
     )
     session = PlanningSession()
+    if args.sweep:
+        policies = tuple(
+            p.strip() for p in args.policies.split(",") if p.strip()
+        ) or (args.policy,)
+        try:
+            seeds = tuple(
+                int(s) for s in args.seeds.split(",") if s.strip()
+            ) or (args.seed,)
+        except ValueError as exc:
+            raise ReproError(
+                f"--seeds expects comma-separated integers, "
+                f"got {args.seeds!r}: {exc}"
+            ) from exc
+        cells = session.control_sweep(
+            pool,
+            app_work,
+            traces=tuple(args.trace),
+            policies=policies,
+            seeds=seeds,
+            policy_options=_sweep_policy_options(policies, policy_options),
+            max_workers=args.workers,
+            epochs=args.epochs,
+            epoch_duration=args.epoch_duration,
+            base_method=args.base_method,
+            initial_fraction=args.initial_fraction,
+            migration=args.migration,
+            think_time=args.think_time,
+        )
+        print(
+            ascii_table(
+                headers=[
+                    "trace", "policy", "seed", "served", "mean req/s",
+                    "redeploys", "downtime s", "final nodes",
+                ],
+                rows=[
+                    [
+                        cell.trace,
+                        cell.policy,
+                        cell.seed,
+                        cell.timeline.total_served,
+                        f"{cell.timeline.mean_served_rate:.1f}",
+                        cell.timeline.redeploys,
+                        f"{cell.timeline.migration_downtime:.2f}",
+                        cell.timeline.final_shape[0],
+                    ]
+                    for cell in cells
+                ],
+                title=(
+                    f"Control sweep ({len(cells)} cells, "
+                    f"{args.migration} migration) on {pool.describe()}"
+                ),
+            )
+        )
+        return 0
+    if len(args.trace) != 1:
+        raise ReproError(
+            "multiple --trace flags require --sweep; "
+            "a single run takes exactly one trace"
+        )
     timeline = session.control_run(
         pool,
         app_work,
-        trace=from_spec(args.trace),
+        trace=from_spec(args.trace[0]),
         policy=args.policy,
         epochs=args.epochs,
         epoch_duration=args.epoch_duration,
         base_method=args.base_method,
         initial_fraction=args.initial_fraction,
         policy_options=policy_options,
+        migration=args.migration,
         think_time=args.think_time,
         seed=args.seed,
     )
@@ -468,10 +565,11 @@ def build_parser() -> argparse.ArgumentParser:
     _add_pool_args(p_control)
     _add_workload_args(p_control)
     p_control.add_argument(
-        "--trace", type=str, required=True,
-        help="workload trace spec, e.g. 'flash:base=5,peak=60,at=30' or "
-        "'diurnal:base=5,peak=40,period=120' "
-        "(types: constant, ramp, diurnal, burst, flash, piecewise)",
+        "--trace", type=str, required=True, action="append",
+        help="workload trace spec, e.g. 'flash:base=5,peak=60,at=30', "
+        "'diurnal:base=5,peak=40,period=120' or a fixture name like "
+        "'wikipedia_flash' (types: constant, ramp, diurnal, burst, "
+        "flash, piecewise, fixture); repeatable with --sweep",
     )
     p_control.add_argument(
         "--policy", choices=available_policies(), default="reactive",
@@ -480,6 +578,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_control.add_argument(
         "--policy-opt", action="append", metavar="KEY=VALUE",
         help="policy option (repeatable), e.g. hysteresis=1",
+    )
+    p_control.add_argument(
+        "--migration", choices=("live", "restart"), default="live",
+        help="redeploy mechanism: live subtree migration (default) or "
+        "stop-the-world restart",
+    )
+    p_control.add_argument(
+        "--sweep", action="store_true",
+        help="run the (trace x policy x seed) grid over a process pool "
+        "and print one summary row per cell",
+    )
+    p_control.add_argument(
+        "--policies", type=str, default="",
+        help="comma-separated policy names for --sweep "
+        "(default: the --policy value)",
+    )
+    p_control.add_argument(
+        "--seeds", type=str, default="",
+        help="comma-separated seeds for --sweep (default: the --seed "
+        "value)",
+    )
+    p_control.add_argument(
+        "--workers", type=int, default=None,
+        help="process-pool size for --sweep (default: CPU count)",
     )
     p_control.add_argument(
         "--epochs", type=int, default=30,

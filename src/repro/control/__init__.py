@@ -26,12 +26,18 @@ _EXPORTS = {
     "ControlLoop": "repro.control.loop",
     "ControlTimeline": "repro.control.loop",
     "EpochRecord": "repro.control.loop",
+    "MigrationStepRecord": "repro.control.loop",
     "SLOMonitor": "repro.control.monitor",
     "WindowObservation": "repro.control.monitor",
     "ControlContext": "repro.control.policy",
     "ControlDecision": "repro.control.policy",
     "ControlPolicy": "repro.control.policy",
     "MigrationCostModel": "repro.control.policy",
+    "PolicyOptions": "repro.control.policy",
+    "HoldOptions": "repro.control.policy",
+    "ReactiveOptions": "repro.control.policy",
+    "PredictiveOptions": "repro.control.policy",
+    "OracleOptions": "repro.control.policy",
     "StaticPolicy": "repro.control.policy",
     "ReactivePolicy": "repro.control.policy",
     "PredictivePolicy": "repro.control.policy",
@@ -43,6 +49,8 @@ _EXPORTS = {
     "burst": "repro.control.traces",
     "constant": "repro.control.traces",
     "diurnal": "repro.control.traces",
+    "fixture": "repro.control.traces",
+    "fixtures": "repro.control.traces",
     "flash_crowd": "repro.control.traces",
     "from_spec": "repro.control.traces",
     "piecewise": "repro.control.traces",
@@ -68,12 +76,18 @@ __all__ = [
     "ControlLoop",
     "ControlTimeline",
     "EpochRecord",
+    "MigrationStepRecord",
     "SLOMonitor",
     "WindowObservation",
     "ControlContext",
     "ControlDecision",
     "ControlPolicy",
     "MigrationCostModel",
+    "PolicyOptions",
+    "HoldOptions",
+    "ReactiveOptions",
+    "PredictiveOptions",
+    "OracleOptions",
     "StaticPolicy",
     "ReactivePolicy",
     "PredictivePolicy",
@@ -89,5 +103,7 @@ __all__ = [
     "burst",
     "flash_crowd",
     "replay",
+    "fixture",
+    "fixtures",
     "from_spec",
 ]

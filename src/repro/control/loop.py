@@ -15,17 +15,36 @@ adapts it epoch by epoch:
    goes through the planner registry; either way the candidate is priced
    by the :class:`~repro.control.policy.MigrationCostModel` and a
    scale-up that cannot amortize its migration downtime is **vetoed**.
-   Applied redeploys stop the clients, advance the clock by the
-   migration downtime (in-flight requests drain meanwhile), rebuild the
-   middleware on the *same* simulator, and re-attach the monitor.
+
+Applied redeploys run in one of two migration modes:
+
+``migration="live"`` (the default)
+    The old and new trees are diffed into a subtree-granular
+    :class:`~repro.deploy.migration.MigrationPlan` and applied *inside*
+    the running simulation: one region at a time is unlinked from the
+    fan-out, drained until quiet (bounded by the cost model's per-region
+    cap), reconfigured, and resumed — clients keep running and the rest
+    of the platform keeps serving throughout.  Only diffs the plan
+    engine cannot realize incrementally (changed root, changed node
+    powers) fall back to the stop-the-world path below.
+``migration="restart"``
+    The legacy stop-the-world mechanism, kept for comparison: stop the
+    clients, advance the clock by the full migration price (in-flight
+    requests drain meanwhile), rebuild the middleware on the *same*
+    simulator, re-attach the monitor.
 
 The run returns a :class:`ControlTimeline`: one frozen
-:class:`EpochRecord` per epoch plus totals.  Everything is a pure
-function of (pool, trace, policy, params, seed) — wall-clock never leaks
-into the timeline, so two runs with the same seed compare equal, which
-the test suite asserts.  Controller bookkeeping cost is exposed
-separately as :attr:`ControlLoop.overhead_seconds` for the benchmark
-suite.
+:class:`EpochRecord` per epoch plus totals; every epoch that migrated
+itemizes its downtime per step in
+:attr:`EpochRecord.migration_steps`.  **Determinism contract** (the
+live-migration extension of the :mod:`repro.workloads.loadgen` one):
+everything is a pure function of (pool, trace, policy, params, seed,
+migration mode) — wall-clock never leaks into the timeline, drains are
+bounded by simulation-state predicates only, and structural steps run in
+the plan's fixed order, so two runs with the same seed compare equal in
+either mode, which the test suite asserts.  Controller bookkeeping cost
+is exposed separately as :attr:`ControlLoop.overhead_seconds` for the
+benchmark suite.
 """
 
 from __future__ import annotations
@@ -47,6 +66,7 @@ from repro.core.hierarchy import Hierarchy
 from repro.core.params import DEFAULT_PARAMS, ModelParams
 from repro.core.registry import CAP_DEMAND, REGISTRY, PlannerRegistry
 from repro.core.throughput import hierarchy_throughput
+from repro.deploy.migration import MigrationPlan, plan_migration
 from repro.errors import ControlError
 from repro.extensions.redeploy import improve_deployment
 from repro.middleware.client import ClosedLoopClient
@@ -56,10 +76,43 @@ from repro.sim.engine import Simulator
 from repro.sim.stats import IntervalCounter
 from repro.sim.trace import TraceRecorder
 
-__all__ = ["EpochRecord", "ControlTimeline", "ControlLoop"]
+__all__ = [
+    "MigrationStepRecord",
+    "EpochRecord",
+    "ControlTimeline",
+    "ControlLoop",
+]
 
 _REL_TOL = 1e-9
 
+#: Valid ControlLoop migration modes.
+MIGRATION_MODES = ("live", "restart")
+
+
+@dataclass(frozen=True)
+class MigrationStepRecord:
+    """One itemized migration step of an epoch's redeploy.
+
+    ``seconds`` is the simulated wall duration of the step's window;
+    ``downtime`` weights it by the fraction of deployed nodes that were
+    actually dark — a full restart drains everything (downtime equals
+    the window), a live drain charges only its subtree's share, and a
+    drain-free growth step charges nothing.
+    """
+
+    op: str  # "restart" | "drain" | "grow"
+    target: str
+    seconds: float
+    drained_nodes: int
+    deployed_nodes: int
+
+    @property
+    def downtime(self) -> float:
+        """Service-weighted outage seconds of this step."""
+        if self.deployed_nodes <= 0:
+            return self.seconds
+        fraction = min(1.0, self.drained_nodes / self.deployed_nodes)
+        return self.seconds * fraction
 
 
 @dataclass(frozen=True)
@@ -70,7 +123,11 @@ class EpochRecord:
     whether the loop actually redeployed (a decision can be a no-op —
     no improving move found, replan produced the current deployment —
     or vetoed by the migration-cost gate, in which case ``reason`` says
-    so).  ``migration_seconds`` is the downtime paid this epoch.
+    so).  ``migration_seconds`` is the *effective* downtime paid this
+    epoch — service-weighted outage, itemized per step in
+    ``migration_steps``: a stop-the-world redeploy is one ``restart``
+    item covering every node, a live redeploy one ``drain``/``grow``
+    item per migrated subtree.
     """
 
     #: All fields describe the epoch as it ran — the deployment that
@@ -93,6 +150,7 @@ class EpochRecord:
     reason: str
     applied: bool
     migration_seconds: float
+    migration_steps: tuple[MigrationStepRecord, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -108,6 +166,7 @@ class ControlTimeline:
     redeploys: int = 0
     final_shape: tuple[int, int, int, int] = (0, 0, 0, 0)
     final_capacity: float = 0.0
+    migration: str = "restart"
 
     @property
     def served_in_epochs(self) -> int:
@@ -122,17 +181,24 @@ class ControlTimeline:
 
     @property
     def migration_downtime(self) -> float:
-        """Total seconds spent migrating across the run."""
+        """Total effective downtime (service-weighted) across the run."""
         return sum(r.migration_seconds for r in self.records)
+
+    @property
+    def migration_step_count(self) -> int:
+        """Itemized migration steps across every applied redeploy."""
+        return sum(len(r.migration_steps) for r in self.records)
 
     def describe(self) -> str:
         return (
-            f"ControlTimeline[{self.policy}] on {self.trace_name}: "
+            f"ControlTimeline[{self.policy}] on {self.trace_name} "
+            f"({self.migration} migration): "
             f"{len(self.records)} epochs x {self.epoch_duration:g}s, "
             f"served {self.total_served} "
             f"({self.mean_served_rate:.1f} req/s mean), "
             f"{self.redeploys} redeploys "
-            f"({self.migration_downtime:.2f}s downtime), final shape "
+            f"({self.migration_downtime:.2f}s downtime over "
+            f"{self.migration_step_count} steps), final shape "
             f"nodes={self.final_shape[0]} agents={self.final_shape[1]} "
             f"servers={self.final_shape[2]} height={self.final_shape[3]}"
         )
@@ -162,9 +228,16 @@ class ControlLoop:
     cost_model:
         Migration pricing; defaults to
         :class:`~repro.control.policy.MigrationCostModel`.
+    migration:
+        ``"live"`` (default) applies redeploys as subtree-granular
+        migrations inside the running simulation — only drained
+        subtrees stop serving; ``"restart"`` keeps the legacy
+        stop-the-world rebuild for comparison.
     amortize_epochs:
         Scale-up gate: the modeled throughput gain must repay the
-        migration downtime within this many epochs.
+        migration downtime within this many epochs.  Live migrations
+        are priced at their service-weighted outage, so the gate lets
+        policies act far more aggressively in live mode.
     recorder:
         Optional :class:`~repro.sim.trace.TraceRecorder` wired into
         every generation of the platform (spanning redeploys).  Leave
@@ -194,6 +267,7 @@ class ControlLoop:
         min_nodes: int = 2,
         policy_options: dict[str, object] | None = None,
         cost_model: MigrationCostModel | None = None,
+        migration: str = "live",
         amortize_epochs: int = 4,
         recorder: TraceRecorder | None = None,
         think_time: float = 0.0,
@@ -223,6 +297,11 @@ class ControlLoop:
             raise ControlError(
                 f"amortize_epochs must be >= 1, got {amortize_epochs}"
             )
+        if migration not in MIGRATION_MODES:
+            raise ControlError(
+                f"unknown migration mode {migration!r}; "
+                f"expected one of {MIGRATION_MODES}"
+            )
         if think_time < 0.0:
             raise ControlError(
                 f"think_time must be >= 0, got {think_time}"
@@ -241,6 +320,7 @@ class ControlLoop:
         self.cost_model = (
             cost_model if cost_model is not None else MigrationCostModel()
         )
+        self.migration = migration
         self.amortize_epochs = amortize_epochs
         self.recorder = recorder
         self.think_time = float(think_time)
@@ -339,12 +419,15 @@ class ControlLoop:
                 # served/offered never exceeds the rate one unsaturated
                 # client generates (latency only grows with contention),
                 # so the running max is a safe demand-unit estimate — but
-                # only for windows free of drain contamination: stopped
-                # clients (population shrink or redeploy) complete their
-                # final requests inside windows whose `offered` no longer
+                # only for windows free of drain contamination: clients
+                # stopped by a population shrink complete their final
+                # requests inside windows whose `offered` no longer
                 # counts them, inflating the ratio for as long as the
                 # drain lasts.  Calibration waits until every stopped
-                # client has gone quiet; the estimate stays a lower bound.
+                # client has gone quiet; the estimate stays a lower
+                # bound.  (Redeploys don't contaminate: a stop-the-world
+                # restart aborts its fleet — disowned completions are
+                # never counted — and a live migration stops nobody.)
                 demand_unit = max(demand_unit, observation.per_client_rate)
 
             # decide.
@@ -365,37 +448,61 @@ class ControlLoop:
             decision = self.policy.decide(context)
 
             # act.
-            candidate, reason, migration, new_capacity = self._realize(
-                decision, hierarchy, spares, capacity, observation
+            candidate, reason, predicted_cost, new_capacity, plan = (
+                self._realize(
+                    decision, hierarchy, spares, capacity, observation
+                )
             )
 
             applied = False
             epoch_capacity = capacity
             epoch_nodes = len(hierarchy)
             epoch_spares = len(spares)
+            step_records: tuple[MigrationStepRecord, ...] = ()
             if candidate is not None:
                 hierarchy = candidate
                 spares = self._spares_for(hierarchy)
                 capacity = new_capacity
                 self.overhead_seconds += time.perf_counter() - tick
-                for client in clients:
-                    client.stop()
-                draining.extend(clients)
-                clients = []
-                # Downtime: in-flight requests drain on the old platform
-                # while the new one is configured and launched.  Drained
-                # completions landing after the migration window count
-                # toward the *next* epoch's served rate: the completion
-                # series is deliberately continuous across generations
-                # (served is served, whichever deployment did it), and
-                # the post-redeploy cooldown keeps policies from reading
-                # drain residue as demand.
-                sim.run_until(sim.now + migration)
-                tick = time.perf_counter()
-                generation += 1
+                if (
+                    self.migration == "live"
+                    and plan is not None
+                    and plan.is_live
+                ):
+                    # Live: migrate subtree by subtree inside the
+                    # running simulation.  Clients keep looping and the
+                    # undrained part of the platform keeps serving.
+                    step_records = self._apply_live(
+                        sim, system, plan, candidate
+                    )
+                    tick = time.perf_counter()
+                    monitor.attach(system)  # fresh busy baselines
+                else:
+                    # Stop-the-world: the old platform's daemons are
+                    # killed, so every in-flight request dies with them
+                    # (aborted clients disown their completions), the
+                    # platform serves nothing for the whole migration
+                    # window, and a fresh client fleet reconnects to the
+                    # rebuilt platform at the next epoch.  This is the
+                    # cost live migration exists to avoid.
+                    for client in clients:
+                        client.abort()
+                    clients = []
+                    sim.run_until(sim.now + predicted_cost)
+                    step_records = (
+                        MigrationStepRecord(
+                            op="restart",
+                            target="*",
+                            seconds=predicted_cost,
+                            drained_nodes=epoch_nodes,
+                            deployed_nodes=epoch_nodes,
+                        ),
+                    )
+                    tick = time.perf_counter()
+                    generation += 1
+                    system = self._build_system(sim, hierarchy, generation)
+                    monitor.attach(system)
                 redeploys += 1
-                system = self._build_system(sim, hierarchy, generation)
-                monitor.attach(system)
                 self.overhead_seconds += time.perf_counter() - tick
                 applied = True
                 epochs_since_redeploy = 0
@@ -420,7 +527,10 @@ class ControlLoop:
                     action=decision.action,
                     reason=reason,
                     applied=applied,
-                    migration_seconds=migration,
+                    migration_seconds=sum(
+                        step.downtime for step in step_records
+                    ),
+                    migration_steps=step_records,
                 )
             )
 
@@ -435,6 +545,7 @@ class ControlLoop:
             redeploys=redeploys,
             final_shape=hierarchy.shape_signature(),
             final_capacity=capacity,
+            migration=self.migration,
         )
 
     # ------------------------------------------------------------------ #
@@ -455,6 +566,81 @@ class ControlLoop:
             seed=self.seed + generation,
         )
 
+    def _plan_and_price(
+        self, current: Hierarchy, candidate: Hierarchy
+    ) -> tuple[MigrationPlan | None, float]:
+        """Migration recipe and predicted downtime under the active mode.
+
+        Live plans price at their service-weighted outage (per-subtree
+        drains); everything else — restart mode, or diffs the plan
+        engine could only realize as a rebuild — prices at the full
+        stop-the-world cost.  Restart mode skips the tree diff
+        entirely (``plan`` is ``None``): it would be discarded unused,
+        and its cost would inflate the adaptation-overhead telemetry
+        the benchmark suite tracks.
+        """
+        if self.migration == "live":
+            plan = plan_migration(current, candidate)
+            if plan.is_live:
+                return plan, self.cost_model.plan_outage_seconds(
+                    plan, self.params
+                )
+            return plan, self.cost_model.cost_seconds(
+                current, candidate, self.params
+            )
+        return None, self.cost_model.cost_seconds(
+            current, candidate, self.params
+        )
+
+    def _apply_live(
+        self,
+        sim: Simulator,
+        system: MiddlewareSystem,
+        plan: MigrationPlan,
+        target: Hierarchy,
+    ) -> tuple[MigrationStepRecord, ...]:
+        """Execute an incremental plan region by region on the live system.
+
+        Per drained region: unlink the subtree from the fan-out, run the
+        engine until the region's in-flight work has gone quiet (capped
+        by the cost model's ``drain_seconds``), bill the configuration
+        pushes, apply the structural steps, and restore the fan-out
+        edge.  Drain-free growth regions bill configuration only — the
+        platform serves at full capacity throughout.
+        """
+        records: list[MigrationStepRecord] = []
+        deployed = max(1, plan.source_nodes)
+        for region in plan.regions:
+            start = sim.now
+            drained = tuple(str(node) for node in region.drained)
+            if drained:
+                system.unlink(str(region.root))
+                sim.run_until_condition(
+                    sim.now + self.cost_model.drain_seconds,
+                    lambda: not system.region_busy(drained),
+                )
+            config = self.cost_model.region_config_seconds(
+                region, self.params
+            )
+            if config > 0.0:
+                sim.run_until(sim.now + config)
+            system.apply_migration(region.steps)
+            if drained and region.root in target:
+                parent = target.parent(region.root)
+                if parent is not None:
+                    system.ensure_linked(str(region.root), str(parent))
+            records.append(
+                MigrationStepRecord(
+                    op="drain" if drained else "grow",
+                    target=str(region.root),
+                    seconds=sim.now - start,
+                    drained_nodes=len(drained),
+                    deployed_nodes=deployed,
+                )
+            )
+        system.complete_migration(target)
+        return tuple(records)
+
     def _realize(
         self,
         decision: ControlDecision,
@@ -462,27 +648,33 @@ class ControlLoop:
         spares,
         capacity: float,
         observation: WindowObservation,
-    ) -> tuple[Hierarchy | None, str, float, float]:
-        """Turn a decision into ``(candidate, reason, migration s, rho)``.
+    ) -> tuple[
+        Hierarchy | None, str, float, float, MigrationPlan | None
+    ]:
+        """Turn a decision into ``(candidate, reason, cost, rho, plan)``.
 
-        ``candidate`` is ``None`` (cost and rho 0) when the decision is a
-        no-op or the migration-cost gate vetoes it; ``reason`` then says
-        why.  ``rho`` is the candidate's modeled throughput — already
-        computed by the improve/replan machinery, so the caller never
-        re-evaluates the model.
+        ``candidate`` is ``None`` (cost, rho 0, plan ``None``) when the
+        decision is a no-op or the migration-cost gate vetoes it;
+        ``reason`` then says why.  ``rho`` is the candidate's modeled
+        throughput — already computed by the improve/replan machinery,
+        so the caller never re-evaluates the model — and ``plan`` the
+        migration recipe the act stage executes.
         """
         reason = decision.reason
         if decision.action == "hold":
-            return None, reason, 0.0, 0.0
+            return None, reason, 0.0, 0.0, None
         if decision.action == "improve":
             if not spares:
-                return None, f"{reason} [no-op: no spares]", 0.0, 0.0
+                return None, f"{reason} [no-op: no spares]", 0.0, 0.0, None
             result = improve_deployment(
                 hierarchy, list(spares), self.params, self.app_work
             )
             gain = result.final_throughput - result.initial_throughput
             if not result.actions or gain <= capacity * _REL_TOL:
-                return None, f"{reason} [no-op: no improving move]", 0.0, 0.0
+                return (
+                    None, f"{reason} [no-op: no improving move]",
+                    0.0, 0.0, None,
+                )
             return self._gate_scale_up(
                 result.hierarchy, hierarchy, result.final_throughput,
                 gain, observation, reason,
@@ -497,7 +689,7 @@ class ControlLoop:
             return None, (
                 f"{reason} [no-op: planner {self.base_method!r} ignores "
                 "demand caps]"
-            ), 0.0, 0.0
+            ), 0.0, 0.0, None
         planned = self.registry.plan(
             PlanRequest(
                 pool=self.pool,
@@ -512,14 +704,13 @@ class ControlLoop:
         if self.cost_model.touched_nodes(hierarchy, candidate) == 0:
             return (
                 None, f"{reason} [no-op: replan kept the deployment]",
-                0.0, 0.0,
+                0.0, 0.0, None,
             )
-        cost = self.cost_model.cost_seconds(hierarchy, candidate, self.params)
         gain = planned.throughput - capacity
         if gain > capacity * _REL_TOL:
             return self._gate_scale_up(
                 candidate, hierarchy, planned.throughput, gain,
-                observation, reason, cost,
+                observation, reason,
             )
         # Scale-down (or sideways): efficiency move, no throughput gate —
         # but never below the configured deployment floor.
@@ -527,8 +718,9 @@ class ControlLoop:
             return None, (
                 f"{reason} [no-op: candidate has {len(candidate)} nodes, "
                 f"below min_nodes={self.min_nodes}]"
-            ), 0.0, 0.0
-        return candidate, reason, cost, planned.throughput
+            ), 0.0, 0.0, None
+        plan, cost = self._plan_and_price(hierarchy, candidate)
+        return candidate, reason, cost, planned.throughput, plan
 
     def _gate_scale_up(
         self,
@@ -538,13 +730,11 @@ class ControlLoop:
         gain: float,
         observation: WindowObservation,
         reason: str,
-        cost: float | None = None,
-    ) -> tuple[Hierarchy | None, str, float, float]:
+    ) -> tuple[
+        Hierarchy | None, str, float, float, MigrationPlan | None
+    ]:
         """Veto scale-ups whose gain cannot amortize the migration loss."""
-        if cost is None:
-            cost = self.cost_model.cost_seconds(
-                current, candidate, self.params
-            )
+        plan, cost = self._plan_and_price(current, candidate)
         lost_requests = cost * observation.served_rate
         gained_requests = gain * self.amortize_epochs * self.epoch_duration
         if gained_requests <= lost_requests:
@@ -552,5 +742,5 @@ class ControlLoop:
                 f"{reason} [vetoed: migration loses "
                 f"{lost_requests:.0f} requests vs {gained_requests:.0f} "
                 f"gained over {self.amortize_epochs} epochs]"
-            ), 0.0, 0.0
-        return candidate, reason, cost, rho
+            ), 0.0, 0.0, None
+        return candidate, reason, cost, rho, plan

@@ -17,8 +17,11 @@ actions per epoch:
     platform can also *shrink*.
 
 Policies register by name (:func:`register_policy`) exactly like
-planners, so ``repro-deploy control --policy NAME`` and third-party
-policies come for free:
+planners, and declare :class:`PolicyOptions` dataclasses — the planner
+registry's typed-option machinery (eager validation, CLI string
+coercion) with :class:`~repro.errors.ControlError` as the error domain —
+so ``repro-deploy control --policy NAME --policy-opt key=value`` and
+third-party policies come for free:
 
 * ``hold`` — the static no-op baseline (what the paper's one-shot plan
   amounts to);
@@ -35,14 +38,18 @@ policies come for free:
   approach its served throughput with far fewer redeploys.
 
 Every decision the loop applies is additionally priced through a
-:class:`MigrationCostModel` (seconds of control-plane downtime derived
-from :class:`~repro.core.params.ModelParams` communication constants);
-scale-ups whose modeled gain does not amortize the migration loss are
-vetoed by the loop.
+:class:`MigrationCostModel` (seconds of downtime derived from
+:class:`~repro.core.params.ModelParams` communication constants) —
+full-platform relaunch cost for stop-the-world restarts, service-weighted
+per-subtree drain cost for live migration plans; scale-ups whose modeled
+gain does not amortize the migration loss are vetoed by the loop.  The
+live price is typically orders of magnitude below the restart price,
+which is what lets policies act aggressively under live migration.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import inspect
 from collections.abc import Mapping
 from dataclasses import dataclass, field
@@ -51,10 +58,12 @@ from typing import TYPE_CHECKING
 from repro.control.traces import Trace
 from repro.core.hierarchy import Hierarchy
 from repro.core.params import ModelParams
-from repro.errors import ControlError
+from repro.core.registry import PlannerOptions
+from repro.errors import ControlError, PlanningError
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.control.monitor import WindowObservation
+    from repro.deploy.migration import MigrationPlan
 
 __all__ = [
     "ControlDecision",
@@ -64,6 +73,11 @@ __all__ = [
     "register_policy",
     "available_policies",
     "make_policy",
+    "PolicyOptions",
+    "HoldOptions",
+    "ReactiveOptions",
+    "PredictiveOptions",
+    "OracleOptions",
     "StaticPolicy",
     "ReactivePolicy",
     "PredictivePolicy",
@@ -158,12 +172,25 @@ class ControlPolicy:
     Subclasses implement :meth:`decide`; stateless by design — all state
     a policy needs (hysteresis counters included) is derivable from the
     context's observation history, which keeps runs replayable.
+
+    Policies that declare an ``options_type`` (a :class:`PolicyOptions`
+    dataclass) get typed, eagerly-validated option handling through
+    :func:`make_policy`, sharing the planner registry's coercion
+    machinery; policies without one fall back to the legacy
+    constructor-default string coercion.
     """
 
     name = "abstract"
+    #: Typed option dataclass, or None for legacy loose-kwargs policies.
+    options_type: "type[PolicyOptions] | None" = None
 
     def decide(self, ctx: ControlContext) -> ControlDecision:
         raise NotImplementedError  # pragma: no cover
+
+    def _apply_options(self, options: "PolicyOptions") -> None:
+        """Copy every option field onto the instance (validated already)."""
+        for spec in dataclasses.fields(options):
+            setattr(self, spec.name, getattr(options, spec.name))
 
     def describe(self) -> str:
         options = ", ".join(
@@ -171,6 +198,37 @@ class ControlPolicy:
             for key, value in sorted(vars(self).items())
         )
         return f"{self.name}({options})"
+
+
+# ---------------------------------------------------------------------- #
+# typed policy options
+
+
+@dataclass(frozen=True)
+class PolicyOptions(PlannerOptions):
+    """Base class for per-policy typed option dataclasses.
+
+    Exactly the planner registry's :class:`~repro.core.registry.\
+PlannerOptions` machinery — typed fields, eager ``__post_init__``
+    validation, string coercion for CLI ``--policy-opt key=value`` flags
+    (including tuple specs and annotations) — but raising
+    :class:`~repro.errors.ControlError` so control-plane callers keep a
+    single error domain.
+    """
+
+    @classmethod
+    def coerce(cls, mapping: Mapping[str, object]) -> "PolicyOptions":
+        valid = sorted(f.name for f in dataclasses.fields(cls))
+        unknown = sorted(set(mapping) - set(valid))
+        if unknown:
+            raise ControlError(
+                f"unknown option(s) {unknown} for policy options "
+                f"{cls.__name__}; valid options: {valid}"
+            )
+        try:
+            return super().coerce(mapping)
+        except PlanningError as exc:
+            raise ControlError(str(exc)) from exc
 
 
 # ---------------------------------------------------------------------- #
@@ -199,15 +257,35 @@ def available_policies() -> tuple[str, ...]:
     return tuple(sorted(_POLICIES))
 
 
+def accepted_options(policy: str) -> frozenset[str] | None:
+    """Option names policy ``policy`` accepts, or None if unconstrained.
+
+    Typed policies (those with an ``options_type``) report their
+    dataclass fields; legacy policies return ``None`` — callers cannot
+    know the constructor's vocabulary without instantiating, so they
+    should pass options through unfiltered.
+    """
+    if policy not in _POLICIES:
+        raise ControlError(
+            f"unknown control policy {policy!r}; "
+            f"available policies: {', '.join(available_policies())}"
+        )
+    options_type = getattr(_POLICIES[policy], "options_type", None)
+    if options_type is None:
+        return None
+    return frozenset(f.name for f in dataclasses.fields(options_type))
+
+
 def make_policy(
     policy: "str | ControlPolicy",
     options: Mapping[str, object] | None = None,
 ) -> "ControlPolicy":
     """Resolve a policy name (plus loose options) into an instance.
 
-    String-valued options (the CLI's ``--policy-opt key=value``) are
-    coerced to the type of the constructor default, mirroring the typed
-    planner options.
+    Policies that declare a typed ``options_type`` (all the built-ins)
+    resolve options through it: eager validation, registry-grade string
+    coercion, actionable unknown-key errors.  Legacy policies without
+    one keep the constructor-default string coercion.
     """
     if isinstance(policy, ControlPolicy):
         if options:
@@ -222,6 +300,17 @@ def make_policy(
             f"available policies: {', '.join(available_policies())}"
         )
     cls = _POLICIES[policy]
+    options_type = getattr(cls, "options_type", None)
+    if options_type is not None:
+        resolved = (
+            options_type.coerce(options) if options else options_type()
+        )
+        return cls(
+            **{
+                spec.name: getattr(resolved, spec.name)
+                for spec in dataclasses.fields(resolved)
+            }
+        )
     if not options:
         return cls()
     parameters = {
@@ -282,20 +371,42 @@ def make_policy(
 class MigrationCostModel:
     """Downtime (seconds) of switching deployments, priced from the model.
 
-    A redeploy touches every node that is added, removed, re-parented or
-    role-changed between the old and new hierarchies.  Each touched node
-    costs a configuration push (``config_mb`` over the platform link) plus
-    ``control_round_trips`` agent-level request/reply exchanges — the same
-    :class:`~repro.core.params.ModelParams` communication constants the
-    throughput model bills (Table 3 sizes over ``bandwidth``) — on top of
-    a fixed control-plane ``restart_seconds``.  GoDIET-style launchers
-    behave exactly like this: per-element config, serial acks, one
-    restart barrier.
+    Two migration mechanisms, two prices:
+
+    **Full restart** (legacy, :meth:`cost_seconds`): the whole platform
+    stops, and *every* element of the target deployment is relaunched —
+    ``launch_seconds`` of process spawn/registration plus a
+    configuration push (``config_mb`` over the platform link) and
+    ``control_round_trips`` agent-level request/reply exchanges — the
+    same :class:`~repro.core.params.ModelParams` communication constants
+    the throughput model bills (Table 3 sizes over ``bandwidth``) — on
+    top of a fixed control-plane ``restart_seconds`` barrier.
+    GoDIET-style launchers behave exactly like this: tear everything
+    down, per-element launch and config, serial acks, one restart
+    barrier; in-flight requests die with the old daemons.
+
+    **Live, per-subtree** (:meth:`plan_outage_seconds`): a
+    :class:`~repro.deploy.migration.MigrationPlan` drains one subtree at
+    a time while the rest keeps serving.  Each drained region pays at
+    most ``drain_seconds`` of quiesce window plus its structural steps'
+    config pushes, but only its *drained fraction* of the platform is
+    out — the effective downtime is the service-weighted outage, which
+    is what lets policies act far more aggressively than under the
+    restart price.  Pure capacity growth (new servers under surviving
+    agents) drains nothing and prices at configuration cost only.
     """
 
     restart_seconds: float = 0.25
     config_mb: float = 1.0
     control_round_trips: int = 2
+    #: Process launch + naming-service registration per element, billed
+    #: for every target node on a full restart and for newly attached
+    #: nodes during live migration (where it overlaps with serving).
+    launch_seconds: float = 0.1
+    #: Per-region drain cap (seconds) for live migrations.  The runtime
+    #: exits a drain as soon as the region goes quiet, so this is the
+    #: worst case, and the conservative price the veto gate uses.
+    drain_seconds: float = 0.25
 
     def __post_init__(self) -> None:
         if self.restart_seconds < 0.0:
@@ -310,6 +421,14 @@ class MigrationCostModel:
             raise ControlError(
                 "control_round_trips must be >= 0, "
                 f"got {self.control_round_trips}"
+            )
+        if self.launch_seconds < 0.0:
+            raise ControlError(
+                f"launch_seconds must be >= 0, got {self.launch_seconds}"
+            )
+        if self.drain_seconds < 0.0:
+            raise ControlError(
+                f"drain_seconds must be >= 0, got {self.drain_seconds}"
             )
 
     @staticmethod
@@ -333,19 +452,154 @@ class MigrationCostModel:
         }
         return len(added) + len(removed) + len(moved)
 
-    def cost_seconds(
-        self, old: Hierarchy | None, new: Hierarchy, params: ModelParams
-    ) -> float:
-        """Predicted downtime of migrating ``old`` → ``new``."""
-        per_node = (
+    def per_node_seconds(self, params: ModelParams) -> float:
+        """Configuration-push time billed per structurally touched node."""
+        return (
             self.config_mb / params.bandwidth
             + self.control_round_trips * params.agent_child_comm
         )
-        return self.restart_seconds + self.touched_nodes(old, new) * per_node
+
+    def cost_seconds(
+        self, old: Hierarchy | None, new: Hierarchy, params: ModelParams
+    ) -> float:
+        """Predicted downtime of a full-restart migration ``old`` → ``new``.
+
+        Stop-the-world semantics: the old platform is torn down whole
+        and every element of the *new* one is launched and configured,
+        however small the structural diff — which is exactly why live
+        migration pays off.
+        """
+        per_node = self.launch_seconds + self.per_node_seconds(params)
+        return self.restart_seconds + len(new) * per_node
+
+    def region_config_seconds(self, region, params: ModelParams) -> float:
+        """Configuration time of one region's structural steps.
+
+        Reconfigurations are in-place config pushes; only newly
+        attached elements additionally pay the launch cost.  This is
+        the exact time the live executor bills the simulation for a
+        region's reconfiguration, shared here so the veto price and the
+        executed cost can never drift apart.
+        """
+        launches = sum(
+            1 for step in region.structural_steps if step.op == "attach"
+        )
+        return (
+            region.touched * self.per_node_seconds(params)
+            + launches * self.launch_seconds
+        )
+
+    def region_window_seconds(self, region, params: ModelParams) -> float:
+        """Worst-case wall (simulated) duration of one migration region."""
+        drain = self.drain_seconds if region.drained else 0.0
+        return drain + self.region_config_seconds(region, params)
+
+    def plan_outage_seconds(
+        self, plan: "MigrationPlan", params: ModelParams
+    ) -> float:
+        """Effective downtime of a plan: outage weighted by coverage.
+
+        For live (incremental) plans, each region's window counts only
+        in proportion to the fraction of deployed nodes it drains — the
+        rest of the platform serves straight through, and pure-growth
+        regions cost nothing.  Restart-kind and cold plans are
+        stop-the-world rebuilds of the whole target, so they price
+        exactly like :meth:`cost_seconds`: one barrier plus a full
+        relaunch of every target element.
+        """
+        if not plan.is_live:
+            per_node = self.launch_seconds + self.per_node_seconds(params)
+            return self.restart_seconds + plan.target_nodes * per_node
+        deployed = max(1, plan.source_nodes)
+        outage = 0.0
+        for region in plan.regions:
+            window = self.region_window_seconds(region, params)
+            fraction = min(1.0, len(region.drained) / deployed)
+            outage += window * fraction
+        return outage
 
 
 # ---------------------------------------------------------------------- #
 # built-in policies
+
+
+@dataclass(frozen=True)
+class HoldOptions(PolicyOptions):
+    """The static baseline takes no options."""
+
+
+@dataclass(frozen=True)
+class ReactiveOptions(PolicyOptions):
+    """Options of the threshold policy (validated eagerly)."""
+
+    up_utilization: float = 0.90
+    up_fraction: float = 0.90
+    down_fraction: float = 0.40
+    hysteresis: int = 2
+    cooldown: int = 2
+    headroom: float = 1.3
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.up_utilization <= 1.0):
+            raise ControlError(
+                f"up_utilization must be in (0, 1], got {self.up_utilization}"
+            )
+        if not (0.0 < self.down_fraction < self.up_fraction <= 1.0):
+            raise ControlError(
+                "need 0 < down_fraction < up_fraction <= 1, got "
+                f"({self.down_fraction}, {self.up_fraction})"
+            )
+        if self.hysteresis < 1:
+            raise ControlError(
+                f"hysteresis must be >= 1, got {self.hysteresis}"
+            )
+        if self.cooldown < 0:
+            raise ControlError(f"cooldown must be >= 0, got {self.cooldown}")
+        if self.headroom < 1.0:
+            raise ControlError(f"headroom must be >= 1, got {self.headroom}")
+
+
+@dataclass(frozen=True)
+class PredictiveOptions(PolicyOptions):
+    """Options of the trend-extrapolation policy (validated eagerly)."""
+
+    lookahead: int = 2
+    window: int = 3
+    headroom: float = 1.25
+    down_fraction: float = 0.4
+    cooldown: int = 2
+
+    def __post_init__(self) -> None:
+        if self.lookahead < 1:
+            raise ControlError(
+                f"lookahead must be >= 1, got {self.lookahead}"
+            )
+        if self.window < 2:
+            raise ControlError(f"window must be >= 2, got {self.window}")
+        if self.headroom < 1.0:
+            raise ControlError(f"headroom must be >= 1, got {self.headroom}")
+        if not (0.0 < self.down_fraction < 1.0):
+            raise ControlError(
+                f"down_fraction must be in (0, 1), got {self.down_fraction}"
+            )
+        if self.cooldown < 0:
+            raise ControlError(f"cooldown must be >= 0, got {self.cooldown}")
+
+
+@dataclass(frozen=True)
+class OracleOptions(PolicyOptions):
+    """Options of the clairvoyant replanner (validated eagerly)."""
+
+    headroom: float = 1.2
+    tolerance: float = 0.15
+
+    def __post_init__(self) -> None:
+        if self.headroom < 1.0:
+            raise ControlError(f"headroom must be >= 1, got {self.headroom}")
+        if self.tolerance <= 0.0:
+            raise ControlError(
+                f"tolerance must be > 0, got {self.tolerance}"
+            )
 
 
 @register_policy
@@ -353,6 +607,7 @@ class StaticPolicy(ControlPolicy):
     """Never adapt — the paper's one-shot deployment as a baseline."""
 
     name = "hold"
+    options_type = HoldOptions
 
     def decide(self, ctx: ControlContext) -> ControlDecision:
         return ControlDecision.hold("static policy")
@@ -384,6 +639,7 @@ class ReactivePolicy(ControlPolicy):
     """
 
     name = "reactive"
+    options_type = ReactiveOptions
 
     def __init__(
         self,
@@ -394,27 +650,16 @@ class ReactivePolicy(ControlPolicy):
         cooldown: int = 2,
         headroom: float = 1.3,
     ):
-        if not (0.0 < up_utilization <= 1.0):
-            raise ControlError(
-                f"up_utilization must be in (0, 1], got {up_utilization}"
+        self._apply_options(
+            ReactiveOptions(
+                up_utilization=up_utilization,
+                up_fraction=up_fraction,
+                down_fraction=down_fraction,
+                hysteresis=hysteresis,
+                cooldown=cooldown,
+                headroom=headroom,
             )
-        if not (0.0 < down_fraction < up_fraction <= 1.0):
-            raise ControlError(
-                "need 0 < down_fraction < up_fraction <= 1, got "
-                f"({down_fraction}, {up_fraction})"
-            )
-        if hysteresis < 1:
-            raise ControlError(f"hysteresis must be >= 1, got {hysteresis}")
-        if cooldown < 0:
-            raise ControlError(f"cooldown must be >= 0, got {cooldown}")
-        if headroom < 1.0:
-            raise ControlError(f"headroom must be >= 1, got {headroom}")
-        self.up_utilization = up_utilization
-        self.up_fraction = up_fraction
-        self.down_fraction = down_fraction
-        self.hysteresis = hysteresis
-        self.cooldown = cooldown
-        self.headroom = headroom
+        )
 
     def decide(self, ctx: ControlContext) -> ControlDecision:
         if len(ctx.observations) < self.hysteresis:
@@ -482,6 +727,7 @@ class PredictivePolicy(ControlPolicy):
     """
 
     name = "predictive"
+    options_type = PredictiveOptions
 
     def __init__(
         self,
@@ -491,23 +737,15 @@ class PredictivePolicy(ControlPolicy):
         down_fraction: float = 0.4,
         cooldown: int = 2,
     ):
-        if lookahead < 1:
-            raise ControlError(f"lookahead must be >= 1, got {lookahead}")
-        if window < 2:
-            raise ControlError(f"window must be >= 2, got {window}")
-        if headroom < 1.0:
-            raise ControlError(f"headroom must be >= 1, got {headroom}")
-        if not (0.0 < down_fraction < 1.0):
-            raise ControlError(
-                f"down_fraction must be in (0, 1), got {down_fraction}"
+        self._apply_options(
+            PredictiveOptions(
+                lookahead=lookahead,
+                window=window,
+                headroom=headroom,
+                down_fraction=down_fraction,
+                cooldown=cooldown,
             )
-        if cooldown < 0:
-            raise ControlError(f"cooldown must be >= 0, got {cooldown}")
-        self.lookahead = lookahead
-        self.window = window
-        self.headroom = headroom
-        self.down_fraction = down_fraction
-        self.cooldown = cooldown
+        )
 
     def decide(self, ctx: ControlContext) -> ControlDecision:
         if len(ctx.observations) < self.window or ctx.demand_unit <= 0.0:
@@ -553,14 +791,12 @@ class OraclePolicy(ControlPolicy):
     """
 
     name = "oracle"
+    options_type = OracleOptions
 
     def __init__(self, headroom: float = 1.2, tolerance: float = 0.15):
-        if headroom < 1.0:
-            raise ControlError(f"headroom must be >= 1, got {headroom}")
-        if tolerance <= 0.0:
-            raise ControlError(f"tolerance must be > 0, got {tolerance}")
-        self.headroom = headroom
-        self.tolerance = tolerance
+        self._apply_options(
+            OracleOptions(headroom=headroom, tolerance=tolerance)
+        )
 
     def decide(self, ctx: ControlContext) -> ControlDecision:
         if ctx.demand_unit <= 0.0:

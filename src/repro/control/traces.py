@@ -28,6 +28,14 @@ Traces are:
 Constructors: :func:`constant`, :func:`piecewise`, :func:`ramp`,
 :func:`diurnal`, :func:`burst`, :func:`flash_crowd`, :func:`replay`, and
 :func:`from_spec` for the CLI's compact ``name:key=value,...`` syntax.
+
+A small **fixture library** of named :func:`piecewise` scenarios ships
+with the package (:func:`fixture` / :func:`fixtures`): real-world-shaped
+step functions — a Wikipedia-style flash crowd, a Black-Friday double
+wave, an office-hours workday — resolvable by name through
+:func:`from_spec` (bare ``wikipedia_flash`` or parameterized
+``fixture:name=wikipedia_flash,scale=2``) so sweeps and the CLI get
+scenario diversity without hand-writing step lists.
 """
 
 from __future__ import annotations
@@ -47,6 +55,8 @@ __all__ = [
     "burst",
     "flash_crowd",
     "replay",
+    "fixture",
+    "fixtures",
     "from_spec",
 ]
 
@@ -303,6 +313,60 @@ def replay(result: object, window: float = 1.0) -> Trace:
 
 
 # ---------------------------------------------------------------------- #
+# fixture library
+
+#: Named piecewise scenarios, each a list of ``(start_time, level)``
+#: steps over a few simulated minutes.  Shapes are stylized from real
+#: arrival traces, scaled to client counts a demo-size pool can serve.
+_FIXTURES: dict[str, tuple[tuple[float, int], ...]] = {
+    # A page goes viral (the Wikipedia flash-crowd shape): a quiet
+    # baseline multiplies tenfold within half a minute, then decays in
+    # steps as the link ages off front pages.
+    "wikipedia_flash": (
+        (0.0, 4), (25.0, 18), (35.0, 40), (55.0, 28), (75.0, 16),
+        (100.0, 8), (125.0, 5),
+    ),
+    # Doors-open retail surge with a second evening wave and a deep
+    # overnight trough — two distinct peaks stress scale-up *and*
+    # scale-down decisions in one run.
+    "black_friday": (
+        (0.0, 6), (20.0, 24), (40.0, 36), (60.0, 18), (80.0, 32),
+        (105.0, 14), (130.0, 5),
+    ),
+    # An office-hours workday in miniature: morning ramp, lunch dip,
+    # afternoon plateau, evening wind-down.
+    "workday": (
+        (0.0, 3), (15.0, 12), (35.0, 24), (55.0, 16), (70.0, 26),
+        (95.0, 20), (115.0, 8), (135.0, 4),
+    ),
+}
+
+
+def fixtures() -> tuple[str, ...]:
+    """Names of the shipped trace fixtures, sorted."""
+    return tuple(sorted(_FIXTURES))
+
+
+def fixture(name: str, scale: float = 1.0) -> Trace:
+    """A named :func:`piecewise` fixture, optionally level-scaled.
+
+    ``scale`` multiplies every level (e.g. ``scale=2`` doubles the
+    crowd), so one shape serves pools of different capacities.
+    """
+    steps = _FIXTURES.get(name)
+    if steps is None:
+        raise ControlError(
+            f"unknown trace fixture {name!r}; "
+            f"available fixtures: {', '.join(fixtures())}"
+        )
+    trace = piecewise(list(steps))
+    if scale != 1.0:
+        trace = trace.scale(scale)
+    trace.name = f"fixture:{name}" + (f"*{scale:g}" if scale != 1.0 else "")
+    return trace
+
+
+# ---------------------------------------------------------------------- #
 # CLI spec parsing
 
 
@@ -338,11 +402,17 @@ def from_spec(spec: str) -> Trace:
         burst:base=5,burst_level=50,at=30,duration=20
         flash:base=5,peak=60,at=30,rise=5,fall=30
         piecewise:steps=0/4|30/40|60/4
+        wikipedia_flash
+        fixture:name=black_friday,scale=1.5
 
-    ``piecewise`` steps are ``time/level`` pairs joined by ``|``.
+    ``piecewise`` steps are ``time/level`` pairs joined by ``|``; a bare
+    fixture name (see :func:`fixtures`) resolves from the shipped
+    library, with ``fixture:name=...,scale=...`` for level scaling.
     """
     name, _, body = spec.partition(":")
     name = name.strip().lower()
+    if name in _FIXTURES and not body.strip():
+        return fixture(name)
     kwargs: dict[str, str] = {}
     if body.strip():
         for item in body.split(","):
@@ -353,6 +423,21 @@ def from_spec(spec: str) -> Trace:
                 )
             # Accept dashed keys like every other key=value CLI surface.
             kwargs[key.strip().replace("-", "_")] = value.strip()
+    if name == "fixture":
+        fixture_name = kwargs.pop("name", "")
+        raw_scale = kwargs.pop("scale", "1.0")
+        if kwargs:
+            raise ControlError(
+                "fixture trace only takes name=... and scale=..., got "
+                f"{sorted(kwargs)}"
+            )
+        try:
+            scale = float(raw_scale)
+        except ValueError as exc:
+            raise ControlError(
+                f"trace option scale={raw_scale!r} is not a valid float"
+            ) from exc
+        return fixture(fixture_name, scale=scale)
     if name == "piecewise":
         raw = kwargs.pop("steps", "")
         if kwargs:
@@ -377,7 +462,8 @@ def from_spec(spec: str) -> Trace:
     if name not in _SPEC_BUILDERS:
         raise ControlError(
             f"unknown trace type {name!r}; expected one of "
-            f"{sorted([*_SPEC_BUILDERS, 'piecewise'])}"
+            f"{sorted([*_SPEC_BUILDERS, 'piecewise', 'fixture'])} "
+            f"or a fixture name ({', '.join(fixtures())})"
         )
     builder, fields = _SPEC_BUILDERS[name]
     unknown = sorted(set(kwargs) - set(fields))

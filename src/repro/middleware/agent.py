@@ -30,15 +30,22 @@ __all__ = ["AgentElement"]
 
 
 class _PendingRequest:
-    """Reply-merge state for one in-flight request at one agent."""
+    """Reply-merge state for one in-flight request at one agent.
 
-    __slots__ = ("remaining", "best_server", "best_estimate", "ties")
+    ``origin`` is the element the merged reply must go back to, captured
+    when the request was *received* — not looked up at reply time — so a
+    conversation survives the agent being re-homed mid-flight by a live
+    migration.  ``None`` means the request came from the client layer.
+    """
 
-    def __init__(self, remaining: int):
+    __slots__ = ("remaining", "best_server", "best_estimate", "ties", "origin")
+
+    def __init__(self, remaining: int, origin: "AgentElement | None"):
         self.remaining = remaining
         self.best_server: str | None = None
         self.best_estimate = float("inf")
         self.ties = 0
+        self.origin = origin
 
 
 class AgentElement:
@@ -96,8 +103,19 @@ class AgentElement:
     def degree(self) -> int:
         return len(self.children)
 
-    def receive_request(self, request_id: int) -> None:
-        """Upstream (parent agent or client) finished sending to us."""
+    @property
+    def in_flight(self) -> int:
+        """Requests received but not yet replied (drain-quiet signal)."""
+        return len(self._pending)
+
+    def receive_request(
+        self, request_id: int, origin: "AgentElement | None" = None
+    ) -> None:
+        """Upstream (parent agent or client) finished sending to us.
+
+        ``origin`` is the sender the eventual merged reply belongs to;
+        the default ``None`` means the client layer (root agents only).
+        """
         params = self.params
         recv_time = params.agent_sizes.sreq / self.bandwidth
 
@@ -117,21 +135,35 @@ class AgentElement:
                         request_id=request_id,
                         duration=duration, what="request_processing",
                     )
-                self._fan_out(request_id)
+                self._fan_out(request_id, origin)
 
             self.resource.submit(duration, "compute", processed)
 
         self.resource.submit(recv_time, "recv", after_recv)
 
-    def _fan_out(self, request_id: int) -> None:
+    def _fan_out(
+        self, request_id: int, origin: "AgentElement | None"
+    ) -> None:
         """Forward the request to every child, serially (single port).
 
         The agent pays agent-level send time for every child (that is how
         Eq. 2 bills it); servers pay their own (much smaller) server-level
         receive time on arrival (Eq. 3).  The asymmetry mirrors the
         paper's per-element accounting in Table 3.
+
+        A childless agent — only possible transiently, while a live
+        migration has detached its last subtree — replies "no server"
+        immediately; the client layer resubmits.
         """
-        self._pending[request_id] = _PendingRequest(len(self.children))
+        pending = _PendingRequest(len(self.children), origin)
+        self._pending[request_id] = pending
+        if not self.children:
+            merge_work = self.params.wrep(0)
+            self.resource.submit(
+                merge_work / self.power, "compute",
+                lambda: self._reply_up(request_id),
+            )
+            return
         params = self.params
         send_time = params.agent_sizes.sreq / self.bandwidth
         for child in self.children:
@@ -141,13 +173,11 @@ class AgentElement:
                 deliver = self._make_server_delivery(child, request_id)
             self.resource.submit(send_time, "send", deliver)
 
-    @staticmethod
-    def _make_agent_delivery(child: "AgentElement", request_id: int):
-        return lambda: child.receive_request(request_id)
+    def _make_agent_delivery(self, child: "AgentElement", request_id: int):
+        return lambda: child.receive_request(request_id, self)
 
-    @staticmethod
-    def _make_server_delivery(child, request_id: int):
-        return lambda: child.receive_schedule(request_id)
+    def _make_server_delivery(self, child, request_id: int):
+        return lambda: child.receive_schedule(request_id, self)
 
     # ------------------------------------------------------------------ #
 
@@ -213,8 +243,11 @@ class AgentElement:
                     request_id=request_id,
                     size_mb=params.agent_sizes.srep, msg="sched_rep",
                 )
-            if self.parent is not None:
-                self.parent.receive_reply(
+            # Reply to whoever the request came from — captured at
+            # receive time, so a mid-flight re-homing cannot strand the
+            # conversation at an element that no longer expects it.
+            if pending.origin is not None:
+                pending.origin.receive_reply(
                     request_id, pending.best_server, pending.best_estimate
                 )
             elif self.client_sink is not None:

@@ -42,6 +42,7 @@ class ClosedLoopClient:
         "completed",
         "active",
         "_running",
+        "_aborted",
     )
 
     def __init__(
@@ -60,6 +61,7 @@ class ClosedLoopClient:
         self.completed = 0
         self.active = False
         self._running = False
+        self._aborted = False
 
     def start(self) -> None:
         """Begin the request loop (idempotent)."""
@@ -73,10 +75,27 @@ class ClosedLoopClient:
         """Stop after the in-flight request completes."""
         self._running = False
 
+    def abort(self) -> None:
+        """Stop immediately and disown the in-flight request (teardown).
+
+        Models a stop-the-world platform restart: the daemons serving
+        the in-flight request are killed, so its completion never
+        reaches the client — ``on_complete`` is detached and neither it
+        nor the :attr:`completed` counter sees the request land.
+        Contrast :meth:`stop`, which lets the request finish (a
+        graceful drain).
+        """
+        self._running = False
+        self._aborted = True
+        self.on_complete = None
+        self.active = False
+
     def _submit(self) -> None:
         self.system.submit(self.name, self._done)
 
     def _done(self, request: Request) -> None:
+        if self._aborted:
+            return
         self.completed += 1
         if self.on_complete is not None:
             self.on_complete(request)

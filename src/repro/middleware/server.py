@@ -82,11 +82,22 @@ class ServerElement:
         # the quantity the availability prediction reports.
         self.pending_service_work = 0.0
 
+    @property
+    def in_flight(self) -> int:
+        """Whether service work is still committed (drain-quiet signal)."""
+        return 1 if self.pending_service_work > 0.0 else 0
+
     # ------------------------------------------------------------------ #
     # scheduling phase
 
-    def receive_schedule(self, request_id: int) -> None:
-        """Parent finished sending: absorb the message, then predict."""
+    def receive_schedule(self, request_id: int, reply_to=None) -> None:
+        """Parent finished sending: absorb the message, then predict.
+
+        ``reply_to`` is the agent the prediction reply belongs to,
+        captured by the sender at fan-out time; the default falls back
+        to the current parent.  Capturing it keeps in-flight scheduling
+        conversations intact while a live migration re-homes this server.
+        """
         params = self.params
         recv_time = params.server_sizes.sreq / self.bandwidth
 
@@ -98,12 +109,13 @@ class ServerElement:
                     size_mb=params.server_sizes.sreq, msg="sched_req",
                 )
             self.resource.submit(
-                params.wpre / self.power, "compute", self._reply_factory(request_id)
+                params.wpre / self.power, "compute",
+                self._reply_factory(request_id, reply_to),
             )
 
         self.resource.submit(recv_time, "recv", after_recv)
 
-    def _reply_factory(self, request_id: int) -> Callable[[], None]:
+    def _reply_factory(self, request_id: int, reply_to=None) -> Callable[[], None]:
         def after_predict() -> None:
             self.predictions_done += 1
             # The estimate DIET's FAST-like predictor would return: how
@@ -127,7 +139,8 @@ class ServerElement:
                         request_id=request_id,
                         size_mb=self.params.server_sizes.srep, msg="sched_rep",
                     )
-                self.parent.receive_reply(request_id, self.name, estimate)
+                target = reply_to if reply_to is not None else self.parent
+                target.receive_reply(request_id, self.name, estimate)
 
             self.resource.submit(send_time, "send", after_send)
 

@@ -13,12 +13,24 @@ response lands.
 This is the execution substrate the experiment harnesses drive; the
 GoDIET-like launcher in :mod:`repro.deploy.godiet` builds one of these
 from a serialized plan.
+
+Beyond constructor-only wiring, a running system supports **incremental
+reconfiguration** for the control plane's live migrations:
+:meth:`unlink` takes a subtree out of the fan-out (its in-flight work
+drains, the rest of the platform keeps serving), :meth:`apply_migration`
+executes the structural steps of a
+:class:`~repro.deploy.migration.MigrationPlan` region (element creation,
+re-homing, removal, role changes) on the live engine, and
+:meth:`complete_migration` swaps in the target hierarchy.  Requests that
+race a reconfiguration are re-homed automatically: a scheduling round
+that finds no route, or a service call whose selected server has been
+migrated away, is transparently resubmitted through the (new) tree.
 """
 
 from __future__ import annotations
 
 import random
-from collections.abc import Callable, Mapping
+from collections.abc import Callable, Iterable, Mapping
 
 from repro.core.hierarchy import Hierarchy, Role
 from repro.core.params import ModelParams
@@ -64,8 +76,10 @@ class MiddlewareSystem:
         self.sim = sim
         self.hierarchy = hierarchy
         self.params = params
+        self.app_work = app_work
         self.trace = trace
         self._rng = random.Random(seed)
+        self._bandwidths = bandwidths
         if bandwidths is not None:
             missing = [str(n) for n in hierarchy if str(n) not in bandwidths]
             if missing:
@@ -81,25 +95,9 @@ class MiddlewareSystem:
 
         # Instantiate elements, then wire parent/child links.
         for node in hierarchy:
-            power = hierarchy.power(node)
-            bandwidth = (
-                float(bandwidths[str(node)]) if bandwidths is not None else None
+            self._make_element(
+                str(node), hierarchy.power(node), hierarchy.role(node)
             )
-            if hierarchy.role(node) is Role.AGENT:
-                self.agents[str(node)] = AgentElement(
-                    sim, str(node), power, params, trace=trace,
-                    rng=self._rng, bandwidth=bandwidth,
-                )
-            else:
-                work = (
-                    float(app_work[node])
-                    if isinstance(app_work, Mapping)
-                    else float(app_work)
-                )
-                self.servers[str(node)] = ServerElement(
-                    sim, str(node), power, params, work, trace=trace,
-                    bandwidth=bandwidth,
-                )
         for node in hierarchy:
             element = self._element(str(node))
             parent = hierarchy.parent(node)
@@ -112,10 +110,208 @@ class MiddlewareSystem:
         self.root = self.agents[str(hierarchy.root)]
         self.root.client_sink = self._on_scheduled
 
+    def _make_element(self, name: str, power: float, role: Role):
+        """Create (and register) one element; wiring is the caller's job."""
+        bandwidth = (
+            float(self._bandwidths[name])
+            if self._bandwidths is not None and name in self._bandwidths
+            else None
+        )
+        if role is Role.AGENT:
+            element = AgentElement(
+                self.sim, name, power, self.params, trace=self.trace,
+                rng=self._rng, bandwidth=bandwidth,
+            )
+            self.agents[name] = element
+        else:
+            work = (
+                float(self.app_work[name])
+                if isinstance(self.app_work, Mapping)
+                else float(self.app_work)
+            )
+            element = ServerElement(
+                self.sim, name, power, self.params, work, trace=self.trace,
+                bandwidth=bandwidth,
+            )
+            self.servers[name] = element
+        return element
+
     def _element(self, name: str):
         if name in self.agents:
             return self.agents[name]
         return self.servers[name]
+
+    def element(self, name: str):
+        """The live element deployed on node ``name`` (agent or server)."""
+        element = self.agents.get(name) or self.servers.get(name)
+        if element is None:
+            raise DeploymentError(f"no element deployed on node {name!r}")
+        return element
+
+    # ------------------------------------------------------------------ #
+    # incremental reconfiguration (live migration)
+
+    @staticmethod
+    def _unwire(element) -> None:
+        """Remove the parent→element fan-out edge, if present.
+
+        The element's own ``parent`` pointer is left alone: in-flight
+        conversations route replies by capture-time origin, so the edge
+        removal only stops *new* traffic.
+        """
+        parent = element.parent
+        if parent is not None and element in parent.children:
+            parent.children.remove(element)
+
+    def unlink(self, name: str) -> None:
+        """Take element ``name`` out of its parent's fan-out.
+
+        New scheduling rounds stop reaching the subtree immediately;
+        everything already in flight drains normally (replies route to
+        their captured origins).  The root cannot be unlinked.
+        """
+        element = self.element(name)
+        if element is self.root:
+            raise DeploymentError("cannot unlink the root agent")
+        self._unwire(element)
+
+    def _link(self, element, parent_name: str) -> None:
+        parent = self.agents.get(parent_name)
+        if parent is None:
+            raise DeploymentError(
+                f"cannot link under {parent_name!r}: not a deployed agent"
+            )
+        self._unwire(element)
+        element.parent = parent
+        parent.children.append(element)
+
+    def ensure_linked(self, name: str, parent_name: str) -> None:
+        """Re-home ``name`` under ``parent_name`` unless already there.
+
+        The resume half of a drain: region roots that kept their parent
+        (for instance a role change in place) were unlinked for the
+        drain and need the fan-out edge restored; nodes the plan already
+        moved are left untouched.
+        """
+        element = self.element(name)
+        parent = self.agents.get(parent_name)
+        if parent is None:
+            raise DeploymentError(
+                f"cannot resume {name!r} under {parent_name!r}: "
+                "not a deployed agent"
+            )
+        if element not in parent.children:
+            self._link(element, parent_name)
+
+    def region_busy(self, names: Iterable[str]) -> bool:
+        """Whether any listed element still holds queued or in-flight work.
+
+        The drain-quiet predicate of a live migration: names without a
+        deployed element (already removed, not yet attached) count as
+        quiet.
+        """
+        for name in names:
+            element = self.agents.get(name) or self.servers.get(name)
+            if element is None:
+                continue
+            if element.resource.is_busy or element.resource.queue_length:
+                return True
+            if element.in_flight:
+                return True
+        return False
+
+    def apply_migration(self, steps) -> None:
+        """Execute the structural steps of one migration-plan region.
+
+        Steps are :class:`~repro.deploy.migration.MigrationStep` in plan
+        order; ``drain``/``resume`` brackets are ignored here (the
+        caller paces them against the engine).  Replaced elements (role
+        changes) and removed elements are dropped from the fan-out only:
+        the Python objects stay alive until their in-flight work drains,
+        exactly like a decommissioned daemon finishing its last call.
+        """
+        for step in steps:
+            if not step.is_structural:
+                continue
+            name = str(step.node)
+            if step.op == "attach":
+                element = self._make_element(name, step.power, step.role)
+                self._link(element, str(step.parent))
+            elif step.op == "move":
+                self._link(self.element(name), str(step.parent))
+            elif step.op == "detach":
+                self._unwire(self.element(name))
+                self.agents.pop(name, None)
+                self.servers.pop(name, None)
+            elif step.op in ("promote", "demote"):
+                old = self.element(name)
+                parent = old.parent
+                position = -1
+                if parent is not None and old in parent.children:
+                    position = parent.children.index(old)
+                self._unwire(old)
+                if step.op == "promote":
+                    self.servers.pop(name, None)
+                    replacement = self._make_element(
+                        name, old.power, Role.AGENT
+                    )
+                else:
+                    if getattr(old, "children", None):
+                        raise DeploymentError(
+                            f"cannot demote agent {name!r}: it still has "
+                            f"{len(old.children)} children"
+                        )
+                    self.agents.pop(name, None)
+                    replacement = self._make_element(
+                        name, old.power, Role.SERVER
+                    )
+                replacement.parent = parent
+                if parent is not None and position >= 0:
+                    parent.children.insert(position, replacement)
+            else:
+                raise DeploymentError(
+                    f"unknown migration step op {step.op!r}"
+                )
+
+    def complete_migration(self, target: Hierarchy) -> None:
+        """Swap in the target hierarchy after its plan has been applied.
+
+        Verifies that the element registry matches the target's node
+        set, role by role, and that the root element is unchanged —
+        the client layer keeps its reference across live migrations.
+        Fan-out lists are normalized to the target's child order, so a
+        migrated platform is wired identically to a fresh build of the
+        same tree (the serial fan-out makes child order part of the
+        deployment, not an accident of migration history).
+        """
+        target.validate(strict=False)
+        expected_agents = {str(n) for n in target.agents}
+        expected_servers = {str(n) for n in target.servers}
+        if (
+            set(self.agents) != expected_agents
+            or set(self.servers) != expected_servers
+        ):
+            raise DeploymentError(
+                "migration left the element registry inconsistent: "
+                f"agents {sorted(set(self.agents) ^ expected_agents)}, "
+                f"servers {sorted(set(self.servers) ^ expected_servers)} "
+                "differ from the target hierarchy"
+            )
+        if self.agents[str(target.root)] is not self.root:
+            raise DeploymentError(
+                "live migration must preserve the root element"
+            )
+        for node in target.agents:
+            agent = self.agents[str(node)]
+            expected = [str(child) for child in target.children(node)]
+            wired = {element.name for element in agent.children}
+            if wired != set(expected):
+                raise DeploymentError(
+                    f"agent {node!r} wiring diverges from the target: "
+                    f"has {sorted(wired)}, expected {sorted(expected)}"
+                )
+            agent.children = [self._element(name) for name in expected]
+        self.hierarchy = target
 
     # ------------------------------------------------------------------ #
     # client-facing API
@@ -131,6 +327,13 @@ class MiddlewareSystem:
         The scheduling phase starts immediately; once the root returns the
         selected server, the service phase is issued automatically.
         ``on_complete`` fires with the finished :class:`Request`.
+
+        During a live migration, a scheduling round can race the
+        reconfiguration (no route found, or the selected server migrated
+        away before service); such requests are transparently
+        resubmitted, so ``on_complete`` still fires exactly once, while
+        ``on_scheduled`` fires once per scheduling round — possibly
+        more than once for one logical request.
         """
         request = self._start_schedule(client_name)
 
@@ -138,10 +341,12 @@ class MiddlewareSystem:
             if on_scheduled is not None:
                 on_scheduled(req)
             if req.selected_server is None:
-                raise SimulationError(
-                    f"request {req.request_id} scheduled without a server"
-                )
-            self._start_service(req, on_complete)
+                # Every route was dark — possible only transiently, while
+                # a live migration drains the last subtree an agent had.
+                # Resubmit; the retry pays a fresh scheduling round trip.
+                self.submit(client_name, on_complete, on_scheduled)
+                return
+            self._start_service(req, on_complete, on_scheduled)
 
         self._schedule_waiters[request.request_id] = scheduled
         return request
@@ -178,14 +383,18 @@ class MiddlewareSystem:
             waiter(request)
 
     def _start_service(
-        self, request: Request, on_complete: Callable[[Request], None]
+        self,
+        request: Request,
+        on_complete: Callable[[Request], None],
+        on_scheduled: Callable[[Request], None] | None = None,
     ) -> None:
         server = self.servers.get(request.selected_server or "")
         if server is None:
-            raise SimulationError(
-                f"scheduling selected unknown server "
-                f"{request.selected_server!r}"
-            )
+            # The selected server was migrated away between scheduling
+            # and service — reschedule through the current tree, with
+            # the caller's callbacks intact.
+            self.submit(request.client_name, on_complete, on_scheduled)
+            return
         request.service_started_at = self.sim.now
 
         def complete() -> None:

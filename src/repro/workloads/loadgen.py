@@ -24,7 +24,13 @@ anywhere between a workload description and a measurement:
   to the paper's exact 1-client-per-interval protocol) unless
   ``start_jitter > 0``;
 * the control plane's trace generators follow the same rule
-  (:meth:`repro.control.traces.Trace.jittered` *requires* a seed).
+  (:meth:`repro.control.traces.Trace.jittered` *requires* a seed);
+* live migrations extend the contract to mid-run reconfiguration: a
+  :class:`~repro.control.loop.ControlLoop` redeploy drains subtrees
+  against simulation-state predicates (never wall clock) and applies
+  its :class:`~repro.deploy.migration.MigrationPlan` steps in a fixed
+  order, so the timeline stays a pure function of
+  (pool, trace, policy, params, seed, migration mode).
 
 Same seeds ⇒ the same event sequence ⇒ bit-identical results, which is
 what lets the test suite compare whole experiment outputs by equality.

@@ -216,6 +216,79 @@ class TestControlCommand:
             )
             assert args.policy == policy
 
+    def test_control_migration_modes_and_fixture_traces(self, capsys):
+        for mode in ("live", "restart"):
+            code = main(
+                [
+                    "control", "--random", "8", "--seed", "2",
+                    "--dgemm", "200", "--trace", "wikipedia_flash",
+                    "--epochs", "4", "--epoch-duration", "2",
+                    "--migration", mode,
+                ]
+            )
+            assert code == 0
+            out = capsys.readouterr().out
+            assert f"migration={mode}" in out
+            assert "fixture:wikipedia_flash" in out
+
+    def test_control_sweep_prints_one_row_per_cell(self, capsys):
+        code = main(
+            [
+                "control", "--random", "8", "--seed", "2",
+                "--dgemm", "200",
+                "--trace", "constant:level=3",
+                "--trace", "burst:base=2,burst_level=10,at=2,duration=4",
+                "--sweep", "--policies", "hold,reactive",
+                "--seeds", "0,1", "--workers", "1",
+                "--epochs", "3", "--epoch-duration", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Control sweep (8 cells" in out
+        assert out.count("constant:level=3") == 4
+        assert out.count("reactive") >= 4
+
+    def test_control_sweep_policy_opts_reach_accepting_policies_only(
+        self, capsys
+    ):
+        # hysteresis tunes reactive; hold takes no options and must not
+        # choke on it — but an option nobody accepts is an error.
+        code = main(
+            [
+                "control", "--random", "8", "--seed", "2",
+                "--dgemm", "200", "--trace", "constant:level=3",
+                "--sweep", "--policies", "hold,reactive",
+                "--policy-opt", "hysteresis=1", "--workers", "1",
+                "--epochs", "2", "--epoch-duration", "2",
+            ]
+        )
+        assert code == 0
+        assert "Control sweep" in capsys.readouterr().out
+        code = main(
+            [
+                "control", "--random", "8", "--seed", "2",
+                "--dgemm", "200", "--trace", "constant:level=3",
+                "--sweep", "--policies", "hold,reactive",
+                "--policy-opt", "vibes=1", "--workers", "1",
+                "--epochs", "2", "--epoch-duration", "2",
+            ]
+        )
+        assert code == 2
+        assert "not accepted by any swept policy" in capsys.readouterr().err
+
+    def test_control_multiple_traces_without_sweep_is_error(self, capsys):
+        code = main(
+            [
+                "control", "--nodes", "6", "--dgemm", "200",
+                "--trace", "constant:level=3",
+                "--trace", "constant:level=5",
+                "--epochs", "2",
+            ]
+        )
+        assert code == 2
+        assert "--sweep" in capsys.readouterr().err
+
 
 class TestPoolValidation:
     def test_zero_nodes_reports_positive_pool_error(self, capsys):

@@ -257,13 +257,186 @@ class TestPolicyRegistry:
             ReactivePolicy(down_fraction=0.95)  # above up_fraction
 
 
+class TestTraceFixtures:
+    def test_fixture_names_resolvable(self):
+        from repro.control import fixture, fixtures
+
+        names = fixtures()
+        assert "wikipedia_flash" in names
+        assert len(names) >= 3
+        for name in names:
+            trace = fixture(name)
+            levels = trace.sample(0.0, 150.0, 5.0)
+            assert max(levels) > min(levels)  # every fixture varies
+            assert min(levels) >= 0
+
+    def test_fixture_from_spec_bare_name(self):
+        trace = from_spec("wikipedia_flash")
+        assert trace.name == "fixture:wikipedia_flash"
+        assert trace.level(40.0) == 40  # the viral spike
+
+    def test_fixture_from_spec_scaled(self):
+        base = from_spec("wikipedia_flash")
+        doubled = from_spec("fixture:name=wikipedia_flash,scale=2")
+        assert doubled.level(40.0) == 2 * base.level(40.0)
+
+    def test_unknown_fixture_is_actionable(self):
+        from repro.control import fixture
+
+        with pytest.raises(ControlError, match="wikipedia_flash"):
+            fixture("slashdot_effect")
+        with pytest.raises(ControlError, match="fixture"):
+            from_spec("fixture:name=slashdot_effect")
+
+    def test_fixture_spec_rejects_unknown_keys(self):
+        with pytest.raises(ControlError, match="scale"):
+            from_spec("fixture:name=wikipedia_flash,amplitude=3")
+
+
+class TestTypedPolicyOptions:
+    def test_builtins_declare_options_types(self):
+        from repro.control import (
+            HoldOptions,
+            OracleOptions,
+            PredictiveOptions,
+            ReactiveOptions,
+        )
+        from repro.control.policy import _POLICIES
+
+        expected = {
+            "hold": HoldOptions,
+            "reactive": ReactiveOptions,
+            "predictive": PredictiveOptions,
+            "oracle": OracleOptions,
+        }
+        for name, options_type in expected.items():
+            assert _POLICIES[name].options_type is options_type
+
+    def test_options_validate_eagerly(self):
+        from repro.control import ReactiveOptions
+
+        with pytest.raises(ControlError, match="hysteresis"):
+            ReactiveOptions(hysteresis=0)
+        with pytest.raises(ControlError, match="down_fraction"):
+            ReactiveOptions(down_fraction=0.95)
+
+    def test_coercion_shares_registry_machinery(self):
+        # The same string-to-field-type conversion the planner options
+        # use — including annotated floats and ints — with ControlError
+        # as the error domain.
+        from repro.control import PredictiveOptions
+
+        options = PredictiveOptions.coerce(
+            {"lookahead": "4", "headroom": "1.5"}
+        )
+        assert options.lookahead == 4
+        assert options.headroom == 1.5
+        with pytest.raises(ControlError, match="cannot parse"):
+            PredictiveOptions.coerce({"lookahead": "soon"})
+
+    def test_make_policy_resolves_through_typed_options(self):
+        policy = make_policy(
+            "predictive", {"lookahead": "4", "window": "5"}
+        )
+        assert policy.lookahead == 4
+        assert policy.window == 5
+
+    def test_describe_still_lists_options(self):
+        assert "hysteresis=1" in ReactivePolicy(hysteresis=1).describe()
+
+
+class TestControlSweep:
+    POOL = NodePool.uniform_random(10, low=80, high=400, seed=7)
+    KW = dict(epochs=5, epoch_duration=2.0, initial_fraction=0.4)
+
+    def test_grid_order_and_labels(self):
+        session = PlanningSession()
+        cells = session.control_sweep(
+            self.POOL, WORK,
+            traces=("constant:level=4", "constant:level=8"),
+            policies=("hold",), seeds=(0, 1),
+            parallel=False, **self.KW,
+        )
+        assert [cell.label for cell in cells] == [
+            "constant:level=4/hold/s0",
+            "constant:level=4/hold/s1",
+            "constant:level=8/hold/s0",
+            "constant:level=8/hold/s1",
+        ]
+        for cell in cells:
+            assert cell.timeline.policy == "hold"
+            assert len(cell.timeline.records) == 5
+
+    def test_parallel_matches_serial(self):
+        session = PlanningSession()
+        grid = dict(
+            traces=("wikipedia_flash", "constant:level=6"),
+            policies=("hold", "reactive"),
+            seeds=(0,),
+        )
+        serial = session.control_sweep(
+            self.POOL, WORK, parallel=False, **grid, **self.KW
+        )
+        parallel = session.control_sweep(
+            self.POOL, WORK, parallel=True, max_workers=2,
+            **grid, **self.KW,
+        )
+        assert [c.timeline for c in serial] == [
+            c.timeline for c in parallel
+        ]
+
+    def test_policy_options_apply_per_policy(self):
+        session = PlanningSession()
+        cells = session.control_sweep(
+            self.POOL, WORK,
+            traces=("constant:level=20",),
+            policies=("reactive",),
+            seeds=(0,),
+            policy_options={"reactive": {"hysteresis": 1, "cooldown": 1}},
+            parallel=False, **self.KW,
+        )
+        assert cells[0].timeline.redeploys >= 1  # fast-twitch acted
+
+    def test_validation(self):
+        from repro.errors import PlanningError
+
+        session = PlanningSession()
+        with pytest.raises(PlanningError, match="at least one"):
+            session.control_sweep(self.POOL, WORK, traces=())
+        with pytest.raises(ControlError):
+            session.control_sweep(
+                self.POOL, WORK, traces=("tsunami:level=3",)
+            )
+        with pytest.raises(PlanningError, match="picklable"):
+            session.control_sweep(self.POOL, WORK, traces=(constant(4),))
+        with pytest.raises(PlanningError, match="unswept"):
+            session.control_sweep(
+                self.POOL, WORK, traces=("constant:level=4",),
+                policies=("hold",),
+                policy_options={"reactive": {"hysteresis": 1}},
+            )
+
+
 class TestMigrationCostModel:
-    def test_identical_hierarchies_cost_only_restart(self):
+    def test_identical_hierarchies_touch_nothing(self):
         pool = NodePool.homogeneous(6, 265.0)
         tree = star_deployment(pool)
         model = MigrationCostModel(restart_seconds=0.5)
         assert model.touched_nodes(tree, tree.copy()) == 0
-        assert model.cost_seconds(tree, tree.copy(), DEFAULT_PARAMS) == 0.5
+
+    def test_restart_relaunches_the_whole_target(self):
+        # Stop-the-world pricing bills every target element, however
+        # small the structural diff: a restart to an identical tree
+        # costs the same as a cold start of it.
+        pool = NodePool.homogeneous(6, 265.0)
+        tree = star_deployment(pool)
+        model = MigrationCostModel(restart_seconds=0.5)
+        full = model.cost_seconds(None, tree, DEFAULT_PARAMS)
+        assert model.cost_seconds(tree, tree.copy(), DEFAULT_PARAMS) == full
+        per_node = model.launch_seconds + model.per_node_seconds(
+            DEFAULT_PARAMS
+        )
+        assert full == pytest.approx(0.5 + 6 * per_node)
 
     def test_cold_start_touches_everything(self):
         pool = NodePool.homogeneous(6, 265.0)
@@ -563,7 +736,8 @@ class TestControlLoop:
 class TestAutoscalingExampleClaims:
     """The examples/autoscaling.py headline numbers, kept honest."""
 
-    def test_reactive_recovers_oracle_with_fewer_redeploys(self):
+    @staticmethod
+    def _example():
         import sys
         from pathlib import Path
 
@@ -573,13 +747,47 @@ class TestAutoscalingExampleClaims:
             import autoscaling
         finally:
             sys.path.remove(str(examples))
-        timelines = autoscaling.run_policies(
+        return autoscaling
+
+    def test_reactive_recovers_oracle_with_fewer_redeploys(self):
+        timelines = self._example().run_policies(
             verbose=False, policies=("reactive", "oracle")
         )
         reactive = timelines["reactive"]
         oracle = timelines["oracle"]
-        assert reactive.total_served >= 0.90 * oracle.total_served
+        assert reactive.total_served >= 0.85 * oracle.total_served
         assert reactive.redeploys < oracle.redeploys
+
+    def test_live_migration_beats_restart_on_served_and_downtime(self):
+        # Identical seed/trace/policy; only the migration mechanism
+        # differs.  Live must serve strictly more with strictly less
+        # downtime, and both timelines must itemize downtime per step.
+        modes = self._example().run_migration_modes(verbose=False)
+        live, restart = modes["live"], modes["restart"]
+        assert live.migration == "live"
+        assert restart.migration == "restart"
+        assert live.redeploys >= 1 and restart.redeploys >= 1
+        assert live.total_served > restart.total_served
+        assert live.migration_downtime < restart.migration_downtime
+        for timeline in (live, restart):
+            for record in timeline.records:
+                if record.applied:
+                    assert record.migration_steps
+                    assert record.migration_seconds == pytest.approx(
+                        sum(s.downtime for s in record.migration_steps)
+                    )
+        # Restart itemizes whole-platform outages; live itemizes
+        # per-subtree drains and drain-free growth.
+        restart_ops = {
+            s.op
+            for r in restart.records
+            for s in r.migration_steps
+        }
+        live_ops = {
+            s.op for r in live.records for s in r.migration_steps
+        }
+        assert restart_ops == {"restart"}
+        assert live_ops <= {"drain", "grow"} and live_ops
 
 
 class TestTraceRecorderRoundTrip:
