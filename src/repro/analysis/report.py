@@ -62,9 +62,14 @@ def render_timeline(timeline, max_reason: int = 44) -> str:
 
     One row per control epoch — offered clients, served rate, modeled
     capacity, deployment size, the effective migration downtime paid
-    (with the itemized step count) and the policy verdict — followed by
-    the timeline's one-line summary.  Redeploys are flagged with ``*``
-    in the act column.
+    (with the itemized step count), the migration's wall window and the
+    policy verdict — followed by the timeline's one-line summary.
+    Redeploys are flagged with ``*`` in the act column.  The ``win``
+    column is where a concurrent schedule shows: step windows that
+    overlap sum to more than the wall window, so ``down/steps`` of
+    ``0.30/3`` next to ``win 0.15`` means three drains ran side by
+    side; under a serial schedule the window always equals the summed
+    step durations.
     """
     rows = []
     for record in timeline.records:
@@ -75,6 +80,11 @@ def render_timeline(timeline, max_reason: int = 44) -> str:
         down = (
             f"{record.migration_seconds:.2f}/{len(steps)}"
             if steps
+            else "-"
+        )
+        window = (
+            f"{record.migration_window:.2f}"
+            if steps and getattr(record, "migration_window", 0.0) > 0.0
             else "-"
         )
         rows.append(
@@ -88,6 +98,7 @@ def render_timeline(timeline, max_reason: int = 44) -> str:
                 record.spares,
                 f"{record.busiest_utilization:.2f}",
                 down,
+                window,
                 ("*" if record.applied else " ") + record.action,
                 reason,
             ]
@@ -95,7 +106,7 @@ def render_timeline(timeline, max_reason: int = 44) -> str:
     table = ascii_table(
         headers=[
             "epoch", "t", "clients", "req/s", "cap", "nodes", "spare",
-            "util", "down/steps", "act", "reason",
+            "util", "down/steps", "win", "act", "reason",
         ],
         rows=rows,
         title=(

@@ -612,11 +612,17 @@ class PlanningSession:
         Returns one :class:`ControlCell` per grid point, in
         trace-major, then policy, then seed order.
         """
+        from repro.control.policy import make_policy
         from repro.control.traces import from_spec
 
         if not traces or not policies or not seeds:
             raise PlanningError(
                 "control_sweep needs at least one trace, policy and seed"
+            )
+        if max_workers is not None and max_workers < 1:
+            raise PlanningError(
+                f"control_sweep needs max_workers >= 1, got {max_workers} "
+                "(omit it to use the CPU count)"
             )
         for spec in traces:
             if not isinstance(spec, str):
@@ -631,6 +637,11 @@ class PlanningSession:
             raise PlanningError(
                 f"policy_options given for unswept policies: {unknown}"
             )
+        for policy in policies:
+            # Validate names and options eagerly too: an unknown policy
+            # or a bad option should fail here, not deep inside a worker
+            # process with a half-finished grid.
+            make_policy(policy, policy_options.get(policy))
         grid = [
             (spec, policy, seed)
             for spec in traces

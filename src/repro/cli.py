@@ -14,9 +14,10 @@ Subcommands mirror the paper's workflow:
   :mod:`repro.extensions.redeploy`);
 * ``control``   — run the online autoscaling control loop: a deployment
   under a time-varying workload trace, adapted epoch by epoch by a
-  registered policy (:mod:`repro.control`) with live subtree migration
-  or stop-the-world restarts (``--migration``); ``--sweep`` fans a
-  (trace x policy x seed) grid over a process pool;
+  registered policy (:mod:`repro.control`) with live subtree migration,
+  concurrent wave-parallel drains, or stop-the-world restarts
+  (``--migration``); ``--sweep`` fans a (trace x policy x seed) grid
+  over a process pool;
 * ``planners``  — list every registered planner, its capabilities and
   its typed options;
 * ``calibrate`` — run the §5.1 calibration campaign and print Table 3.
@@ -42,7 +43,7 @@ from pathlib import Path
 from repro.analysis.report import ascii_table, format_rate
 from repro.api import PlanningSession
 from repro.calibration.table3 import calibrate, render_table3
-from repro.control.policy import available_policies
+from repro.control.policy import MIGRATION_MODES, available_policies
 from repro.core.params import DEFAULT_PARAMS
 from repro.core.registry import REGISTRY
 from repro.deploy.godiet import GoDIET
@@ -580,9 +581,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="policy option (repeatable), e.g. hysteresis=1",
     )
     p_control.add_argument(
-        "--migration", choices=("live", "restart"), default="live",
-        help="redeploy mechanism: live subtree migration (default) or "
-        "stop-the-world restart",
+        "--migration", choices=MIGRATION_MODES, default="live",
+        help="redeploy mechanism: live subtree migration (default), "
+        "concurrent wave-parallel drains, or stop-the-world restart",
     )
     p_control.add_argument(
         "--sweep", action="store_true",

@@ -29,6 +29,7 @@ _EXPORTS = {
     "MigrationStepRecord": "repro.control.loop",
     "SLOMonitor": "repro.control.monitor",
     "WindowObservation": "repro.control.monitor",
+    "MIGRATION_MODES": "repro.control.policy",
     "ControlContext": "repro.control.policy",
     "ControlDecision": "repro.control.policy",
     "ControlPolicy": "repro.control.policy",
@@ -73,6 +74,7 @@ def __dir__():
 
 
 __all__ = [
+    "MIGRATION_MODES",
     "ControlLoop",
     "ControlTimeline",
     "EpochRecord",

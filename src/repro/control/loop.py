@@ -16,7 +16,7 @@ adapts it epoch by epoch:
    by the :class:`~repro.control.policy.MigrationCostModel` and a
    scale-up that cannot amortize its migration downtime is **vetoed**.
 
-Applied redeploys run in one of two migration modes:
+Applied redeploys run in one of three migration modes:
 
 ``migration="live"`` (the default)
     The old and new trees are diffed into a subtree-granular
@@ -27,6 +27,18 @@ Applied redeploys run in one of two migration modes:
     of the platform keeps serving throughout.  Only diffs the plan
     engine cannot realize incrementally (changed root, changed node
     powers) fall back to the stop-the-world path below.
+``migration="concurrent"``
+    Live migration with the plan's dependency waves
+    (:meth:`~repro.deploy.migration.MigrationPlan.concurrent_schedule`)
+    executed in parallel: every region of a wave is unlinked at once
+    and the engine advances under interleaved
+    :meth:`~repro.sim.engine.Simulator.run_until_condition` drains —
+    each region reconfigures and resumes the moment *it* goes quiet
+    (and its config window elapses), while its wave-mates keep
+    draining.  Same per-region dark windows, strictly shorter total
+    migration window; the applied tree is identical to the serial
+    :meth:`~repro.deploy.migration.MigrationPlan.apply`, which the
+    equivalence battery asserts.
 ``migration="restart"``
     The legacy stop-the-world mechanism, kept for comparison: stop the
     clients, advance the clock by the full migration price (in-flight
@@ -49,12 +61,14 @@ benchmark suite.
 
 from __future__ import annotations
 
+import heapq
 import time
 from dataclasses import dataclass, field
 
 from repro.api import PlanRequest
 from repro.control.monitor import SLOMonitor, WindowObservation
 from repro.control.policy import (
+    MIGRATION_MODES,
     ControlContext,
     ControlDecision,
     ControlPolicy,
@@ -85,8 +99,8 @@ __all__ = [
 
 _REL_TOL = 1e-9
 
-#: Valid ControlLoop migration modes.
-MIGRATION_MODES = ("live", "restart")
+#: Modes that realize redeploys as in-place subtree migrations.
+_LIVE_MODES = ("live", "concurrent")
 
 
 @dataclass(frozen=True)
@@ -97,7 +111,10 @@ class MigrationStepRecord:
     ``downtime`` weights it by the fraction of deployed nodes that were
     actually dark — a full restart drains everything (downtime equals
     the window), a live drain charges only its subtree's share, and a
-    drain-free growth step charges nothing.
+    drain-free growth step charges nothing.  ``started_at`` anchors the
+    window in simulation time, so concurrent migrations expose their
+    *overlapping* step intervals: two records of one epoch may share a
+    ``started_at`` while their windows run side by side.
     """
 
     op: str  # "restart" | "drain" | "grow"
@@ -105,6 +122,12 @@ class MigrationStepRecord:
     seconds: float
     drained_nodes: int
     deployed_nodes: int
+    started_at: float = 0.0
+
+    @property
+    def interval(self) -> tuple[float, float]:
+        """The step's ``[start, end]`` window in simulation time."""
+        return (self.started_at, self.started_at + self.seconds)
 
     @property
     def downtime(self) -> float:
@@ -151,6 +174,11 @@ class EpochRecord:
     applied: bool
     migration_seconds: float
     migration_steps: tuple[MigrationStepRecord, ...] = ()
+    #: Wall (simulated) duration of the epoch's whole migration — the
+    #: span from the first step going dark to the last resuming.  Equals
+    #: the sum of step windows for serial execution; strictly less when
+    #: a concurrent schedule overlaps them.
+    migration_window: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -189,6 +217,15 @@ class ControlTimeline:
         """Itemized migration steps across every applied redeploy."""
         return sum(len(r.migration_steps) for r in self.records)
 
+    @property
+    def migration_window(self) -> float:
+        """Total wall (simulated) time spent inside migrations.
+
+        The number a concurrent schedule shrinks: overlapping drains
+        pay their windows once, not back to back.
+        """
+        return sum(r.migration_window for r in self.records)
+
     def describe(self) -> str:
         return (
             f"ControlTimeline[{self.policy}] on {self.trace_name} "
@@ -198,7 +235,8 @@ class ControlTimeline:
             f"({self.mean_served_rate:.1f} req/s mean), "
             f"{self.redeploys} redeploys "
             f"({self.migration_downtime:.2f}s downtime over "
-            f"{self.migration_step_count} steps), final shape "
+            f"{self.migration_step_count} steps in a "
+            f"{self.migration_window:.2f}s window), final shape "
             f"nodes={self.final_shape[0]} agents={self.final_shape[1]} "
             f"servers={self.final_shape[2]} height={self.final_shape[3]}"
         )
@@ -231,7 +269,9 @@ class ControlLoop:
     migration:
         ``"live"`` (default) applies redeploys as subtree-granular
         migrations inside the running simulation — only drained
-        subtrees stop serving; ``"restart"`` keeps the legacy
+        subtrees stop serving; ``"concurrent"`` additionally drains
+        independent regions in parallel (dependency waves), shrinking
+        the migration window; ``"restart"`` keeps the legacy
         stop-the-world rebuild for comparison.
     amortize_epochs:
         Scale-up gate: the modeled throughput gain must repay the
@@ -332,12 +372,19 @@ class ControlLoop:
         #: The last run's final demand-unit estimate (req/s one
         #: unsaturated client generates); telemetry only.
         self.demand_unit_estimate = 0.0
+        #: The deployment tree the last :meth:`run` ended on; telemetry
+        #: for equivalence tests (the timeline itself only carries the
+        #: shape signature).
+        self.final_hierarchy: Hierarchy | None = None
+        # Memoized demand-free (maximum-capacity) replan; reset per run.
+        self._max_capacity_plan = None
 
     # ------------------------------------------------------------------ #
 
     def run(self) -> ControlTimeline:
         """Execute the simulate → observe → decide → act loop."""
         self.overhead_seconds = 0.0
+        self._max_capacity_plan = None
         params = self.params
         tick = time.perf_counter()
         initial = min(
@@ -459,22 +506,32 @@ class ControlLoop:
             epoch_nodes = len(hierarchy)
             epoch_spares = len(spares)
             step_records: tuple[MigrationStepRecord, ...] = ()
+            migration_window = 0.0
             if candidate is not None:
                 hierarchy = candidate
                 spares = self._spares_for(hierarchy)
                 capacity = new_capacity
                 self.overhead_seconds += time.perf_counter() - tick
                 if (
-                    self.migration == "live"
+                    self.migration in _LIVE_MODES
                     and plan is not None
                     and plan.is_live
                 ):
                     # Live: migrate subtree by subtree inside the
                     # running simulation.  Clients keep looping and the
                     # undrained part of the platform keeps serving.
-                    step_records = self._apply_live(
-                        sim, system, plan, candidate
-                    )
+                    # Concurrent mode executes whole dependency waves
+                    # at once instead of one region at a time.
+                    migrate_start = sim.now
+                    if self.migration == "concurrent":
+                        step_records = self._apply_concurrent(
+                            sim, system, plan, candidate
+                        )
+                    else:
+                        step_records = self._apply_live(
+                            sim, system, plan, candidate
+                        )
+                    migration_window = sim.now - migrate_start
                     tick = time.perf_counter()
                     monitor.attach(system)  # fresh busy baselines
                 else:
@@ -488,7 +545,9 @@ class ControlLoop:
                     for client in clients:
                         client.abort()
                     clients = []
+                    restart_start = sim.now
                     sim.run_until(sim.now + predicted_cost)
+                    migration_window = predicted_cost
                     step_records = (
                         MigrationStepRecord(
                             op="restart",
@@ -496,6 +555,7 @@ class ControlLoop:
                             seconds=predicted_cost,
                             drained_nodes=epoch_nodes,
                             deployed_nodes=epoch_nodes,
+                            started_at=restart_start,
                         ),
                     )
                     tick = time.perf_counter()
@@ -531,10 +591,12 @@ class ControlLoop:
                         step.downtime for step in step_records
                     ),
                     migration_steps=step_records,
+                    migration_window=migration_window,
                 )
             )
 
         self.demand_unit_estimate = demand_unit
+        self.final_hierarchy = hierarchy
         return ControlTimeline(
             policy=self.policy.name,
             trace_name=self.trace.name,
@@ -579,7 +641,7 @@ class ControlLoop:
         and its cost would inflate the adaptation-overhead telemetry
         the benchmark suite tracks.
         """
-        if self.migration == "live":
+        if self.migration in _LIVE_MODES:
             plan = plan_migration(current, candidate)
             if plan.is_live:
                 return plan, self.cost_model.plan_outage_seconds(
@@ -614,21 +676,18 @@ class ControlLoop:
             start = sim.now
             drained = tuple(str(node) for node in region.drained)
             if drained:
-                system.unlink(str(region.root))
+                system.unlink(str(region.root), drained)
+                busy = system.region_busy_predicate(drained)
                 sim.run_until_condition(
                     sim.now + self.cost_model.drain_seconds,
-                    lambda: not system.region_busy(drained),
+                    lambda: not busy(),
                 )
             config = self.cost_model.region_config_seconds(
                 region, self.params
             )
             if config > 0.0:
                 sim.run_until(sim.now + config)
-            system.apply_migration(region.steps)
-            if drained and region.root in target:
-                parent = target.parent(region.root)
-                if parent is not None:
-                    system.ensure_linked(str(region.root), str(parent))
+            self._finish_region(sim, system, region, drained, target)
             records.append(
                 MigrationStepRecord(
                     op="drain" if drained else "grow",
@@ -636,8 +695,118 @@ class ControlLoop:
                     seconds=sim.now - start,
                     drained_nodes=len(drained),
                     deployed_nodes=deployed,
+                    started_at=start,
                 )
             )
+        system.complete_migration(target)
+        return tuple(records)
+
+    def _finish_region(
+        self,
+        sim: Simulator,
+        system: MiddlewareSystem,
+        region,
+        drained: tuple[str, ...],
+        target: Hierarchy,
+    ) -> None:
+        """Apply one region's structural steps and restore its fan-out."""
+        system.apply_migration(region.steps)
+        if drained and region.root in target:
+            parent = target.parent(region.root)
+            if parent is not None:
+                system.ensure_linked(str(region.root), str(parent))
+
+    def _apply_concurrent(
+        self,
+        sim: Simulator,
+        system: MiddlewareSystem,
+        plan: MigrationPlan,
+        target: Hierarchy,
+    ) -> tuple[MigrationStepRecord, ...]:
+        """Execute an incremental plan wave by wave, regions in parallel.
+
+        Every region of a dependency wave is unlinked at the wave's
+        start; the engine then advances under interleaved
+        :meth:`~repro.sim.engine.Simulator.run_until_condition` drains,
+        and each region is reconfigured and resumed the moment its own
+        subtree has gone quiet (capped by ``drain_seconds``) and its
+        config push has elapsed — while its wave-mates are still
+        draining.  The wave ends when its last region resumes; the next
+        wave (whose regions depend on this one's attaches/promotes)
+        then starts.  Step records carry overlapping intervals:
+        ``started_at`` is shared per wave while windows differ.
+
+        Determinism: regions are scanned in plan order, config
+        completions are totally ordered by ``(time, plan order)``, and
+        every pause point is a pure function of simulation state — the
+        same contract as the serial executor, which the regression
+        tests compare against run by run.
+        """
+        records: list[MigrationStepRecord] = []
+        deployed = max(1, plan.source_nodes)
+        for wave in plan.concurrent_schedule():
+            start = sim.now
+            cap = start + self.cost_model.drain_seconds
+            # root -> (region, members, quiet predicate), plan order.
+            draining: dict[str, tuple] = {}
+            # (config done, plan order, region, members) — min-heap.
+            ready: list[tuple[float, int, object, tuple[str, ...]]] = []
+            for order, region in enumerate(wave):
+                drained = tuple(str(node) for node in region.drained)
+                if drained:
+                    system.unlink(str(region.root), drained)
+                    draining[str(region.root)] = (
+                        region,
+                        drained,
+                        system.region_busy_predicate(drained),
+                    )
+                else:
+                    config = self.cost_model.region_config_seconds(
+                        region, self.params
+                    )
+                    heapq.heappush(ready, (start + config, order, region, ()))
+            offset = len(wave)
+            while draining or ready:
+                horizon = min(
+                    ([ready[0][0]] if ready else [])
+                    + ([cap] if draining else [])
+                )
+                if draining and horizon > sim.now:
+                    busy_probes = [
+                        probe for (_, _, probe) in draining.values()
+                    ]
+                    sim.run_until_condition(
+                        horizon,
+                        lambda: any(not probe() for probe in busy_probes),
+                    )
+                elif horizon > sim.now:
+                    sim.run_until(horizon)
+                # Quiet (or capped-out) regions start their config push.
+                for root in list(draining):
+                    region, drained, probe = draining[root]
+                    if not probe() or sim.now >= cap:
+                        config = self.cost_model.region_config_seconds(
+                            region, self.params
+                        )
+                        heapq.heappush(
+                            ready, (sim.now + config, offset, region, drained)
+                        )
+                        offset += 1
+                        del draining[root]
+                # Regions whose config window has closed resume now.
+                while ready and ready[0][0] <= sim.now + 1e-12:
+                    _, _, region, drained = heapq.heappop(ready)
+                    self._finish_region(sim, system, region, drained, target)
+                    records.append(
+                        MigrationStepRecord(
+                            op="drain" if drained else "grow",
+                            target=str(region.root),
+                            seconds=sim.now - start,
+                            drained_nodes=len(drained),
+                            deployed_nodes=deployed,
+                            started_at=start,
+                        )
+                    )
         system.complete_migration(target)
         return tuple(records)
 
@@ -690,16 +859,25 @@ class ControlLoop:
                 f"{reason} [no-op: planner {self.base_method!r} ignores "
                 "demand caps]"
             ), 0.0, 0.0, None
-        planned = self.registry.plan(
-            PlanRequest(
-                pool=self.pool,
-                app_work=self.app_work,
-                demand=decision.demand,
-                params=self.params,
-                method=self.base_method,
-                seed=self.seed,
+        if decision.demand is None and self._max_capacity_plan is not None:
+            # Demand-free replans (the saturation restructure above all)
+            # are a pure function of run constants — pool, work, params,
+            # method, seed — so a persistently saturated policy proposing
+            # one every epoch must not pay the planner again each time.
+            planned = self._max_capacity_plan
+        else:
+            planned = self.registry.plan(
+                PlanRequest(
+                    pool=self.pool,
+                    app_work=self.app_work,
+                    demand=decision.demand,
+                    params=self.params,
+                    method=self.base_method,
+                    seed=self.seed,
+                )
             )
-        )
+            if decision.demand is None:
+                self._max_capacity_plan = planned
         candidate = planned.hierarchy
         if self.cost_model.touched_nodes(hierarchy, candidate) == 0:
             return (
@@ -712,6 +890,15 @@ class ControlLoop:
                 candidate, hierarchy, planned.throughput, gain,
                 observation, reason,
             )
+        if decision.demand is None:
+            # A demand-free replan is capacity-seeking (the saturation
+            # restructure, or any policy asking for maximum throughput):
+            # a reshaped tree that does not raise modeled capacity is
+            # churn, not relief, so it is never applied.
+            return None, (
+                f"{reason} [no-op: full-capacity replan does not raise "
+                "modeled capacity]"
+            ), 0.0, 0.0, None
         # Scale-down (or sideways): efficiency move, no throughput gate —
         # but never below the configured deployment floor.
         if len(candidate) < self.min_nodes:
@@ -736,7 +923,21 @@ class ControlLoop:
         """Veto scale-ups whose gain cannot amortize the migration loss."""
         plan, cost = self._plan_and_price(current, candidate)
         lost_requests = cost * observation.served_rate
-        gained_requests = gain * self.amortize_epochs * self.epoch_duration
+        horizon = self.amortize_epochs * self.epoch_duration
+        if plan is not None and plan.is_live:
+            # The gain only accrues once the migration window closes, so
+            # the amortization horizon shrinks by the window of the
+            # schedule that will actually run.  Concurrent waves close
+            # it sooner (each wave pays only its slowest region), so for
+            # the identical plan the concurrent gate is never stricter
+            # than the serial-live one — which is what makes heavily
+            # multi-region plans, restructures above all, affordable.
+            window = self.cost_model.plan_window_seconds(
+                plan, self.params,
+                concurrent=self.migration == "concurrent",
+            )
+            horizon = max(0.0, horizon - window)
+        gained_requests = gain * horizon
         if gained_requests <= lost_requests:
             return None, (
                 f"{reason} [vetoed: migration loses "

@@ -27,10 +27,13 @@ third-party policies come for free:
   amounts to);
 * ``reactive`` — threshold rules on the window's bottleneck utilization
   and queue depth, gated by hysteresis (N consecutive windows) and a
-  post-redeploy cooldown;
+  post-redeploy cooldown; when saturation persists with every pool node
+  deployed it proposes a **same-nodes restructuring replan** (shape,
+  not size — applied only if the reshaped tree raises modeled capacity
+  and its migration price amortizes);
 * ``predictive`` — linear lookahead on the offered-client trend, scaled
   through the throughput model's capacity estimate, acting *before*
-  saturation;
+  saturation (with the same restructure-at-full-occupancy escape);
 * ``oracle`` — reads the true future trace level and replans whenever
   required capacity drifts from deployed capacity.  An upper bound on
   responsiveness and a deliberately migration-oblivious baseline: it
@@ -66,6 +69,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.deploy.migration import MigrationPlan
 
 __all__ = [
+    "MIGRATION_MODES",
     "ControlDecision",
     "ControlContext",
     "ControlPolicy",
@@ -85,12 +89,22 @@ __all__ = [
 ]
 
 
+#: Valid :class:`~repro.control.loop.ControlLoop` migration modes.
+#: Lives here (not in the loop module) so light CLI imports can build
+#: their ``--migration`` choices without dragging in the sim stack.
+MIGRATION_MODES = ("live", "concurrent", "restart")
+
+
 @dataclass(frozen=True)
 class ControlDecision:
     """One policy verdict for the upcoming epoch.
 
     ``demand`` is the capacity target (requests/s) of a ``replan`` —
-    ``None`` means plan for maximum throughput.
+    ``None`` means plan for maximum throughput.  Demand-free replans
+    are *capacity-seeking*: the loop applies them only when the planned
+    tree's modeled capacity exceeds the deployed one (anything else is
+    churn), whereas a demand-capped replan may also shrink or move
+    sideways.
     """
 
     action: str  # "hold" | "improve" | "replan"
@@ -506,6 +520,13 @@ class MigrationCostModel:
         stop-the-world rebuilds of the whole target, so they price
         exactly like :meth:`cost_seconds`: one barrier plus a full
         relaunch of every target element.
+
+        The effective outage is *schedule-independent*: draining two
+        regions concurrently overlaps their dark windows in wall time
+        but each subtree is still dark for its own window, so the
+        service-weighted sum is the same either way.  What a concurrent
+        schedule shrinks is the **wall window** of the whole migration
+        — see :meth:`plan_window_seconds`.
         """
         if not plan.is_live:
             per_node = self.launch_seconds + self.per_node_seconds(params)
@@ -517,6 +538,39 @@ class MigrationCostModel:
             fraction = min(1.0, len(region.drained) / deployed)
             outage += window * fraction
         return outage
+
+    def plan_window_seconds(
+        self,
+        plan: "MigrationPlan",
+        params: ModelParams,
+        concurrent: bool = False,
+    ) -> float:
+        """Worst-case wall (simulated) duration of executing ``plan``.
+
+        Serial execution pays region windows back to back; a concurrent
+        schedule pays each dependency wave only its *slowest* region, so
+        a plan with independent regions migrates in a strictly shorter
+        window.  Non-live plans are one stop-the-world window, priced
+        like :meth:`cost_seconds` regardless of schedule.  This is the
+        horizon discount the concurrent amortization gate applies: the
+        modeled gain only starts accruing once the migration window has
+        closed.
+        """
+        if not plan.is_live:
+            per_node = self.launch_seconds + self.per_node_seconds(params)
+            return self.restart_seconds + plan.target_nodes * per_node
+        if not concurrent:
+            return sum(
+                self.region_window_seconds(region, params)
+                for region in plan.regions
+            )
+        return sum(
+            max(
+                self.region_window_seconds(region, params)
+                for region in wave
+            )
+            for wave in plan.concurrent_schedule()
+        )
 
 
 # ---------------------------------------------------------------------- #
@@ -538,6 +592,11 @@ class ReactiveOptions(PolicyOptions):
     hysteresis: int = 2
     cooldown: int = 2
     headroom: float = 1.3
+    #: When saturation persists with every pool node deployed, propose a
+    #: same-nodes restructuring replan (shape, not size); the loop only
+    #: applies it if the reshaped tree raises modeled capacity and the
+    #: migration price amortizes.
+    restructure: bool = True
 
     def __post_init__(self) -> None:
         if not (0.0 < self.up_utilization <= 1.0):
@@ -568,6 +627,10 @@ class PredictiveOptions(PolicyOptions):
     headroom: float = 1.25
     down_fraction: float = 0.4
     cooldown: int = 2
+    #: As in :class:`ReactiveOptions`: propose a same-nodes reshaped
+    #: plan when the predicted requirement exceeds capacity and no
+    #: spares remain.
+    restructure: bool = True
 
     def __post_init__(self) -> None:
         if self.lookahead < 1:
@@ -649,6 +712,7 @@ class ReactivePolicy(ControlPolicy):
         hysteresis: int = 2,
         cooldown: int = 2,
         headroom: float = 1.3,
+        restructure: bool = True,
     ):
         self._apply_options(
             ReactiveOptions(
@@ -658,6 +722,7 @@ class ReactivePolicy(ControlPolicy):
                 hysteresis=hysteresis,
                 cooldown=cooldown,
                 headroom=headroom,
+                restructure=restructure,
             )
         )
 
@@ -689,9 +754,18 @@ class ReactivePolicy(ControlPolicy):
                     f"(util {recent[-1].busiest_utilization:.2f} at "
                     f"{recent[-1].busiest_node})",
                 )
-            # Every pool node is deployed (the loop keeps
-            # deployed + spares == pool); nothing left to grow with.
-            # Restructuring-only replans are a ROADMAP follow-on.
+            if self.restructure:
+                # Every pool node is deployed and pressure persists: the
+                # *shape* of the tree is the bottleneck, not its size.
+                # A demand-free replan asks the planner for the best
+                # tree over the same nodes; the loop applies it only if
+                # it raises modeled capacity and its (live/concurrent)
+                # migration price amortizes.
+                return ControlDecision(
+                    "replan",
+                    f"saturated {self.hysteresis} epochs with pool "
+                    "exhausted; restructuring over the same nodes",
+                )
             return ControlDecision.hold("saturated but pool exhausted")
         idle = all(
             o.served_rate <= self.down_fraction * ctx.capacity
@@ -736,6 +810,7 @@ class PredictivePolicy(ControlPolicy):
         headroom: float = 1.25,
         down_fraction: float = 0.4,
         cooldown: int = 2,
+        restructure: bool = True,
     ):
         self._apply_options(
             PredictiveOptions(
@@ -744,6 +819,7 @@ class PredictivePolicy(ControlPolicy):
                 headroom=headroom,
                 down_fraction=down_fraction,
                 cooldown=cooldown,
+                restructure=restructure,
             )
         )
 
@@ -766,6 +842,13 @@ class PredictivePolicy(ControlPolicy):
                     "improve",
                     f"predicted {predicted:.0f} clients needs "
                     f"{required:.1f} req/s > capacity {ctx.capacity:.1f}",
+                )
+            if self.restructure:
+                return ControlDecision(
+                    "replan",
+                    f"predicted {predicted:.0f} clients exceeds capacity "
+                    "with pool exhausted; restructuring over the same "
+                    "nodes",
                 )
             return ControlDecision.hold("predicted overload; pool exhausted")
         if required < ctx.capacity * self.down_fraction and ctx.can_shrink():

@@ -408,11 +408,30 @@ def from_spec(spec: str) -> Trace:
     ``piecewise`` steps are ``time/level`` pairs joined by ``|``; a bare
     fixture name (see :func:`fixtures`) resolves from the shipped
     library, with ``fixture:name=...,scale=...`` for level scaling.
+    The compact forms ``fixture:black_friday`` and
+    ``fixture:black_friday*1.5`` are accepted too — they are exactly
+    what :attr:`Trace.name` reports for a fixture trace, so fixture
+    specs round-trip: ``from_spec(fixture(n, s).name)`` rebuilds an
+    equivalent trace.
     """
     name, _, body = spec.partition(":")
     name = name.strip().lower()
     if name in _FIXTURES and not body.strip():
         return fixture(name)
+    if name == "fixture" and body.strip() and "=" not in body:
+        # Compact (round-trippable) form: "fixture:NAME" or
+        # "fixture:NAME*SCALE" — the spelling of Trace.name.
+        raw_name, star, raw_scale = body.strip().partition("*")
+        if star:
+            try:
+                scale = float(raw_scale)
+            except ValueError as exc:
+                raise ControlError(
+                    f"trace option scale={raw_scale!r} is not a valid float"
+                ) from exc
+        else:
+            scale = 1.0
+        return fixture(raw_name.strip(), scale=scale)
     kwargs: dict[str, str] = {}
     if body.strip():
         for item in body.split(","):

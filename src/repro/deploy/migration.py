@@ -37,6 +37,17 @@ Ordering guarantees, by construction and verified by replay:
 * a capacity-only growth (new servers under surviving agents) lands in
   a dedicated drain-free region — pure scale-ups cost zero downtime.
 
+Regions also carry their cross-region dependencies explicitly
+(:attr:`MigrationRegion.depends_on`), which is what makes the serial
+order *relaxable*: :meth:`MigrationPlan.concurrent_schedule` groups the
+regions into dependency **waves** — every region in a wave has all of
+its providers in earlier waves and touches a node set disjoint from its
+wave-mates — so a runtime may drain, reconfigure and resume all regions
+of one wave simultaneously.  Applying the waves in order (regions
+within a wave in *any* order) yields the same tree as the serial
+:meth:`MigrationPlan.apply`, the equivalence the concurrent test
+battery asserts.
+
 Every plan is **verified**: :func:`plan_migration` replays the steps on
 a copy of the source tree (:meth:`MigrationPlan.apply`) and falls back
 to a single stop-the-world region (``kind="restart"``) whenever the
@@ -58,6 +69,7 @@ __all__ = [
     "MigrationRegion",
     "MigrationPlan",
     "plan_migration",
+    "apply_steps",
     "hierarchies_equal",
 ]
 
@@ -98,11 +110,18 @@ class MigrationRegion:
     capacity-growth region uses the sentinel root ``"+"`` and an empty
     ``drained`` tuple, and the stop-the-world fallback uses ``"*"`` with
     every old node drained.
+
+    ``depends_on`` lists the roots of the regions that must complete
+    before this one may run: every move or attach target this region
+    needs that another region only provides (by attaching or promoting
+    it).  Regions with disjoint ``depends_on`` chains are independent —
+    the raw material of :meth:`MigrationPlan.concurrent_schedule`.
     """
 
     root: NodeId
     drained: tuple[NodeId, ...]
     steps: tuple[MigrationStep, ...]
+    depends_on: tuple[NodeId, ...] = ()
 
     @property
     def structural_steps(self) -> tuple[MigrationStep, ...]:
@@ -112,6 +131,19 @@ class MigrationRegion:
     def touched(self) -> int:
         """Structural step count — the config-push unit of the cost model."""
         return len(self.structural_steps)
+
+    @property
+    def members(self) -> frozenset[NodeId]:
+        """Every node this region owns: its drained subtree + its attaches.
+
+        Move *targets* are read-only anchors, not members, so two
+        regions may safely reference the same surviving parent; the
+        concurrent test battery asserts that members of regions claimed
+        concurrent never overlap.
+        """
+        owned = set(self.drained)
+        owned.update(s.node for s in self.steps if s.op == "attach")
+        return frozenset(owned)
 
 
 @dataclass(frozen=True)
@@ -165,25 +197,33 @@ class MigrationPlan:
             )
         else:
             tree = old.copy()
-        for step in self.steps:
-            if not step.is_structural:
-                continue
-            if step.op == "attach":
-                if tree.is_empty and step.parent is None:
-                    tree.set_root(step.node, step.power)
-                elif step.role is Role.AGENT:
-                    tree.add_agent(step.node, step.power, step.parent)
-                else:
-                    tree.add_server(step.node, step.power, step.parent)
-            elif step.op == "move":
-                tree.reattach(step.node, step.parent)
-            elif step.op == "detach":
-                tree.remove_leaf(step.node)
-            elif step.op == "promote":
-                tree.promote(step.node)
-            elif step.op == "demote":
-                tree.demote(step.node)
+        apply_steps(tree, self.steps)
         return tree
+
+    def concurrent_schedule(self) -> tuple[tuple[MigrationRegion, ...], ...]:
+        """Group the regions into dependency waves for parallel draining.
+
+        Wave ``k`` holds every region whose providers (transitively) sit
+        in waves ``< k`` — the longest dependency chain ending at the
+        region.  Regions of one wave touch disjoint node sets and may
+        drain / reconfigure / resume simultaneously; waves run in
+        order.  Applying the waves (regions within a wave in any order)
+        reproduces :meth:`apply` exactly.  The plan's serial region
+        order is a linear extension of this schedule, so a noop plan
+        yields ``()`` and a restart plan one single-region wave.
+        """
+        if not self.regions:
+            return ()
+        level: dict[NodeId, int] = {}
+        for region in self.regions:  # already topologically ordered
+            deps = [level[root] + 1 for root in region.depends_on]
+            level[region.root] = max(deps, default=0)
+        waves: list[list[MigrationRegion]] = [
+            [] for _ in range(max(level.values()) + 1)
+        ]
+        for region in self.regions:
+            waves[level[region.root]].append(region)
+        return tuple(tuple(wave) for wave in waves)
 
     def describe(self) -> str:
         if self.is_noop:
@@ -198,6 +238,34 @@ class MigrationPlan:
             f"{self.target_nodes} nodes, {len(self.regions)} region(s) "
             f"({regions})"
         )
+
+
+def apply_steps(tree: Hierarchy, steps) -> Hierarchy:
+    """Replay migration steps on ``tree`` in place (and return it).
+
+    The single structural interpreter behind :meth:`MigrationPlan.apply`
+    and the schedule-equivalence tests: non-structural brackets are
+    skipped, attaches on an empty tree seed the root.
+    """
+    for step in steps:
+        if not step.is_structural:
+            continue
+        if step.op == "attach":
+            if tree.is_empty and step.parent is None:
+                tree.set_root(step.node, step.power)
+            elif step.role is Role.AGENT:
+                tree.add_agent(step.node, step.power, step.parent)
+            else:
+                tree.add_server(step.node, step.power, step.parent)
+        elif step.op == "move":
+            tree.reattach(step.node, step.parent)
+        elif step.op == "detach":
+            tree.remove_leaf(step.node)
+        elif step.op == "promote":
+            tree.promote(step.node)
+        elif step.op == "demote":
+            tree.demote(step.node)
+    return tree
 
 
 def hierarchies_equal(a: Hierarchy, b: Hierarchy) -> bool:
@@ -393,7 +461,12 @@ def _incremental_plan(
     # Region order: growth first (capacity before disruption), then a
     # topological order over "a step here needs a node another region
     # attaches or promotes first", ties broken by old-tree position.
+    # The growth region's attaches count as providers too: a drained
+    # region may move a subtree under a freshly grown agent, and a
+    # schedule that relaxes the serial order needs that edge explicit.
     providers: dict[NodeId, NodeId] = {}
+    for step in grouped["+"]["attach"]:
+        providers[step.node] = "+"
     for root in region_roots:
         for step in grouped[root]["attach"]:
             providers[step.node] = root
@@ -410,8 +483,16 @@ def _incremental_plan(
             provider = providers.get(target)
             if provider is not None and provider != root:
                 deps[root].add(provider)
+    depends_on = {
+        root: tuple(
+            sorted(deps[root], key=lambda n: -1 if n == "+" else old_index[n])
+        )
+        for root in region_roots
+    }
     ordered_roots: list[NodeId] = []
-    remaining = dict(deps)
+    # The growth region always runs first, so its edges are
+    # pre-satisfied for the serial ordering below.
+    remaining = {root: deps[root] - {"+"} for root in region_roots}
     while remaining:
         ready = sorted(
             (r for r, d in remaining.items() if not d),
@@ -476,7 +557,7 @@ def _incremental_plan(
             regions.append(
                 MigrationRegion(
                     root=root, drained=drained_by_root[root],
-                    steps=tuple(steps),
+                    steps=tuple(steps), depends_on=depends_on[root],
                 )
             )
     except Exception:

@@ -25,6 +25,13 @@ re-homing, removal, role changes) on the live engine, and
 race a reconfiguration are re-homed automatically: a scheduling round
 that finds no route, or a service call whose selected server has been
 migrated away, is transparently resubmitted through the (new) tree.
+
+Any number of **disjoint** subtrees may be held unlinked at once — the
+substrate of concurrent region migration: each :meth:`unlink` registers
+the subtree's member set, overlapping registrations are rejected, and
+:meth:`region_busy_predicate` hands the caller a per-region drain-quiet
+predicate it can interleave against the engine
+(:meth:`~repro.sim.engine.Simulator.run_until_condition`).
 """
 
 from __future__ import annotations
@@ -92,6 +99,9 @@ class MiddlewareSystem:
         self._requests: dict[int, Request] = {}
         self._next_id = 0
         self._schedule_waiters: dict[int, Callable[[Request], None]] = {}
+        # Subtrees currently held out of the fan-out, root -> member
+        # names; disjointness is enforced at unlink time.
+        self._unlinked: dict[str, frozenset[str]] = {}
 
         # Instantiate elements, then wire parent/child links.
         for node in hierarchy:
@@ -163,17 +173,50 @@ class MiddlewareSystem:
         if parent is not None and element in parent.children:
             parent.children.remove(element)
 
-    def unlink(self, name: str) -> None:
+    def unlink(self, name: str, members: Iterable[str] | None = None) -> None:
         """Take element ``name`` out of its parent's fan-out.
 
         New scheduling rounds stop reaching the subtree immediately;
         everything already in flight drains normally (replies route to
         their captured origins).  The root cannot be unlinked.
+
+        ``members`` names the subtree being taken dark (defaults to the
+        subtree under ``name`` in the current hierarchy).  Several
+        subtrees may be dark at once — the basis of concurrent region
+        migration — but they must be disjoint: overlapping
+        registrations, including unlinking the same root twice, are
+        configuration errors, not drains.
         """
         element = self.element(name)
         if element is self.root:
             raise DeploymentError("cannot unlink the root agent")
+        if members is not None:
+            scope = frozenset(str(member) for member in members)
+        else:
+            by_name = {str(node): node for node in self.hierarchy}
+            scope = (
+                frozenset(
+                    str(node)
+                    for node in self.hierarchy.subtree(by_name[name])
+                )
+                if name in by_name
+                else frozenset((name,))
+            )
+        for other, other_scope in self._unlinked.items():
+            overlap = scope & other_scope
+            if overlap:
+                raise DeploymentError(
+                    f"cannot unlink {name!r}: nodes {sorted(overlap)} are "
+                    f"already dark under unlinked subtree {other!r} "
+                    "(concurrent regions must be disjoint)"
+                )
         self._unwire(element)
+        self._unlinked[name] = scope
+
+    @property
+    def unlinked_subtrees(self) -> dict[str, frozenset[str]]:
+        """Snapshot of the subtrees currently held out of the fan-out."""
+        return dict(self._unlinked)
 
     def _link(self, element, parent_name: str) -> None:
         parent = self.agents.get(parent_name)
@@ -184,6 +227,9 @@ class MiddlewareSystem:
         self._unwire(element)
         element.parent = parent
         parent.children.append(element)
+        # A re-homed element is back in the fan-out: if it anchored a
+        # dark subtree, that registration is over.
+        self._unlinked.pop(element.name, None)
 
     def ensure_linked(self, name: str, parent_name: str) -> None:
         """Re-home ``name`` under ``parent_name`` unless already there.
@@ -202,6 +248,7 @@ class MiddlewareSystem:
             )
         if element not in parent.children:
             self._link(element, parent_name)
+        self._unlinked.pop(name, None)
 
     def region_busy(self, names: Iterable[str]) -> bool:
         """Whether any listed element still holds queued or in-flight work.
@@ -219,6 +266,17 @@ class MiddlewareSystem:
             if element.in_flight:
                 return True
         return False
+
+    def region_busy_predicate(self, names: Iterable[str]):
+        """A zero-argument drain-quiet probe over a fixed name set.
+
+        Captures ``names`` once, so concurrent migrations can hand one
+        predicate per dark region to
+        :meth:`~repro.sim.engine.Simulator.run_until_condition` without
+        re-materializing membership on every event.
+        """
+        snapshot = tuple(str(name) for name in names)
+        return lambda: self.region_busy(snapshot)
 
     def apply_migration(self, steps) -> None:
         """Execute the structural steps of one migration-plan region.
@@ -243,6 +301,7 @@ class MiddlewareSystem:
                 self._unwire(self.element(name))
                 self.agents.pop(name, None)
                 self.servers.pop(name, None)
+                self._unlinked.pop(name, None)
             elif step.op in ("promote", "demote"):
                 old = self.element(name)
                 parent = old.parent
@@ -312,6 +371,7 @@ class MiddlewareSystem:
                 )
             agent.children = [self._element(name) for name in expected]
         self.hierarchy = target
+        self._unlinked.clear()
 
     # ------------------------------------------------------------------ #
     # client-facing API

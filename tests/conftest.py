@@ -2,10 +2,29 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.core.params import ModelParams
 from repro.platforms.pool import NodePool
+
+try:
+    from hypothesis import settings
+except ImportError:  # pragma: no cover - hypothesis is a test dependency
+    settings = None
+
+if settings is not None:
+    # CI pins the property tests to a fixed, derandomized profile so a
+    # red run always reproduces with the same examples (select it with
+    # HYPOTHESIS_PROFILE=ci); local runs keep hypothesis' default
+    # randomized search.
+    settings.register_profile(
+        "ci", derandomize=True, deadline=None, max_examples=40
+    )
+    profile = os.environ.get("HYPOTHESIS_PROFILE")
+    if profile:
+        settings.load_profile(profile)
 
 
 @pytest.fixture

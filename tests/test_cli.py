@@ -277,6 +277,64 @@ class TestControlCommand:
         assert code == 2
         assert "not accepted by any swept policy" in capsys.readouterr().err
 
+    def test_control_sweep_bad_trace_spec_is_error(self, capsys):
+        code = main(
+            [
+                "control", "--random", "8", "--seed", "2",
+                "--dgemm", "200",
+                "--trace", "constant:level=3",
+                "--trace", "tsunami:level=9",
+                "--sweep", "--workers", "1",
+                "--epochs", "2", "--epoch-duration", "2",
+            ]
+        )
+        assert code == 2
+        assert "unknown trace type" in capsys.readouterr().err
+
+    def test_control_sweep_unknown_policy_is_error(self, capsys):
+        code = main(
+            [
+                "control", "--random", "8", "--seed", "2",
+                "--dgemm", "200", "--trace", "constant:level=3",
+                "--sweep", "--policies", "hold,vibes-based",
+                "--workers", "1",
+                "--epochs", "2", "--epoch-duration", "2",
+            ]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unknown control policy" in err
+        assert "vibes-based" in err
+
+    def test_control_sweep_zero_workers_is_error(self, capsys):
+        code = main(
+            [
+                "control", "--random", "8", "--seed", "2",
+                "--dgemm", "200", "--trace", "constant:level=3",
+                "--sweep", "--workers", "0",
+                "--epochs", "2", "--epoch-duration", "2",
+            ]
+        )
+        assert code == 2
+        assert "max_workers >= 1" in capsys.readouterr().err
+
+    def test_control_concurrent_migration_mode(self, capsys):
+        code = main(
+            [
+                "control", "--random", "8", "--seed", "2",
+                "--dgemm", "200", "--trace", "wikipedia_flash",
+                "--epochs", "4", "--epoch-duration", "2",
+                "--migration", "concurrent",
+                "--policy-opt", "hysteresis=1", "--policy-opt", "cooldown=1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "migration=concurrent" in out
+        # The timeline's migration-window column (a real table column,
+        # not the "window" substring describe() always prints).
+        assert "| win " in out
+
     def test_control_multiple_traces_without_sweep_is_error(self, capsys):
         code = main(
             [

@@ -292,6 +292,46 @@ class TestTraceFixtures:
         with pytest.raises(ControlError, match="scale"):
             from_spec("fixture:name=wikipedia_flash,amplitude=3")
 
+    def test_fixture_names_round_trip_through_from_spec(self):
+        # Trace.name of a fixture ("fixture:NAME" / "fixture:NAME*SCALE")
+        # is itself a valid spec that rebuilds an equivalent trace.
+        from repro.control import fixture, fixtures
+
+        for name in fixtures():
+            for scale in (1.0, 2.5):
+                original = fixture(name, scale=scale)
+                rebuilt = from_spec(original.name)
+                assert rebuilt.name == original.name
+                assert rebuilt.sample(0.0, 150.0, 2.5) == original.sample(
+                    0.0, 150.0, 2.5
+                )
+
+    def test_fixture_compact_spec_forms(self):
+        assert from_spec("fixture:black_friday").level(25.0) == 24
+        assert from_spec("fixture:black_friday*2").level(25.0) == 48
+        with pytest.raises(ControlError, match="not a valid float"):
+            from_spec("fixture:black_friday*fast")
+        with pytest.raises(ControlError, match="available fixtures"):
+            from_spec("fixture:slashdot_effect*2")
+
+    def test_sweep_rejects_unknown_policy_eagerly(self):
+        from repro.api import PlanningSession
+        from repro.errors import PlanningError, ReproError
+        from repro.platforms.pool import NodePool
+
+        session = PlanningSession()
+        pool = NodePool.homogeneous(6, 265.0)
+        with pytest.raises(ReproError, match="unknown control policy"):
+            session.control_sweep(
+                pool, 1000.0, traces=("constant:level=2",),
+                policies=("vibes-based",), epochs=2,
+            )
+        with pytest.raises(PlanningError, match="max_workers >= 1"):
+            session.control_sweep(
+                pool, 1000.0, traces=("constant:level=2",),
+                policies=("hold",), max_workers=0, epochs=2,
+            )
+
 
 class TestTypedPolicyOptions:
     def test_builtins_declare_options_types(self):
