@@ -23,7 +23,11 @@ record a *performance trajectory* across PRs.  It times
   run again, once with one-region-at-a-time drains and once with the
   plan's dependency waves drained in parallel, recording the total
   migration window the concurrent schedule shrinks (asserted strictly
-  shorter, with served throughput no worse).
+  shorter, with served throughput no worse);
+* fault recovery: the ``black_friday`` reactive run with the root's
+  busiest child crashed mid-surge vs. the fault-free baseline,
+  recording dead-lettered/lost conversations and the served-throughput
+  recovery (asserted: zero lost, >= 90 % of baseline served).
 
 Run it from the repository root::
 
@@ -650,6 +654,89 @@ def bench_concurrent_migration(quick):
     return results
 
 
+def bench_fault_recovery(quick):
+    from repro.control import ControlLoop, fixture
+
+    if quick:
+        # Long enough to cover the crash at t=18 and a few recovery
+        # epochs; the repair lands right as the doors-open surge hits.
+        pool_size, epochs, epoch_duration = 16, 10, 4.0
+    else:
+        pool_size, epochs, epoch_duration = 16, 30, 4.0
+    trace = fixture("black_friday")
+    pool = NodePool.uniform_random(pool_size, low=80, high=400, seed=7)
+    app_work = dgemm_mflop(200)
+
+    results = []
+    timelines = {}
+    for label, faults in (
+        ("baseline", None),
+        ("crash", "crash:target=busiest-child,at=18"),
+    ):
+        loop = ControlLoop(
+            pool,
+            app_work,
+            trace,
+            policy="reactive",
+            policy_options={"hysteresis": 1, "cooldown": 1},
+            epochs=epochs,
+            epoch_duration=epoch_duration,
+            initial_fraction=0.4,
+            seed=3,
+            faults=faults,
+        )
+        best = None
+        for _ in range(2):
+            start = time.perf_counter()
+            timeline = loop.run()
+            wall = time.perf_counter() - start
+            if best is None or wall < best[0]:
+                best = (wall, loop.overhead_seconds, timeline)
+        seconds, overhead_seconds, timeline = best
+        timelines[label] = timeline
+        results.append(
+            {
+                "name": "fault_recovery",
+                "params": {
+                    "faults": label,
+                    "pool": pool_size,
+                    "epochs": epochs,
+                },
+                "metric": "seconds",
+                "value": round(seconds, 6),
+                "extra": {
+                    "overhead_seconds": round(overhead_seconds, 6),
+                    # Simulation-domain outcomes, deterministic for
+                    # fixed inputs: what the crash cost and how the
+                    # self-healing path absorbed it.
+                    "served": timeline.total_served,
+                    "mean_served_rate": round(
+                        timeline.mean_served_rate, 3
+                    ),
+                    "redeploys": timeline.redeploys,
+                    "faults_injected": timeline.fault_count,
+                    "dead_letters": timeline.dead_letters,
+                    "lost_conversations": timeline.lost_conversations,
+                    "epochs_per_s": round(epochs / seconds, 2),
+                },
+            }
+        )
+        print(
+            f"  fault_recovery faults={label}: {seconds:.3f} s wall, "
+            f"{timeline.total_served} served, "
+            f"{timeline.dead_letters} dead-lettered, "
+            f"{timeline.lost_conversations} lost"
+        )
+    # The self-healing claims, asserted on every run: the crash loses
+    # no conversations, and the repaired platform stays within 10 % of
+    # the no-fault throughput.
+    baseline, crashed = timelines["baseline"], timelines["crash"]
+    assert crashed.lost_conversations == 0
+    assert crashed.fault_count == 1
+    assert crashed.total_served >= 0.9 * baseline.total_served
+    return results
+
+
 # --------------------------------------------------------------------- #
 
 
@@ -693,6 +780,7 @@ def main(argv=None):
     results += bench_control(args.quick)
     results += bench_live_migration(args.quick)
     results += bench_concurrent_migration(args.quick)
+    results += bench_fault_recovery(args.quick)
 
     payload = {
         "schema": "repro-bench/1",

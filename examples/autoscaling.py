@@ -31,6 +31,16 @@ downtime itemization in the timeline shows where the restart pays
 (one full-platform outage per redeploy) versus where live pays (a few
 subtree drains, zero for pure growth).
 
+The third act is **self-healing**: the same Black Friday run, but the
+root's busiest child crashes just as the doorbuster peak arrives.  The
+crash dead-letters its in-flight conversations (every one is resubmitted
+through the survivors — nothing is lost), the monitor reports the dead
+node, and the reactive policy answers with a ``repair`` decision that
+splices spare nodes over the hole using the same live-migration
+machinery the scale-ups ride.  The demo asserts the invariants the fault
+layer guarantees: zero lost conversations, at least one repair applied,
+and at least **90 %** of the no-fault run's served throughput recovered.
+
 Run:  python examples/autoscaling.py
 """
 
@@ -121,6 +131,42 @@ def run_migration_modes(verbose: bool = True) -> dict[str, object]:
         )
         if verbose:
             print(render_timeline(timelines[mode]))
+            print()
+    return timelines
+
+
+#: The fault for act three: kill the root's busiest child right before
+#: the Black Friday doorbuster peak (t=20) hits — while spares remain.
+FAULT_SPEC = "crash:target=busiest-child,at=18"
+
+
+def run_fault_recovery(verbose: bool = True) -> dict[str, object]:
+    """Black Friday with the root's busiest child crashing mid-run.
+
+    Runs the reactive controller twice — fault-free baseline, then with
+    ``FAULT_SPEC`` injected — and returns ``{"baseline": ..., "faulted":
+    ...}`` timelines.  Used by the test suite to assert the recovery
+    claims without re-tuning the scenario there.
+    """
+    session, pool, app_work = _session_pool()
+    trace = from_spec("black_friday")
+
+    timelines: dict[str, object] = {}
+    for label, faults in (("baseline", None), ("faulted", FAULT_SPEC)):
+        timelines[label] = session.control_run(
+            pool,
+            app_work,
+            trace=trace,
+            policy="reactive",
+            policy_options=REACTIVE_OPTIONS,
+            epochs=EPOCHS,
+            epoch_duration=EPOCH_DURATION,
+            initial_fraction=0.4,
+            seed=SEED,
+            faults=faults,
+        )
+        if verbose:
+            print(render_timeline(timelines[label]))
             print()
     return timelines
 
@@ -233,6 +279,52 @@ def main() -> None:
     assert live.migration_downtime < restart.migration_downtime, (
         f"live downtime {live.migration_downtime:.3f}s, restart "
         f"{restart.migration_downtime:.3f}s"
+    )
+
+    # ------------------------------------------------------------------ #
+    # Act three: self-healing under a mid-run crash.
+
+    recovery_runs = run_fault_recovery(verbose=False)
+    baseline = recovery_runs["baseline"]
+    faulted = recovery_runs["faulted"]
+    repairs = [r for r in faulted.records if r.action == "repair"]
+    applied_repairs = [r for r in repairs if r.applied]
+    ratio = faulted.total_served / baseline.total_served
+    print(
+        ascii_table(
+            headers=[
+                "run", "served", "mean req/s", "redeploys",
+                "dead-lettered", "lost",
+            ],
+            rows=[
+                [
+                    label,
+                    tl.total_served,
+                    f"{tl.mean_served_rate:.1f}",
+                    tl.redeploys,
+                    tl.dead_letters,
+                    tl.lost_conversations,
+                ]
+                for label, tl in recovery_runs.items()
+            ],
+            title=f"\nBlack Friday with {FAULT_SPEC!r}, reactive policy",
+        )
+    )
+    print(
+        f"\ncrash absorbed: {faulted.dead_letters} in-flight conversations "
+        f"dead-lettered and resubmitted (0 lost), {len(applied_repairs)} "
+        f"repair(s) applied, {ratio:.1%} of the no-fault throughput "
+        "recovered"
+    )
+    assert faulted.lost_conversations == 0, (
+        f"lost {faulted.lost_conversations} conversations to the crash"
+    )
+    assert applied_repairs, (
+        "the crash never produced an applied repair: "
+        + "; ".join(r.reason for r in repairs)
+    )
+    assert ratio >= 0.9, (
+        f"faulted run recovered only {ratio:.1%} of baseline throughput"
     )
 
 

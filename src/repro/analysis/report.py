@@ -69,11 +69,15 @@ def render_timeline(timeline, max_reason: int = 44) -> str:
     overlap sum to more than the wall window, so ``down/steps`` of
     ``0.30/3`` next to ``win 0.15`` means three drains ran side by
     side; under a serial schedule the window always equals the summed
-    step durations.
+    step durations.  Epochs whose simulate stage took injected faults
+    prefix their reason with the fault summary (``!crash(node-3)``).
     """
     rows = []
     for record in timeline.records:
         reason = record.reason
+        for fault in getattr(record, "faults", ()):
+            marker = "!" if fault.applied else "?"
+            reason = f"{marker}{fault.kind}({fault.target}) {reason}"
         if len(reason) > max_reason:
             reason = reason[: max_reason - 1] + "…"
         steps = getattr(record, "migration_steps", ())

@@ -642,6 +642,13 @@ class PlanningSession:
             # or a bad option should fail here, not deep inside a worker
             # process with a half-finished grid.
             make_policy(policy, policy_options.get(policy))
+        if isinstance(control_kwargs.get("faults"), str):
+            # Same eager-validation courtesy for a fault-schedule spec —
+            # it stays a string in the cell args (picklable), but a
+            # malformed spec fails here, not in a worker.
+            from repro.faults import from_spec as fault_spec
+
+            fault_spec(control_kwargs["faults"])
         grid = [
             (spec, policy, seed)
             for spec in traces

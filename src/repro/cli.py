@@ -389,6 +389,7 @@ def _cmd_control(args: argparse.Namespace) -> int:
             initial_fraction=args.initial_fraction,
             migration=args.migration,
             think_time=args.think_time,
+            **({"faults": args.faults} if args.faults else {}),
         )
         print(
             ascii_table(
@@ -434,6 +435,7 @@ def _cmd_control(args: argparse.Namespace) -> int:
         migration=args.migration,
         think_time=args.think_time,
         seed=args.seed,
+        faults=args.faults,
     )
     print(render_timeline(timeline))
     return 0
@@ -623,6 +625,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_control.add_argument(
         "--think-time", type=float, default=0.0,
         help="client think time between requests (default 0)",
+    )
+    p_control.add_argument(
+        "--faults", type=str, default=None, metavar="SPEC",
+        help="fault schedule injected into the run, e.g. "
+        "'crash:target=busiest-child,at=45' or "
+        "'degrade:target=node-3,at=20,factor=0.25;"
+        "heal:target=node-3,at=60' (kinds: crash, degrade, partition, "
+        "heal; targets: node names or busiest-child / busiest-server)",
     )
     p_control.set_defaults(func=_cmd_control)
 

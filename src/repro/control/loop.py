@@ -81,8 +81,10 @@ from repro.core.params import DEFAULT_PARAMS, ModelParams
 from repro.core.registry import CAP_DEMAND, REGISTRY, PlannerRegistry
 from repro.core.throughput import hierarchy_throughput
 from repro.deploy.migration import MigrationPlan, plan_migration
-from repro.errors import ControlError
+from repro.errors import ControlError, HierarchyError
 from repro.extensions.redeploy import improve_deployment
+from repro.faults import FaultInjector, FaultRecord, FaultSchedule
+from repro.faults import from_spec as fault_spec
 from repro.middleware.client import ClosedLoopClient
 from repro.middleware.system import MiddlewareSystem
 from repro.platforms.pool import NodePool
@@ -101,6 +103,22 @@ _REL_TOL = 1e-9
 
 #: Modes that realize redeploys as in-place subtree migrations.
 _LIVE_MODES = ("live", "concurrent")
+
+
+def _hierarchy_without(hierarchy: Hierarchy, names: set[str]) -> Hierarchy:
+    """Copy of ``hierarchy`` with every node in ``names`` pruned out.
+
+    ``names`` must be subtree-closed (no orphaned descendants); removal
+    runs deepest-first so every doomed node is a leaf when its turn
+    comes.
+    """
+    pruned = hierarchy.copy()
+    by_name = {str(node): node for node in pruned}
+    doomed = [by_name[name] for name in sorted(names) if name in by_name]
+    for node in sorted(doomed, key=pruned.depth, reverse=True):
+        pruned.remove_leaf(node)
+    pruned.validate(strict=False)
+    return pruned
 
 
 @dataclass(frozen=True)
@@ -179,6 +197,9 @@ class EpochRecord:
     #: the sum of step windows for serial execution; strictly less when
     #: a concurrent schedule overlaps them.
     migration_window: float = 0.0
+    #: Fault events injected during this epoch's simulate stage, as they
+    #: actually landed (resolved targets, affected nodes, dead-letters).
+    faults: tuple[FaultRecord, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -195,6 +216,14 @@ class ControlTimeline:
     final_shape: tuple[int, int, int, int] = (0, 0, 0, 0)
     final_capacity: float = 0.0
     migration: str = "restart"
+    #: Fault events that fired during the run (applied or skipped).
+    fault_count: int = 0
+    #: In-flight service conversations dead-lettered by crashes; every
+    #: one was resubmitted elsewhere, so clients still completed.
+    dead_letters: int = 0
+    #: Conversations dropped without resubmission — the self-healing
+    #: invariant keeps this at zero, and tests assert it.
+    lost_conversations: int = 0
 
     @property
     def served_in_epochs(self) -> int:
@@ -227,6 +256,13 @@ class ControlTimeline:
         return sum(r.migration_window for r in self.records)
 
     def describe(self) -> str:
+        faults = (
+            f", {self.fault_count} faults injected "
+            f"({self.dead_letters} dead-lettered, "
+            f"{self.lost_conversations} lost)"
+            if self.fault_count
+            else ""
+        )
         return (
             f"ControlTimeline[{self.policy}] on {self.trace_name} "
             f"({self.migration} migration): "
@@ -236,7 +272,7 @@ class ControlTimeline:
             f"{self.redeploys} redeploys "
             f"({self.migration_downtime:.2f}s downtime over "
             f"{self.migration_step_count} steps in a "
-            f"{self.migration_window:.2f}s window), final shape "
+            f"{self.migration_window:.2f}s window){faults}, final shape "
             f"nodes={self.final_shape[0]} agents={self.final_shape[1]} "
             f"servers={self.final_shape[2]} height={self.final_shape[3]}"
         )
@@ -290,6 +326,13 @@ class ControlLoop:
     seed:
         Master seed.  Every stochastic component (middleware RNGs per
         generation) derives from it; same seed ⇒ identical timeline.
+    faults:
+        Optional :class:`~repro.faults.FaultSchedule` (or a
+        ``from_spec`` string) injected into the simulate stage: each
+        event is applied at its scheduled time, the monitor reports the
+        observed damage, and repair-enabled policies heal through the
+        migration machinery.  Fault and repair records land in the
+        timeline, so runs stay bit-reproducible per seed.
     """
 
     def __init__(
@@ -312,6 +355,7 @@ class ControlLoop:
         recorder: TraceRecorder | None = None,
         think_time: float = 0.0,
         seed: int = 0,
+        faults: FaultSchedule | str | None = None,
     ):
         if len(pool) < 2:
             raise ControlError(
@@ -346,6 +390,13 @@ class ControlLoop:
             raise ControlError(
                 f"think_time must be >= 0, got {think_time}"
             )
+        if isinstance(faults, str):
+            faults = fault_spec(faults)
+        if faults is not None and not isinstance(faults, FaultSchedule):
+            raise ControlError(
+                "faults must be a FaultSchedule or a fault-spec string, "
+                f"got {type(faults).__name__}"
+            )
         self.pool = pool
         self.app_work = float(app_work)
         self.trace = trace
@@ -365,6 +416,9 @@ class ControlLoop:
         self.recorder = recorder
         self.think_time = float(think_time)
         self.seed = seed
+        self.faults = faults
+        # Names of crashed nodes; they leave the usable pool for good.
+        self._failed_names: set[str] = set()
         #: Wall-clock seconds the controller itself spent (planning,
         #: observing, deciding, pricing) in the last :meth:`run` —
         #: telemetry only, never part of the timeline.
@@ -385,6 +439,14 @@ class ControlLoop:
         """Execute the simulate → observe → decide → act loop."""
         self.overhead_seconds = 0.0
         self._max_capacity_plan = None
+        self._failed_names = set()
+        injector = (
+            FaultInjector(self.faults) if self.faults is not None else None
+        )
+        # Dead-letter/lost totals survive stop-the-world rebuilds: the
+        # counters live on the system object, which restarts replace.
+        dead_letters_base = 0
+        lost_base = 0
         params = self.params
         tick = time.perf_counter()
         initial = min(
@@ -455,6 +517,12 @@ class ControlLoop:
             # calibration guard sees the window-start state; the list is
             # pruned afterwards for the next epoch.
             window_contaminated = bool(draining)
+            faults_this_epoch: list[FaultRecord] = []
+            if injector is not None:
+                for event in injector.due(end):
+                    if event.at > sim.now:
+                        sim.run_until(event.at)
+                    faults_this_epoch.append(injector.apply(event, system))
             sim.run_until(end)
             draining = [client for client in draining if client.active]
 
@@ -477,12 +545,37 @@ class ControlLoop:
                 # never counted — and a live migration stops nobody.)
                 demand_unit = max(demand_unit, observation.per_client_rate)
 
+            # reconcile: observed damage is the truth the controller
+            # plans from.  Crash surgery already pruned the dead subtree
+            # out of the running system, so adopt the survivors' tree;
+            # crashed nodes leave the usable pool for good.
+            crashed_nodes = sorted(
+                name
+                for record in faults_this_epoch
+                if record.applied and record.kind == "crash"
+                for name in record.nodes
+            )
+            if crashed_nodes:
+                self._failed_names.update(crashed_nodes)
+                hierarchy = system.hierarchy
+                spares = self._spares_for(hierarchy)
+                self._max_capacity_plan = None
+            if any(
+                record.applied and record.kind != "degrade"
+                for record in faults_this_epoch
+            ):
+                # Crashes shrink the tree, partitions dark a subtree,
+                # heals light it back up — all change what the model
+                # says the platform can serve.  (Degrades don't touch
+                # the structure; the straggler still reports nominal.)
+                capacity = self._effective_capacity(system, hierarchy)
+
             # decide.
             context = ControlContext(
                 observations=tuple(observations),
                 capacity=capacity,
                 deployed_nodes=len(hierarchy),
-                pool_size=len(self.pool),
+                pool_size=len(self._live_pool()),
                 spares=len(spares),
                 min_nodes=self.min_nodes,
                 epoch_duration=self.epoch_duration,
@@ -559,6 +652,8 @@ class ControlLoop:
                         ),
                     )
                     tick = time.perf_counter()
+                    dead_letters_base += system.dead_letters
+                    lost_base += system.lost_conversations
                     generation += 1
                     system = self._build_system(sim, hierarchy, generation)
                     monitor.attach(system)
@@ -592,6 +687,7 @@ class ControlLoop:
                     ),
                     migration_steps=step_records,
                     migration_window=migration_window,
+                    faults=tuple(faults_this_epoch),
                 )
             )
 
@@ -608,13 +704,68 @@ class ControlLoop:
             final_shape=hierarchy.shape_signature(),
             final_capacity=capacity,
             migration=self.migration,
+            fault_count=sum(len(record.faults) for record in records),
+            dead_letters=dead_letters_base + system.dead_letters,
+            lost_conversations=lost_base + system.lost_conversations,
         )
 
     # ------------------------------------------------------------------ #
 
     def _spares_for(self, hierarchy: Hierarchy):
         deployed = {str(node) for node in hierarchy}
-        return [node for node in self.pool if node.name not in deployed]
+        return [
+            node
+            for node in self.pool
+            if node.name not in deployed
+            and node.name not in self._failed_names
+        ]
+
+    def _live_pool(self) -> NodePool:
+        """The pool minus crashed nodes — what planning may still use."""
+        if not self._failed_names:
+            return self.pool
+        return self.pool.without(self._failed_names)
+
+    def _effective_capacity(
+        self, system: MiddlewareSystem, hierarchy: Hierarchy
+    ) -> float:
+        """Modeled throughput of the *reachable* part of the deployment.
+
+        Partitioned subtrees are still in the logical tree but serve
+        nothing (their fan-out edge is severed), so capacity is modeled
+        over the tree with them pruned out.  A platform whose servers
+        are all dark has zero capacity — the model is never consulted
+        on a serverless tree.
+        """
+        dark: set[str] = set()
+        for members in system.partitioned_subtrees.values():
+            dark.update(members)
+        reachable = hierarchy
+        if dark:
+            reachable = _hierarchy_without(hierarchy, dark)
+        if not reachable.servers:
+            return 0.0
+        return hierarchy_throughput(
+            reachable, self.params, self.app_work
+        ).throughput
+
+    def _plan_full_capacity(self):
+        """Demand-free replan over the live pool, memoized per run.
+
+        The memo is dropped whenever a crash shrinks the pool, so it is
+        always the maximum-capacity plan over the *surviving* nodes.
+        """
+        if self._max_capacity_plan is None:
+            self._max_capacity_plan = self.registry.plan(
+                PlanRequest(
+                    pool=self._live_pool(),
+                    app_work=self.app_work,
+                    params=self.params,
+                    method=self.base_method,
+                    seed=self.seed,
+                )
+            )
+        return self._max_capacity_plan
 
     def _build_system(
         self, sim: Simulator, hierarchy: Hierarchy, generation: int
@@ -746,7 +897,14 @@ class ControlLoop:
         deployed = max(1, plan.source_nodes)
         for wave in plan.concurrent_schedule():
             start = sim.now
-            cap = start + self.cost_model.drain_seconds
+            # Wave-aware drain budget: the serial executor grants each
+            # region the full cap back to back, but a wave drains its
+            # regions *simultaneously* — so the wave shares one cap,
+            # split proportionally to each region's drained-node count.
+            # A single-region wave keeps the full cap bit-exactly
+            # (its share is 1.0), so serial-shaped plans are unchanged.
+            total_drained = sum(len(region.drained) for region in wave)
+            cap_for: dict[str, float] = {}
             # root -> (region, members, quiet predicate), plan order.
             draining: dict[str, tuple] = {}
             # (config done, plan order, region, members) — min-heap.
@@ -755,6 +913,11 @@ class ControlLoop:
                 drained = tuple(str(node) for node in region.drained)
                 if drained:
                     system.unlink(str(region.root), drained)
+                    cap_for[str(region.root)] = (
+                        start
+                        + self.cost_model.drain_seconds
+                        * (len(drained) / total_drained)
+                    )
                     draining[str(region.root)] = (
                         region,
                         drained,
@@ -769,7 +932,7 @@ class ControlLoop:
             while draining or ready:
                 horizon = min(
                     ([ready[0][0]] if ready else [])
-                    + ([cap] if draining else [])
+                    + [cap_for[root] for root in draining]
                 )
                 if draining and horizon > sim.now:
                     busy_probes = [
@@ -784,7 +947,7 @@ class ControlLoop:
                 # Quiet (or capped-out) regions start their config push.
                 for root in list(draining):
                     region, drained, probe = draining[root]
-                    if not probe() or sim.now >= cap:
+                    if not probe() or sim.now >= cap_for[root]:
                         config = self.cost_model.region_config_seconds(
                             region, self.params
                         )
@@ -848,6 +1011,53 @@ class ControlLoop:
                 result.hierarchy, hierarchy, result.final_throughput,
                 gain, observation, reason,
             )
+        if decision.action == "repair":
+            # Healing is exempt from the amortization veto: the platform
+            # is damaged, and the gate's served-rate arithmetic would
+            # read the post-fault slump as "not worth migrating for".
+            if spares:
+                try:
+                    result = improve_deployment(
+                        hierarchy, list(spares), self.params, self.app_work
+                    )
+                except HierarchyError:
+                    # Crash surgery can leave survivors the strict
+                    # validator rejects (single-child agents); the
+                    # bottleneck-removal mechanism cannot start from
+                    # such a tree, so fall through to a full replan.
+                    result = None
+                if (
+                    result is not None
+                    and result.actions
+                    and result.final_throughput - capacity
+                    > capacity * _REL_TOL
+                ):
+                    plan, cost = self._plan_and_price(
+                        hierarchy, result.hierarchy
+                    )
+                    return (
+                        result.hierarchy, reason, cost,
+                        result.final_throughput, plan,
+                    )
+            # No spares, or splicing could not raise capacity:
+            # restructure the survivors from scratch over the live pool.
+            planned = self._plan_full_capacity()
+            if (
+                self.cost_model.touched_nodes(hierarchy, planned.hierarchy)
+                > 0
+                and planned.throughput > capacity * (1.0 + _REL_TOL)
+            ):
+                plan, cost = self._plan_and_price(
+                    hierarchy, planned.hierarchy
+                )
+                return (
+                    planned.hierarchy, reason, cost,
+                    planned.throughput, plan,
+                )
+            return (
+                None, f"{reason} [no-op: no repair raises capacity]",
+                0.0, 0.0, None,
+            )
         # replan
         if decision.demand is not None and CAP_DEMAND not in self.registry.get(
             self.base_method
@@ -859,16 +1069,18 @@ class ControlLoop:
                 f"{reason} [no-op: planner {self.base_method!r} ignores "
                 "demand caps]"
             ), 0.0, 0.0, None
-        if decision.demand is None and self._max_capacity_plan is not None:
+        if decision.demand is None:
             # Demand-free replans (the saturation restructure above all)
-            # are a pure function of run constants — pool, work, params,
-            # method, seed — so a persistently saturated policy proposing
-            # one every epoch must not pay the planner again each time.
-            planned = self._max_capacity_plan
+            # are a pure function of run constants — live pool, work,
+            # params, method, seed — so a persistently saturated policy
+            # proposing one every epoch must not pay the planner again
+            # each time.  (The memo drops whenever a crash shrinks the
+            # pool.)
+            planned = self._plan_full_capacity()
         else:
             planned = self.registry.plan(
                 PlanRequest(
-                    pool=self.pool,
+                    pool=self._live_pool(),
                     app_work=self.app_work,
                     demand=decision.demand,
                     params=self.params,
@@ -876,8 +1088,6 @@ class ControlLoop:
                     seed=self.seed,
                 )
             )
-            if decision.demand is None:
-                self._max_capacity_plan = planned
         candidate = planned.hierarchy
         if self.cost_model.touched_nodes(hierarchy, candidate) == 0:
             return (

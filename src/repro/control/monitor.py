@@ -51,6 +51,13 @@ class WindowObservation:
         limiting element.
     queue_depth:
         Work items waiting across all node resources at window end.
+    failed_nodes:
+        Nodes *newly* observed failed during this window (each failure
+        is reported exactly once, in the window it happened).
+    degraded_nodes:
+        Nodes running below nominal rate at window end.
+    partitioned_nodes:
+        Roots of subtrees partitioned off the fan-out at window end.
     """
 
     index: int
@@ -64,6 +71,9 @@ class WindowObservation:
     busiest_node: str
     busiest_utilization: float
     queue_depth: int
+    failed_nodes: tuple = ()
+    degraded_nodes: tuple = ()
+    partitioned_nodes: tuple = ()
 
     @property
     def per_client_rate(self) -> float:
@@ -89,6 +99,10 @@ class SLOMonitor:
         self._system: MiddlewareSystem | None = None
         self._busy_snapshot: dict[str, float] = {}
         self._snapshot_time = 0.0
+        # Failures already reported — cumulative across attaches, so a
+        # redeploy (which replaces the system object) cannot make an old
+        # failure look new again.
+        self._failed_seen: set[str] = set()
 
     # ------------------------------------------------------------------ #
 
@@ -150,6 +164,8 @@ class SLOMonitor:
             name: element.resource.busy_seconds()
             for name, element in self._elements(system)
         }
+        new_failed = tuple(sorted(system.failed_nodes - self._failed_seen))
+        self._failed_seen.update(system.failed_nodes)
         return WindowObservation(
             index=index,
             start=start,
@@ -166,4 +182,7 @@ class SLOMonitor:
             busiest_node=busiest,
             busiest_utilization=utilization[busiest],
             queue_depth=queue_depth,
+            failed_nodes=new_failed,
+            degraded_nodes=tuple(sorted(system.degraded)),
+            partitioned_nodes=tuple(sorted(system.partitioned_subtrees)),
         )

@@ -15,6 +15,11 @@ actions per epoch:
     Plan a fresh deployment over the whole pool through the planner
     registry, optionally capped to a demand target (requests/s) so the
     platform can also *shrink*.
+``repair``
+    Self-healing response to an *observed fault* (dead node, fresh
+    partition): splice spare pool nodes over the gap — or restructure
+    the survivors when no spares remain — through the same
+    improve/replan machinery, exempt from the amortization veto.
 
 Policies register by name (:func:`register_policy`) exactly like
 planners, and declare :class:`PolicyOptions` dataclasses — the planner
@@ -34,6 +39,9 @@ third-party policies come for free:
 * ``predictive`` — linear lookahead on the offered-client trend, scaled
   through the throughput model's capacity estimate, acting *before*
   saturation (with the same restructure-at-full-occupancy escape);
+* ``predictive_ewma`` — Holt-Winters-style exponentially smoothed
+  level+trend forecast with an optional additive seasonal component,
+  built for recurring shapes like the ``diurnal`` trace;
 * ``oracle`` — reads the true future trace level and replans whenever
   required capacity drifts from deployed capacity.  An upper bound on
   responsiveness and a deliberately migration-oblivious baseline: it
@@ -81,10 +89,12 @@ __all__ = [
     "HoldOptions",
     "ReactiveOptions",
     "PredictiveOptions",
+    "SeasonalPredictiveOptions",
     "OracleOptions",
     "StaticPolicy",
     "ReactivePolicy",
     "PredictivePolicy",
+    "SeasonalPredictivePolicy",
     "OraclePolicy",
 ]
 
@@ -105,17 +115,24 @@ class ControlDecision:
     tree's modeled capacity exceeds the deployed one (anything else is
     churn), whereas a demand-capped replan may also shrink or move
     sideways.
+
+    ``repair`` is the failure response: regrow capacity over the
+    surviving deployment from spare pool nodes (or restructure the
+    survivors when none remain).  It is realized through the same
+    improve/replan machinery, but the loop exempts it from the scale-up
+    amortization veto — a repair restores the SLO, it does not chase
+    marginal gain.
     """
 
-    action: str  # "hold" | "improve" | "replan"
+    action: str  # "hold" | "improve" | "replan" | "repair"
     reason: str = ""
     demand: float | None = None
 
     def __post_init__(self) -> None:
-        if self.action not in ("hold", "improve", "replan"):
+        if self.action not in ("hold", "improve", "replan", "repair"):
             raise ControlError(
                 f"unknown control action {self.action!r}; "
-                "expected hold, improve or replan"
+                "expected hold, improve, replan or repair"
             )
         if self.demand is not None and self.demand <= 0.0:
             raise ControlError(
@@ -508,6 +525,30 @@ class MigrationCostModel:
         drain = self.drain_seconds if region.drained else 0.0
         return drain + self.region_config_seconds(region, params)
 
+    def wave_window_seconds(self, wave, params: ModelParams) -> float:
+        """Worst-case wall duration of one concurrent dependency wave.
+
+        The concurrent executor shares a single drain cap across a
+        wave's simultaneously-draining regions, each slice proportional
+        to the region's drained-node count; a wave closes when its
+        slowest region (drain slice plus config push) resumes.  A
+        single-region wave prices exactly like
+        :meth:`region_window_seconds` — the share is 1.0 — so the
+        serial and concurrent prices agree on serial-shaped plans.
+        """
+        total_drained = sum(len(region.drained) for region in wave)
+        window = 0.0
+        for region in wave:
+            drain = (
+                self.drain_seconds * (len(region.drained) / total_drained)
+                if region.drained
+                else 0.0
+            )
+            window = max(
+                window, drain + self.region_config_seconds(region, params)
+            )
+        return window
+
     def plan_outage_seconds(
         self, plan: "MigrationPlan", params: ModelParams
     ) -> float:
@@ -565,16 +606,56 @@ class MigrationCostModel:
                 for region in plan.regions
             )
         return sum(
-            max(
-                self.region_window_seconds(region, params)
-                for region in wave
-            )
+            self.wave_window_seconds(wave, params)
             for wave in plan.concurrent_schedule()
         )
 
 
 # ---------------------------------------------------------------------- #
 # built-in policies
+
+
+def _failure_decision(
+    ctx: ControlContext, restructure: bool
+) -> ControlDecision | None:
+    """The shared self-healing gate: repair if a fault was just observed.
+
+    Checked *before* every warm-up/cooldown/hysteresis gate — a dead
+    subtree does not wait out a cooldown.  Only the *latest* window
+    counts: the monitor reports each crashed node exactly once (in the
+    window its failure was observed), and a partition is fresh only in
+    the window its root first appears among the standing set — so a
+    fault triggers exactly one repair decision, and if realizing it is
+    a no-op (nothing raises modeled capacity over the survivors) the
+    policy resumes normal scaling next epoch instead of retrying a
+    hopeless repair forever.  Returns ``None`` when healthy.
+    """
+    if not ctx.observations:
+        return None
+    latest = ctx.observations[-1]
+    previous = (
+        set(ctx.observations[-2].partitioned_nodes)
+        if len(ctx.observations) > 1
+        else set()
+    )
+    fresh_partitions = set(latest.partitioned_nodes) - previous
+    broken = sorted(set(latest.failed_nodes) | fresh_partitions)
+    if not broken:
+        return None
+    what = ", ".join(broken)
+    if ctx.spares > 0:
+        return ControlDecision(
+            "repair", f"observed failure of {what}; splicing in spares"
+        )
+    if restructure:
+        return ControlDecision(
+            "repair",
+            f"observed failure of {what}; no spares, restructuring "
+            "the survivors",
+        )
+    return ControlDecision.hold(
+        f"observed failure of {what} but no spares to repair with"
+    )
 
 
 @dataclass(frozen=True)
@@ -597,6 +678,9 @@ class ReactiveOptions(PolicyOptions):
     #: applies it if the reshaped tree raises modeled capacity and the
     #: migration price amortizes.
     restructure: bool = True
+    #: Self-healing: answer observed node failures and fresh partitions
+    #: with a ``repair`` decision, ahead of every other gate.
+    repair: bool = True
 
     def __post_init__(self) -> None:
         if not (0.0 < self.up_utilization <= 1.0):
@@ -631,6 +715,9 @@ class PredictiveOptions(PolicyOptions):
     #: plan when the predicted requirement exceeds capacity and no
     #: spares remain.
     restructure: bool = True
+    #: Self-healing: answer observed node failures and fresh partitions
+    #: with a ``repair`` decision, ahead of every other gate.
+    repair: bool = True
 
     def __post_init__(self) -> None:
         if self.lookahead < 1:
@@ -713,6 +800,7 @@ class ReactivePolicy(ControlPolicy):
         cooldown: int = 2,
         headroom: float = 1.3,
         restructure: bool = True,
+        repair: bool = True,
     ):
         self._apply_options(
             ReactiveOptions(
@@ -723,10 +811,15 @@ class ReactivePolicy(ControlPolicy):
                 cooldown=cooldown,
                 headroom=headroom,
                 restructure=restructure,
+                repair=repair,
             )
         )
 
     def decide(self, ctx: ControlContext) -> ControlDecision:
+        if self.repair:
+            healing = _failure_decision(ctx, self.restructure)
+            if healing is not None:
+                return healing
         if len(ctx.observations) < self.hysteresis:
             return ControlDecision.hold("warming up")
         if ctx.redeploys > 0 and ctx.epochs_since_redeploy < self.cooldown:
@@ -811,6 +904,7 @@ class PredictivePolicy(ControlPolicy):
         down_fraction: float = 0.4,
         cooldown: int = 2,
         restructure: bool = True,
+        repair: bool = True,
     ):
         self._apply_options(
             PredictiveOptions(
@@ -820,10 +914,15 @@ class PredictivePolicy(ControlPolicy):
                 down_fraction=down_fraction,
                 cooldown=cooldown,
                 restructure=restructure,
+                repair=repair,
             )
         )
 
     def decide(self, ctx: ControlContext) -> ControlDecision:
+        if self.repair:
+            healing = _failure_decision(ctx, self.restructure)
+            if healing is not None:
+                return healing
         if len(ctx.observations) < self.window or ctx.demand_unit <= 0.0:
             return ControlDecision.hold("warming up")
         if ctx.redeploys > 0 and ctx.epochs_since_redeploy < self.cooldown:
@@ -859,6 +958,169 @@ class PredictivePolicy(ControlPolicy):
                 demand=required,
             )
         return ControlDecision.hold("capacity matches prediction")
+
+
+@dataclass(frozen=True)
+class SeasonalPredictiveOptions(PolicyOptions):
+    """Options of the EWMA/seasonal predictor (validated eagerly)."""
+
+    #: Level smoothing factor (EWMA weight of the newest window).
+    alpha: float = 0.5
+    #: Trend smoothing factor.
+    beta: float = 0.3
+    #: Seasonal smoothing factor (used when ``season > 0``).
+    gamma: float = 0.3
+    #: Season length in epochs; 0 disables the seasonal component and
+    #: leaves a plain Holt (level+trend) double-EWMA.  For a ``diurnal``
+    #: trace, set this to ``period / epoch_duration``.
+    season: int = 0
+    lookahead: int = 2
+    headroom: float = 1.25
+    down_fraction: float = 0.4
+    cooldown: int = 2
+    #: Observations required before the smoothed forecast is trusted.
+    warmup: int = 3
+    restructure: bool = True
+    repair: bool = True
+
+    def __post_init__(self) -> None:
+        for name in ("alpha", "beta", "gamma"):
+            value = getattr(self, name)
+            if not (0.0 < value <= 1.0):
+                raise ControlError(
+                    f"{name} must be in (0, 1], got {value}"
+                )
+        if self.season < 0:
+            raise ControlError(f"season must be >= 0, got {self.season}")
+        if self.lookahead < 1:
+            raise ControlError(
+                f"lookahead must be >= 1, got {self.lookahead}"
+            )
+        if self.headroom < 1.0:
+            raise ControlError(f"headroom must be >= 1, got {self.headroom}")
+        if not (0.0 < self.down_fraction < 1.0):
+            raise ControlError(
+                f"down_fraction must be in (0, 1), got {self.down_fraction}"
+            )
+        if self.cooldown < 0:
+            raise ControlError(f"cooldown must be >= 0, got {self.cooldown}")
+        if self.warmup < 2:
+            raise ControlError(f"warmup must be >= 2, got {self.warmup}")
+
+
+@register_policy
+class SeasonalPredictivePolicy(ControlPolicy):
+    """Holt-Winters-style EWMA forecast of the offered-client level.
+
+    Where :class:`PredictivePolicy` fits a straight line through a short
+    window — jumpy on noisy traces, blind to recurring shapes — this
+    variant keeps exponentially-smoothed *level* and *trend* estimates
+    (Holt's method) plus an optional additive *seasonal* component
+    indexed by epoch-within-season, which is what makes it track
+    ``diurnal`` traces: after one full period it anticipates the next
+    peak instead of chasing it.
+
+    Stateless like every policy: the smoothed state is recomputed from
+    the full observation history each epoch (O(n), n = epochs so far),
+    so runs stay replayable from the context alone.
+    """
+
+    name = "predictive_ewma"
+    options_type = SeasonalPredictiveOptions
+
+    def __init__(
+        self,
+        alpha: float = 0.5,
+        beta: float = 0.3,
+        gamma: float = 0.3,
+        season: int = 0,
+        lookahead: int = 2,
+        headroom: float = 1.25,
+        down_fraction: float = 0.4,
+        cooldown: int = 2,
+        warmup: int = 3,
+        restructure: bool = True,
+        repair: bool = True,
+    ):
+        self._apply_options(
+            SeasonalPredictiveOptions(
+                alpha=alpha,
+                beta=beta,
+                gamma=gamma,
+                season=season,
+                lookahead=lookahead,
+                headroom=headroom,
+                down_fraction=down_fraction,
+                cooldown=cooldown,
+                warmup=warmup,
+                restructure=restructure,
+                repair=repair,
+            )
+        )
+
+    def _forecast(self, offered: "list[int]") -> float:
+        """Holt(-Winters additive) forecast ``lookahead`` steps ahead."""
+        level = float(offered[0])
+        trend = float(offered[1] - offered[0])
+        seasonal = [0.0] * self.season if self.season > 0 else []
+        for i, value in enumerate(offered[1:], start=1):
+            season_term = seasonal[i % self.season] if self.season > 0 else 0.0
+            previous_level = level
+            level = (
+                self.alpha * (value - season_term)
+                + (1.0 - self.alpha) * (level + trend)
+            )
+            trend = (
+                self.beta * (level - previous_level)
+                + (1.0 - self.beta) * trend
+            )
+            if self.season > 0:
+                seasonal[i % self.season] = (
+                    self.gamma * (value - level)
+                    + (1.0 - self.gamma) * seasonal[i % self.season]
+                )
+        horizon = len(offered) - 1 + self.lookahead
+        season_term = (
+            seasonal[horizon % self.season] if self.season > 0 else 0.0
+        )
+        return max(0.0, level + trend * self.lookahead + season_term)
+
+    def decide(self, ctx: ControlContext) -> ControlDecision:
+        if self.repair:
+            healing = _failure_decision(ctx, self.restructure)
+            if healing is not None:
+                return healing
+        if len(ctx.observations) < self.warmup or ctx.demand_unit <= 0.0:
+            return ControlDecision.hold("warming up")
+        if ctx.redeploys > 0 and ctx.epochs_since_redeploy < self.cooldown:
+            return ControlDecision.hold("cooldown after redeploy")
+        predicted = self._forecast([o.offered for o in ctx.observations])
+        required = max(
+            predicted * ctx.demand_unit * self.headroom, ctx.demand_unit
+        )
+        if required > ctx.capacity:
+            if ctx.spares > 0:
+                return ControlDecision(
+                    "improve",
+                    f"ewma forecast {predicted:.0f} clients needs "
+                    f"{required:.1f} req/s > capacity {ctx.capacity:.1f}",
+                )
+            if self.restructure:
+                return ControlDecision(
+                    "replan",
+                    f"ewma forecast {predicted:.0f} clients exceeds "
+                    "capacity with pool exhausted; restructuring over "
+                    "the same nodes",
+                )
+            return ControlDecision.hold("forecast overload; pool exhausted")
+        if required < ctx.capacity * self.down_fraction and ctx.can_shrink():
+            return ControlDecision(
+                "replan",
+                f"ewma forecast {required:.1f} req/s well under "
+                f"capacity {ctx.capacity:.1f}",
+                demand=required,
+            )
+        return ControlDecision.hold("capacity matches ewma forecast")
 
 
 @register_policy

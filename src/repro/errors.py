@@ -17,6 +17,7 @@ __all__ = [
     "SimulationError",
     "CalibrationError",
     "ControlError",
+    "FaultError",
 ]
 
 
@@ -59,4 +60,13 @@ class ControlError(ReproError, RuntimeError):
 
     Raised for invalid workload traces, unknown control policies, and
     controller configurations that cannot run (e.g. a non-positive epoch).
+    """
+
+
+class FaultError(ControlError):
+    """A fault schedule is malformed or cannot be injected.
+
+    Subclasses :class:`ControlError` because fault schedules are control
+    plane inputs, exactly like workload traces: callers that already
+    handle trace misconfiguration handle fault misconfiguration too.
     """

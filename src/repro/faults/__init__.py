@@ -1,0 +1,35 @@
+"""Fault injection: seeded failure schedules and their runtime injector.
+
+See :mod:`repro.faults.schedule` for the data model (composable,
+round-trippable fault timelines) and :mod:`repro.faults.injector` for
+the runtime that replays a schedule against a live middleware system.
+"""
+
+from repro.faults.injector import FaultInjector, FaultRecord
+from repro.faults.schedule import (
+    FAULT_KINDS,
+    SELECTORS,
+    FaultEvent,
+    FaultSchedule,
+    crash,
+    crash_storm,
+    degrade,
+    from_spec,
+    heal,
+    partition,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "SELECTORS",
+    "FaultEvent",
+    "FaultSchedule",
+    "FaultInjector",
+    "FaultRecord",
+    "crash",
+    "crash_storm",
+    "degrade",
+    "from_spec",
+    "heal",
+    "partition",
+]

@@ -1,0 +1,166 @@
+"""Replaying a fault schedule against a running middleware system.
+
+The injector is the thin imperative shim between pure schedule data and
+the :class:`~repro.middleware.system.MiddlewareSystem` surgery calls.
+The control loop asks it which events are due before a horizon, advances
+the engine to each event's time, and applies them one by one; each
+application yields a :class:`FaultRecord` that lands in the epoch's
+timeline, so fault history is part of the deterministic run record.
+
+Late-bound selectors (``busiest-child``, ``busiest-server``) resolve
+here, against observed busy-seconds at injection time — deterministic,
+because busy accounting is itself a pure function of the run.  A target
+that is not deployed (already crashed, migrated away, or never planned)
+is recorded as a skipped event rather than an error: schedules are
+written against node *names*, and the control plane is free to have
+moved the platform out from under them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import FaultError
+from repro.faults.schedule import FaultEvent, FaultSchedule
+
+__all__ = ["FaultRecord", "FaultInjector"]
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """One applied (or skipped) fault event, as it actually landed."""
+
+    #: Simulation time the event was applied.
+    at: float
+    #: Event kind (``crash``/``degrade``/``partition``/``heal``).
+    kind: str
+    #: Resolved target node (the original selector string if unresolved).
+    target: str
+    #: Node names the event actually touched (whole subtree for crashes
+    #: and partitions; empty when skipped).
+    nodes: tuple = field(default=())
+    #: In-flight service conversations dead-lettered and resubmitted.
+    dead_letters: int = 0
+    #: Whether the event changed the system (False = recorded no-op).
+    applied: bool = True
+    #: Human-readable note (skip reason, degrade factor, ...).
+    detail: str = ""
+
+
+def _subtree_busy(element) -> float:
+    """Summed busy seconds of an element and all its descendants."""
+    total = 0.0
+    stack = [element]
+    while stack:
+        node = stack.pop()
+        total += node.resource.busy_seconds()
+        stack.extend(getattr(node, "children", ()))
+    return total
+
+
+class FaultInjector:
+    """Cursor over a :class:`FaultSchedule` plus the application logic."""
+
+    def __init__(self, schedule: FaultSchedule):
+        if not isinstance(schedule, FaultSchedule):
+            raise FaultError(
+                f"injector takes a FaultSchedule, got {type(schedule).__name__}"
+            )
+        self._events = tuple(schedule)
+        self._cursor = 0
+
+    @property
+    def pending(self) -> int:
+        """Events not yet handed out by :meth:`due`."""
+        return len(self._events) - self._cursor
+
+    def due(self, before: float) -> list[FaultEvent]:
+        """Pop every unapplied event with ``at < before``, in order."""
+        due: list[FaultEvent] = []
+        while (
+            self._cursor < len(self._events)
+            and self._events[self._cursor].at < before
+        ):
+            due.append(self._events[self._cursor])
+            self._cursor += 1
+        return due
+
+    # -------------------------------------------------------------- #
+
+    def resolve(self, target: str, system) -> str | None:
+        """Resolve ``target`` to a deployed node name, or None.
+
+        Literal names resolve iff deployed.  Selectors pick the busiest
+        candidate by accumulated busy seconds, breaking ties by the
+        earliest candidate in a deterministic order (fan-out order for
+        children, sorted name order for servers).
+        """
+        if target == "busiest-child":
+            best_name, best_busy = None, -1.0
+            for child in system.root.children:
+                busy = _subtree_busy(child)
+                if busy > best_busy:
+                    best_name, best_busy = child.name, busy
+            return best_name
+        if target == "busiest-server":
+            best_name, best_busy = None, -1.0
+            for name in sorted(system.servers):
+                busy = system.servers[name].resource.busy_seconds()
+                if busy > best_busy:
+                    best_name, best_busy = name, busy
+            return best_name
+        if target in system.agents or target in system.servers:
+            return target
+        return None
+
+    def apply(self, event: FaultEvent, system) -> FaultRecord:
+        """Apply one event to the running system; always returns a record."""
+        now = system.sim.now
+        resolved = self.resolve(event.target, system)
+        if resolved is None:
+            return FaultRecord(
+                at=now, kind=event.kind, target=event.target,
+                applied=False, detail="target not deployed",
+            )
+        if resolved == system.root.name and event.kind in (
+            "crash", "partition"
+        ):
+            # Killing the root is not a failure scenario the middleware
+            # can survive by construction; treat it as a schedule bug.
+            raise FaultError(
+                f"fault schedule targets the root agent {resolved!r} "
+                f"with {event.kind!r}; the root cannot fail"
+            )
+        if event.kind == "crash":
+            if resolved in system.servers:
+                members, dead = system.fail_server(resolved)
+            else:
+                members, dead = system.fail_subtree(resolved)
+            return FaultRecord(
+                at=now, kind="crash", target=resolved,
+                nodes=members, dead_letters=dead,
+                detail=f"{len(members)} node(s) down",
+            )
+        if event.kind == "degrade":
+            system.degrade_node(resolved, event.factor)
+            return FaultRecord(
+                at=now, kind="degrade", target=resolved, nodes=(resolved,),
+                detail=f"rate x{event.factor!r}",
+            )
+        if event.kind == "partition":
+            members = system.partition(resolved)
+            return FaultRecord(
+                at=now, kind="partition", target=resolved, nodes=members,
+                detail=f"{len(members)} node(s) dark",
+            )
+        # heal
+        members = system.heal(resolved)
+        if members is None:
+            return FaultRecord(
+                at=now, kind="heal", target=resolved,
+                applied=False, detail="target not partitioned",
+            )
+        return FaultRecord(
+            at=now, kind="heal", target=resolved, nodes=members,
+            detail=f"{len(members)} node(s) reconnected",
+        )

@@ -36,16 +36,30 @@ class _PendingRequest:
     when the request was *received* — not looked up at reply time — so a
     conversation survives the agent being re-homed mid-flight by a live
     migration.  ``None`` means the request came from the client layer.
+
+    ``awaiting`` tracks which children have not yet *delivered* a reply
+    (discarded as each reply's send lands, before the receive is
+    billed): when a child crashes mid-round, the failure layer consults
+    it to synthesize the exact set of replies that will never arrive.
     """
 
-    __slots__ = ("remaining", "best_server", "best_estimate", "ties", "origin")
+    __slots__ = (
+        "remaining", "best_server", "best_estimate", "ties", "origin",
+        "awaiting",
+    )
 
-    def __init__(self, remaining: int, origin: "AgentElement | None"):
+    def __init__(
+        self,
+        remaining: int,
+        origin: "AgentElement | None",
+        awaiting: set | None = None,
+    ):
         self.remaining = remaining
         self.best_server: str | None = None
         self.best_estimate = float("inf")
         self.ties = 0
         self.origin = origin
+        self.awaiting: set = awaiting if awaiting is not None else set()
 
 
 class AgentElement:
@@ -155,7 +169,10 @@ class AgentElement:
         migration has detached its last subtree — replies "no server"
         immediately; the client layer resubmits.
         """
-        pending = _PendingRequest(len(self.children), origin)
+        pending = _PendingRequest(
+            len(self.children), origin,
+            awaiting={child.name for child in self.children},
+        )
         self._pending[request_id] = pending
         if not self.children:
             merge_work = self.params.wrep(0)
@@ -182,9 +199,20 @@ class AgentElement:
     # ------------------------------------------------------------------ #
 
     def receive_reply(
-        self, request_id: int, server_name: str, estimate: float
+        self,
+        request_id: int,
+        server_name: str | None,
+        estimate: float,
+        sender: str | None = None,
     ) -> None:
-        """A child finished sending its reply: absorb it, maybe merge."""
+        """A child finished sending its reply: absorb it, maybe merge.
+
+        ``sender`` is the *child element* that produced the reply (which
+        for agent replies differs from ``server_name``, the best server
+        somewhere below it); it is struck off the awaiting set up front,
+        so the failure layer never synthesizes a reply that was already
+        delivered.
+        """
         params = self.params
         # Reply size depends on who sent it; both agent and server replies
         # are received at the size the sender produced.  The sender already
@@ -192,6 +220,8 @@ class AgentElement:
         pending = self._pending.get(request_id)
         if pending is None:  # late reply for an aborted request
             return
+        if sender is not None:
+            pending.awaiting.discard(sender)
         recv_time = params.agent_sizes.srep / self.bandwidth
 
         def after_recv() -> None:
@@ -222,6 +252,36 @@ class AgentElement:
 
         self.resource.submit(recv_time, "recv", after_recv)
 
+    def child_failed(self, child_name: str) -> int:
+        """Synthesize the replies a crashed child will never deliver.
+
+        For every in-flight merge still awaiting ``child_name``, account
+        the reply as arrived-with-no-candidate (no receive time is
+        billed — failure detection is modelled as instantaneous, the
+        paper's model has no timeout machinery).  Rounds whose last
+        outstanding reply this was proceed to the merge; rounds that
+        lose *every* candidate reply "no server" and the client layer
+        resubmits.  Returns the number of affected merges.
+        """
+        affected = 0
+        for request_id in sorted(self._pending):
+            pending = self._pending[request_id]
+            if child_name not in pending.awaiting:
+                continue
+            pending.awaiting.discard(child_name)
+            pending.remaining -= 1
+            affected += 1
+            if pending.remaining == 0:
+                merge_work = self.params.wrep(len(self.children))
+                self.resource.submit(
+                    merge_work / self.power, "compute",
+                    self._make_reply_up(request_id),
+                )
+        return affected
+
+    def _make_reply_up(self, request_id: int):
+        return lambda: self._reply_up(request_id)
+
     def _reply_up(self, request_id: int) -> None:
         pending = self._pending.pop(request_id)
         self.requests_done += 1
@@ -248,7 +308,8 @@ class AgentElement:
             # conversation at an element that no longer expects it.
             if pending.origin is not None:
                 pending.origin.receive_reply(
-                    request_id, pending.best_server, pending.best_estimate
+                    request_id, pending.best_server, pending.best_estimate,
+                    sender=self.name,
                 )
             elif self.client_sink is not None:
                 # Root: hand the decision back to the system/client layer.

@@ -140,7 +140,9 @@ class ServerElement:
                         size_mb=self.params.server_sizes.srep, msg="sched_rep",
                     )
                 target = reply_to if reply_to is not None else self.parent
-                target.receive_reply(request_id, self.name, estimate)
+                target.receive_reply(
+                    request_id, self.name, estimate, sender=self.name
+                )
 
             self.resource.submit(send_time, "send", after_send)
 

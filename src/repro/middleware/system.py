@@ -102,6 +102,28 @@ class MiddlewareSystem:
         # Subtrees currently held out of the fan-out, root -> member
         # names; disjointness is enforced at unlink time.
         self._unlinked: dict[str, frozenset[str]] = {}
+        # Failure layer state.  _in_service tracks accepted service
+        # conversations so a crash can dead-letter and resubmit them;
+        # failed/degraded/partitioned are the observed-health registries
+        # the control plane's monitor reads.
+        self._in_service: dict[
+            int,
+            tuple[
+                Request,
+                Callable[[Request], None],
+                Callable[[Request], None] | None,
+                str,
+            ],
+        ] = {}
+        self.failed_nodes: set[str] = set()
+        self.degraded: dict[str, float] = {}
+        self._partitioned: dict[str, frozenset[str]] = {}
+        #: Service conversations whose server crashed mid-call; each one
+        #: was resubmitted elsewhere, so clients still complete.
+        self.dead_letters = 0
+        #: Conversations dropped without resubmission — structurally
+        #: zero; the counter exists to state (and test) the invariant.
+        self.lost_conversations = 0
 
         # Instantiate elements, then wire parent/child links.
         for node in hierarchy:
@@ -364,14 +386,225 @@ class MiddlewareSystem:
             agent = self.agents[str(node)]
             expected = [str(child) for child in target.children(node)]
             wired = {element.name for element in agent.children}
-            if wired != set(expected):
+            # Partitioned roots are legitimately absent from the live
+            # fan-out; the normalization below keeps them dark.
+            dark = {name for name in expected if name in self._partitioned}
+            if wired != set(expected) and wired != set(expected) - dark:
                 raise DeploymentError(
                     f"agent {node!r} wiring diverges from the target: "
                     f"has {sorted(wired)}, expected {sorted(expected)}"
                 )
-            agent.children = [self._element(name) for name in expected]
+            agent.children = [
+                self._element(name)
+                for name in expected
+                if name not in self._partitioned
+            ]
         self.hierarchy = target
         self._unlinked.clear()
+        # Partitions are *network* conditions; a migration cannot heal
+        # them.  Re-scope surviving registrations to the new tree (the
+        # fan-out normalization above already re-severed their edges).
+        if self._partitioned:
+            by_name = {str(node): node for node in target}
+            self._partitioned = {
+                root: frozenset(
+                    str(node) for node in target.subtree(by_name[root])
+                )
+                for root in self._partitioned
+                if root in by_name
+            }
+
+    # ------------------------------------------------------------------ #
+    # failure surgery (fault injection)
+
+    def _subtree_names(self, name: str) -> frozenset[str]:
+        """Members of the subtree rooted at ``name``, per the hierarchy.
+
+        The logical tree, not the live fan-out, defines membership:
+        partitioned sub-subtrees are unwired from their parents but are
+        still part of the deployment a crash takes down.
+        """
+        by_name = {str(node): node for node in self.hierarchy}
+        if name in by_name:
+            return frozenset(
+                str(node) for node in self.hierarchy.subtree(by_name[name])
+            )
+        return frozenset((name,))
+
+    def fail_server(self, name: str) -> tuple[tuple[str, ...], int]:
+        """Crash a single server node.
+
+        Returns ``(affected node names, dead-lettered conversations)``.
+        """
+        if name not in self.servers:
+            raise DeploymentError(
+                f"cannot fail server {name!r}: not a deployed server"
+            )
+        return self._fail_elements(frozenset((name,)))
+
+    def fail_subtree(self, name: str) -> tuple[tuple[str, ...], int]:
+        """Crash element ``name`` and, for agents, its whole subtree.
+
+        The correlated-failure model: an agent dying takes its region
+        with it (a rack, a site, a cluster partition that never heals).
+        Returns ``(affected node names, dead-lettered conversations)``.
+        """
+        element = self.element(name)
+        if element is self.root:
+            raise DeploymentError("cannot fail the root agent")
+        if name in self.servers:
+            return self._fail_elements(frozenset((name,)))
+        return self._fail_elements(self._subtree_names(name))
+
+    def _fail_elements(self, names: frozenset[str]) -> tuple[tuple[str, ...], int]:
+        """Kill ``names`` (a subtree-closed set) in one atomic operation.
+
+        Five steps, each deterministic: unwire the topmost failed
+        elements from the fan-out; halt every failed resource (work in
+        progress vanishes — crashed daemons do not finish their calls);
+        deregister; dead-letter in-flight service conversations on
+        failed servers and resubmit them through the surviving tree;
+        synthesize the scheduling replies surviving agents were still
+        awaiting from failed children.  Finally the hierarchy is pruned
+        to the survivors — observed state is the source of truth the
+        control plane reconciles against.
+        """
+        if self.root.name in names:
+            raise DeploymentError("cannot fail the root agent")
+        for name in sorted(names):
+            element = self.agents.get(name) or self.servers.get(name)
+            if element is None:
+                continue
+            parent = element.parent
+            if parent is None or parent.name not in names:
+                self._unwire(element)
+        for name in sorted(names):
+            element = self.agents.get(name) or self.servers.get(name)
+            if element is None:
+                continue
+            element.resource.halt()
+            self.agents.pop(name, None)
+            self.servers.pop(name, None)
+            self._unlinked.pop(name, None)
+            self._partitioned.pop(name, None)
+            self.degraded.pop(name, None)
+        dead = 0
+        for request_id in sorted(self._in_service):
+            request, on_complete, on_scheduled, server_name = (
+                self._in_service[request_id]
+            )
+            if server_name in names:
+                del self._in_service[request_id]
+                dead += 1
+                # Resubmit-elsewhere: the conversation restarts from a
+                # fresh scheduling round with the caller's callbacks
+                # intact, so on_complete still fires exactly once.
+                self.submit(request.client_name, on_complete, on_scheduled)
+        self.dead_letters += dead
+        for agent_name in sorted(self.agents):
+            agent = self.agents[agent_name]
+            for name in sorted(names):
+                agent.child_failed(name)
+        pruned = self.hierarchy.copy()
+        by_name = {str(node): node for node in pruned}
+        doomed = [by_name[name] for name in names if name in by_name]
+        for node in sorted(doomed, key=pruned.depth, reverse=True):
+            pruned.remove_leaf(node)
+        pruned.validate(strict=False)
+        self.hierarchy = pruned
+        self.failed_nodes.update(names)
+        return tuple(sorted(names)), dead
+
+    def degrade_node(self, name: str, factor: float) -> None:
+        """Multiply node ``name``'s resource rate by ``factor``.
+
+        The slow-node (straggler) model: the node keeps answering
+        predictions and accepting work at ``factor`` of its nominal
+        speed, while its availability estimate still reports *nominal*
+        backlog seconds — exactly the pathology that makes stragglers
+        attract work in prediction-based schedulers.  ``factor=1.0``
+        restores nominal speed.
+        """
+        element = self.element(name)
+        element.resource.set_rate(factor)
+        if factor == 1.0:
+            self.degraded.pop(name, None)
+        else:
+            self.degraded[name] = factor
+
+    def partition(self, name: str) -> tuple[str, ...]:
+        """Cut the subtree at ``name`` off the fan-out (healable).
+
+        A control-plane partition: new scheduling rounds stop reaching
+        the subtree, in-flight work drains normally (the transport holds
+        established flows), and :meth:`heal` can reconnect it exactly.
+        Distinct from :meth:`unlink` only in bookkeeping — partitions
+        are *observed faults* the monitor reports, not migration drains.
+        """
+        element = self.element(name)
+        if element is self.root:
+            raise DeploymentError("cannot partition the root agent")
+        if name in self._partitioned:
+            raise DeploymentError(f"subtree {name!r} is already partitioned")
+        members = self._subtree_names(name)
+        for other, other_scope in self._partitioned.items():
+            overlap = members & other_scope
+            if overlap:
+                raise DeploymentError(
+                    f"cannot partition {name!r}: nodes {sorted(overlap)} "
+                    f"are already dark under partition {other!r}"
+                )
+        self._unwire(element)
+        self._partitioned[name] = members
+        return tuple(sorted(members))
+
+    def heal(self, name: str) -> tuple[str, ...] | None:
+        """Reconnect a partitioned subtree; None if there is none to heal.
+
+        The parent's fan-out is rebuilt in hierarchy child order, so a
+        partition+heal cycle restores wiring identical to a fresh build
+        of the same tree — partitions leave no structural scar.
+        """
+        members = self._partitioned.pop(name, None)
+        if members is None:
+            return None
+        element = self.agents.get(name) or self.servers.get(name)
+        by_name = {str(node): node for node in self.hierarchy}
+        node = by_name.get(name)
+        if element is None or node is None:
+            return None
+        parent = self.hierarchy.parent(node)
+        if parent is None or str(parent) not in self.agents:
+            return None
+        parent_agent = self.agents[str(parent)]
+        element.parent = parent_agent
+        rebuilt = []
+        previously_wired = {child.name for child in parent_agent.children}
+        for child in self.hierarchy.children(parent):
+            child_name = str(child)
+            if child_name in self._partitioned:
+                continue  # a sibling partition stays dark
+            child_element = self.agents.get(child_name) or self.servers.get(
+                child_name
+            )
+            if child_element is None:
+                continue
+            if child_name == name or child_name in previously_wired:
+                rebuilt.append(child_element)
+        # Defensive: keep any wired child the hierarchy does not list
+        # (cannot happen outside a migration window, but never drop
+        # live edges silently).
+        known = {child.name for child in rebuilt}
+        for child in parent_agent.children:
+            if child.name not in known:
+                rebuilt.append(child)
+        parent_agent.children = rebuilt
+        return tuple(sorted(members))
+
+    @property
+    def partitioned_subtrees(self) -> dict[str, frozenset[str]]:
+        """Snapshot of partitioned subtrees, root -> member names."""
+        return dict(self._partitioned)
 
     # ------------------------------------------------------------------ #
     # client-facing API
@@ -450,14 +683,22 @@ class MiddlewareSystem:
     ) -> None:
         server = self.servers.get(request.selected_server or "")
         if server is None:
-            # The selected server was migrated away between scheduling
-            # and service — reschedule through the current tree, with
-            # the caller's callbacks intact.
+            # The selected server was migrated away (or crashed) between
+            # scheduling and service — reschedule through the current
+            # tree, with the caller's callbacks intact.
             self.submit(request.client_name, on_complete, on_scheduled)
             return
         request.service_started_at = self.sim.now
+        self._in_service[request.request_id] = (
+            request, on_complete, on_scheduled, server.name
+        )
 
         def complete() -> None:
+            if self._in_service.pop(request.request_id, None) is None:
+                # Dead-lettered while in flight: the conversation was
+                # already resubmitted elsewhere, this late completion
+                # must not double-count.
+                return
             request.completed_at = self.sim.now
             self.completions.record(self.sim.now)
             on_complete(request)

@@ -64,12 +64,15 @@ class SerialResource:
         "preemptions",
         "_busy_since",
         "_kind_time",
+        "_rate",
+        "_halted",
     )
 
     def __init__(self, sim: Simulator, name: str):
         self.sim = sim
         self.name = name
-        # Items: (remaining_duration, kind, on_done)
+        # Items: (remaining_duration, kind, on_done) — durations are
+        # *nominal* (rate-1) seconds; the rate applies when work starts.
         self._queue: deque[tuple[float, str, Callable[[], None] | None]] = deque()
         self._low_queue: deque[
             tuple[float, str, Callable[[], None] | None]
@@ -82,6 +85,11 @@ class SerialResource:
         self.preemptions = 0
         self._busy_since = 0.0
         self._kind_time = {kind: 0.0 for kind in _KINDS}
+        # Speed multiplier (fault injection's straggler model): wall
+        # duration = nominal / rate.  1.0 is the nominal, bit-exact path.
+        self._rate = 1.0
+        # A halted resource (crashed node) silently drops all work.
+        self._halted = False
 
     # ------------------------------------------------------------------ #
 
@@ -99,6 +107,11 @@ class SerialResource:
         when the item completes.  Priority-0 items preempt a priority-1
         item in progress (work-conserving).
         """
+        if self._halted:
+            # A crashed node is a black hole: work vanishes, callbacks
+            # never fire.  Failure surfacing is the middleware's job
+            # (dead-letter + resubmit), not the resource's.
+            return
         if duration < 0.0:
             raise SimulationError(
                 f"{self.name}: negative task duration {duration}"
@@ -127,6 +140,75 @@ class SerialResource:
     @property
     def is_busy(self) -> bool:
         return self._busy
+
+    @property
+    def rate(self) -> float:
+        """Current speed multiplier (1.0 = nominal)."""
+        return self._rate
+
+    @property
+    def is_halted(self) -> bool:
+        return self._halted
+
+    def set_rate(self, rate: float) -> None:
+        """Change the speed multiplier mid-run (straggler injection).
+
+        The in-progress item (if any) is re-timed work-conservingly: its
+        elapsed wall time is banked into the busy accounting, the
+        remaining nominal work is rescheduled at the new rate.  Queued
+        items hold nominal durations, so they pick up the new rate when
+        they start.  ``set_rate(1.0)`` on an idle, never-degraded
+        resource is a bit-exact no-op.
+        """
+        if rate <= 0.0:
+            raise SimulationError(
+                f"{self.name}: rate must be > 0, got {rate} "
+                "(use halt() to stop the resource)"
+            )
+        if self._halted:
+            raise SimulationError(f"{self.name}: cannot re-rate a halted resource")
+        if rate == self._rate:
+            return
+        if self._busy:
+            assert self._current is not None and self._completion is not None
+            wall, kind, on_done, priority = self._current
+            elapsed = self.sim.now - self._busy_since
+            remaining_wall = max(0.0, wall - elapsed)
+            self.busy_time += elapsed
+            self._kind_time[kind] += elapsed
+            self._completion.cancel()
+            new_wall = remaining_wall * self._rate / rate
+            self._busy_since = self.sim.now
+            self._current = (new_wall, kind, on_done, priority)
+            self._completion = self.sim.schedule(new_wall, self._complete)
+        self._rate = rate
+
+    def halt(self) -> int:
+        """Stop the resource permanently (crash injection).
+
+        The in-progress item's elapsed time is banked (the node really
+        did burn those cycles), its completion is cancelled, and every
+        queued item is dropped; subsequent :meth:`submit` calls are
+        silently ignored.  Returns the number of work items discarded.
+        """
+        if self._halted:
+            return 0
+        dropped = len(self._queue) + len(self._low_queue)
+        if self._busy:
+            assert self._current is not None and self._completion is not None
+            _, kind, _, _ = self._current
+            elapsed = self.sim.now - self._busy_since
+            self.busy_time += elapsed
+            self._kind_time[kind] += elapsed
+            self._completion.cancel()
+            dropped += 1
+        self._queue.clear()
+        self._low_queue.clear()
+        self._busy = False
+        self._current = None
+        self._completion = None
+        self._halted = True
+        return dropped
 
     @property
     def queue_length(self) -> int:
@@ -184,8 +266,11 @@ class SerialResource:
             return
         self._busy = True
         self._busy_since = self.sim.now
-        self._current = (duration, kind, on_done, priority)
-        self._completion = self.sim.schedule(duration, self._complete)
+        # Queued durations are nominal; _current holds *wall* duration.
+        # At rate 1.0 the division is bit-exact identity.
+        wall = duration / self._rate
+        self._current = (wall, kind, on_done, priority)
+        self._completion = self.sim.schedule(wall, self._complete)
 
     def _preempt(self) -> None:
         """Pause the in-progress priority-1 item; requeue its remainder."""
@@ -197,8 +282,12 @@ class SerialResource:
         self.busy_time += elapsed
         self._kind_time[kind] += elapsed
         self.preemptions += 1
-        # Front of the low queue: the item resumes before later service work.
-        self._low_queue.appendleft((max(0.0, remaining), kind, on_done))
+        # Front of the low queue: the item resumes before later service
+        # work.  Requeued as nominal work (wall remainder * rate), so a
+        # later rate change re-times it correctly; exact identity at 1.0.
+        self._low_queue.appendleft(
+            (max(0.0, remaining) * self._rate, kind, on_done)
+        )
         self._busy = False
         self._current = None
         self._completion = None

@@ -231,6 +231,32 @@ class TestControlCommand:
             assert f"migration={mode}" in out
             assert "fixture:wikipedia_flash" in out
 
+    def test_control_faults_spec_marks_timeline(self, capsys):
+        code = main(
+            [
+                "control", "--random", "8", "--seed", "2", "--dgemm", "200",
+                "--trace", "constant:level=6", "--epochs", "5",
+                "--epoch-duration", "2", "--policy", "reactive",
+                "--policy-opt", "hysteresis=1", "--policy-opt", "cooldown=1",
+                "--faults", "crash:target=busiest-server,at=3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "!crash(" in out
+        assert "faults injected" in out
+
+    def test_control_bad_fault_spec_is_error(self, capsys):
+        code = main(
+            [
+                "control", "--nodes", "6", "--dgemm", "200",
+                "--trace", "constant:level=3", "--epochs", "2",
+                "--faults", "meteor:target=s0,at=1",
+            ]
+        )
+        assert code == 2
+        assert "unknown fault kind" in capsys.readouterr().err
+
     def test_control_sweep_prints_one_row_per_cell(self, capsys):
         code = main(
             [

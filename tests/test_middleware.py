@@ -194,3 +194,66 @@ class TestObservability:
         sim.run()
         kinds = {r.kind for r in trace}
         assert {"msg_recv", "msg_sent", "compute"} <= kinds
+
+
+class TestSchedulingRaces:
+    """The two transparent-resubmit paths the failure layer leans on."""
+
+    def test_zero_route_round_resubmits_until_a_server_returns(self, p):
+        # Partition every server: scheduling rounds find no route and
+        # must resubmit (paying a fresh round trip each time) until a
+        # heal brings a server back — then exactly one completion fires.
+        sim = Simulator()
+        system = MiddlewareSystem(sim, star(2), p, app_work=1.0, seed=1)
+        system.partition("s0")
+        system.partition("s1")
+        done, rounds = [], []
+        system.submit(
+            "client", on_complete=done.append, on_scheduled=rounds.append
+        )
+        sim.run_until(0.01)
+        assert done == []
+        assert len(rounds) > 1  # kept retrying, never gave up
+        assert all(r.selected_server is None for r in rounds)
+        system.heal("s0")
+        sim.run()
+        assert len(done) == 1
+        assert done[0].selected_server == "s0"
+        assert rounds[-1].selected_server == "s0"
+        assert system.total_completed() == 1
+        assert system.lost_conversations == 0
+
+    def test_service_race_resubmits_when_selected_server_died(self, p):
+        # Measure when the scheduling reply lands on a clean same-seed
+        # run, then crash the selected server inside the merge->delivery
+        # send window: the reply names a dead server, and _start_service
+        # must transparently reschedule through the survivors.
+        def clean():
+            sim = Simulator()
+            system = MiddlewareSystem(sim, star(2), p, app_work=1.0, seed=1)
+            done = []
+            system.submit("client", on_complete=done.append)
+            sim.run()
+            return done[0]
+
+        reference = clean()
+        epsilon = p.agent_sizes.srep / p.bandwidth / 2
+        sim = Simulator()
+        system = MiddlewareSystem(sim, star(2), p, app_work=1.0, seed=1)
+        done, rounds = [], []
+        system.submit(
+            "client", on_complete=done.append, on_scheduled=rounds.append
+        )
+        sim.run_until(reference.scheduled_at - epsilon)
+        assert done == []  # reply still in flight
+        system.fail_server(reference.selected_server)
+        sim.run()
+        assert len(done) == 1
+        survivor = ({"s0", "s1"} - {reference.selected_server}).pop()
+        assert done[0].selected_server == survivor
+        # First round named the dead server, the retry round rescheduled.
+        assert len(rounds) == 2
+        assert rounds[0].selected_server == reference.selected_server
+        assert rounds[1].selected_server == survivor
+        assert system.total_completed() == 1
+        assert system.lost_conversations == 0
