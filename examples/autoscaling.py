@@ -41,6 +41,14 @@ machinery the scale-ups ride.  The demo asserts the invariants the fault
 layer guarantees: zero lost conversations, at least one repair applied,
 and at least **90 %** of the no-fault run's served throughput recovered.
 
+The fourth act replays the same crash under **timeout-modelled
+detection**: nothing announces the failure — agents infer it from
+conversations that stop answering (request timeout, bounded retries),
+the monitor walks the silent node through suspect → confirmed-dead, and
+only a *confirmed* death triggers the repair.  The timeline then carries
+a measured quantity oracle health never could: per-fault detection
+latency, injection to confirmation.
+
 Run:  python examples/autoscaling.py
 """
 
@@ -169,6 +177,40 @@ def run_fault_recovery(verbose: bool = True) -> dict[str, object]:
             print(render_timeline(timelines[label]))
             print()
     return timelines
+
+
+#: Act four's detection tuning: half-second request timeout, one retry,
+#: three consecutive timeouts to raise suspicion, one epoch of grace.
+DETECTION_SPEC = "timeout=0.5,retries=1,threshold=3,grace=2,reserve=0.2"
+
+
+def run_fault_detection(verbose: bool = True) -> object:
+    """The act-three crash again — but nobody announces it this time.
+
+    With ``DETECTION_SPEC`` the crash lands *silently*: agents infer the
+    death from timed-out conversations, the monitor walks the node
+    through suspect → confirmed, and only then does the repair fire.
+    Returns the faulted timeline; used by the test suite to assert the
+    detection claims.
+    """
+    session, pool, app_work = _session_pool()
+    timeline = session.control_run(
+        pool,
+        app_work,
+        trace=from_spec("black_friday"),
+        policy="reactive",
+        policy_options={**REACTIVE_OPTIONS, "repair": True},
+        epochs=EPOCHS,
+        epoch_duration=EPOCH_DURATION,
+        initial_fraction=0.4,
+        seed=SEED,
+        faults=FAULT_SPEC,
+        detection=DETECTION_SPEC,
+    )
+    if verbose:
+        print(render_timeline(timeline))
+        print()
+    return timeline
 
 
 def _migration_step_rows(timeline) -> list[list[object]]:
@@ -326,6 +368,29 @@ def main() -> None:
     assert ratio >= 0.9, (
         f"faulted run recovered only {ratio:.1%} of baseline throughput"
     )
+
+    # ------------------------------------------------------------------ #
+    # Act four: the same crash, but inferred — not announced.
+
+    detected = run_fault_detection(verbose=False)
+    confirmations = detected.detection_records
+    print(
+        f"\nwith detection {DETECTION_SPEC!r}: "
+        f"{detected.detection_count} failure(s) confirmed by timeout "
+        f"evidence alone, mean detection latency "
+        f"{detected.mean_detection_latency:.2f}s, "
+        f"{detected.lost_conversations} conversations lost"
+    )
+    assert detected.detection_count >= 1, (
+        "the silent crash was never confirmed"
+    )
+    assert detected.lost_conversations == 0, (
+        f"lost {detected.lost_conversations} conversations under detection"
+    )
+    for confirmation in confirmations:
+        assert confirmation.latency is None or confirmation.latency > 0.0, (
+            f"non-positive detection latency on {confirmation.node}"
+        )
 
 
 if __name__ == "__main__":

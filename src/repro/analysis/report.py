@@ -71,10 +71,27 @@ def render_timeline(timeline, max_reason: int = 44) -> str:
     side; under a serial schedule the window always equals the summed
     step durations.  Epochs whose simulate stage took injected faults
     prefix their reason with the fault summary (``!crash(node-3)``).
+
+    Under timeout-modelled detection the markers separate *injected-at*
+    from *detected-at*: ``!crash(x)`` still flags the epoch the fault
+    schedule landed the (silent) crash, while ``>dead(x)`` flags the
+    epoch the control plane *confirmed* it — with the measured
+    injection-to-confirmation latency in the ``detect`` column
+    (``fp`` for a false positive, which never matched an injection).
+    ``?suspect(x)`` marks epochs that ended with ``x`` inside its
+    grace window, and ``~evict(x)`` the epoch a persistently degraded
+    server was drained-and-replaced.
     """
     rows = []
     for record in timeline.records:
         reason = record.reason
+        for name in getattr(record, "evictions", ()):
+            reason = f"~evict({name}) {reason}"
+        suspects = getattr(record, "suspects", ())
+        if suspects:
+            reason = f"?suspect({','.join(suspects)}) {reason}"
+        for detection in getattr(record, "detections", ()):
+            reason = f">dead({detection.node}) {reason}"
         for fault in getattr(record, "faults", ()):
             marker = "!" if fault.applied else "?"
             reason = f"{marker}{fault.kind}({fault.target}) {reason}"
@@ -91,6 +108,15 @@ def render_timeline(timeline, max_reason: int = 44) -> str:
             if steps and getattr(record, "migration_window", 0.0) > 0.0
             else "-"
         )
+        detections = getattr(record, "detections", ())
+        detect = (
+            "/".join(
+                f"{d.latency:.2f}" if d.latency is not None else "fp"
+                for d in detections
+            )
+            if detections
+            else "-"
+        )
         rows.append(
             [
                 record.index,
@@ -103,6 +129,7 @@ def render_timeline(timeline, max_reason: int = 44) -> str:
                 f"{record.busiest_utilization:.2f}",
                 down,
                 window,
+                detect,
                 ("*" if record.applied else " ") + record.action,
                 reason,
             ]
@@ -110,7 +137,7 @@ def render_timeline(timeline, max_reason: int = 44) -> str:
     table = ascii_table(
         headers=[
             "epoch", "t", "clients", "req/s", "cap", "nodes", "spare",
-            "util", "down/steps", "win", "act", "reason",
+            "util", "down/steps", "win", "detect", "act", "reason",
         ],
         rows=rows,
         title=(

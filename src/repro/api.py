@@ -649,6 +649,12 @@ class PlanningSession:
             from repro.faults import from_spec as fault_spec
 
             fault_spec(control_kwargs["faults"])
+        if isinstance(control_kwargs.get("detection"), str):
+            # And for a detection spec ("timeout=0.5,retries=1,..."):
+            # malformed timeout grammar fails eagerly, not mid-grid.
+            from repro.middleware.detection import parse_detection
+
+            parse_detection(control_kwargs["detection"])
         grid = [
             (spec, policy, seed)
             for spec in traces

@@ -390,6 +390,7 @@ def _cmd_control(args: argparse.Namespace) -> int:
             migration=args.migration,
             think_time=args.think_time,
             **({"faults": args.faults} if args.faults else {}),
+            **({"detection": args.detection} if args.detection else {}),
         )
         print(
             ascii_table(
@@ -436,6 +437,7 @@ def _cmd_control(args: argparse.Namespace) -> int:
         think_time=args.think_time,
         seed=args.seed,
         faults=args.faults,
+        **({"detection": args.detection} if args.detection else {}),
     )
     print(render_timeline(timeline))
     return 0
@@ -632,7 +634,17 @@ def build_parser() -> argparse.ArgumentParser:
         "'crash:target=busiest-child,at=45' or "
         "'degrade:target=node-3,at=20,factor=0.25;"
         "heal:target=node-3,at=60' (kinds: crash, degrade, partition, "
-        "heal; targets: node names or busiest-child / busiest-server)",
+        "heal, storm, subtree-storm; targets: node names or "
+        "busiest-child / busiest-server)",
+    )
+    p_control.add_argument(
+        "--detection", type=str, default=None, metavar="SPEC",
+        help="switch from oracle health to timeout-modelled failure "
+        "detection, e.g. 'timeout=0.5,retries=1,backoff=2,threshold=3,"
+        "grace=2,reserve=0.2' — faults land silently, agents watch "
+        "their children with retry ladders, and the controller only "
+        "acts on suspicions the grace window confirms (reserve= holds "
+        "that fraction of the pool back from scale-ups for repairs)",
     )
     p_control.set_defaults(func=_cmd_control)
 

@@ -86,6 +86,7 @@ from repro.extensions.redeploy import improve_deployment
 from repro.faults import FaultInjector, FaultRecord, FaultSchedule
 from repro.faults import from_spec as fault_spec
 from repro.middleware.client import ClosedLoopClient
+from repro.middleware.detection import DetectionParams, parse_detection
 from repro.middleware.system import MiddlewareSystem
 from repro.platforms.pool import NodePool
 from repro.sim.engine import Simulator
@@ -94,6 +95,7 @@ from repro.sim.trace import TraceRecorder
 
 __all__ = [
     "MigrationStepRecord",
+    "DetectionRecord",
     "EpochRecord",
     "ControlTimeline",
     "ControlLoop",
@@ -157,6 +159,43 @@ class MigrationStepRecord:
 
 
 @dataclass(frozen=True)
+class DetectionRecord:
+    """One failure the control plane *inferred* (never announced).
+
+    Under timeout-modelled detection the loop learns about a crash only
+    through the suspicion lifecycle: watchdog timeouts accumulate into a
+    suspicion, the grace window elapses, and the monitor confirms the
+    node dead — at which point the loop excises the subtree and records
+    the whole story here.  ``injected_at`` is back-filled from the fault
+    schedule purely for *accounting* (the latency a real operator would
+    measure); the decision path never sees it.
+    """
+
+    #: Confirmed node (subtree root as the controller addressed it).
+    node: str
+    #: Every node excised with it (the confirmed node's subtree).
+    nodes: tuple = ()
+    #: When the fault schedule actually injected the failure — ``None``
+    #: for a false positive (the node was alive; the controller gave up
+    #: on it anyway).
+    injected_at: float | None = None
+    #: When the suspicion threshold was crossed (watchdog evidence).
+    suspected_at: float = 0.0
+    #: When the grace window closed and the monitor confirmed the death.
+    confirmed_at: float = 0.0
+    #: In-flight conversations dead-lettered (and resubmitted) by the
+    #: confirmation-time excision.
+    dead_letters: int = 0
+
+    @property
+    def latency(self) -> float | None:
+        """Injection-to-confirmation delay; ``None`` for false positives."""
+        if self.injected_at is None:
+            return None
+        return self.confirmed_at - self.injected_at
+
+
+@dataclass(frozen=True)
 class EpochRecord:
     """One epoch of the control timeline.
 
@@ -200,6 +239,17 @@ class EpochRecord:
     #: Fault events injected during this epoch's simulate stage, as they
     #: actually landed (resolved targets, affected nodes, dead-letters).
     faults: tuple[FaultRecord, ...] = ()
+    #: Failures *confirmed* (and excised) this epoch under
+    #: timeout-modelled detection, with their measured latency.
+    detections: tuple[DetectionRecord, ...] = ()
+    #: Nodes past the suspicion threshold but still inside their grace
+    #: window at this epoch's boundary (detection only).
+    suspects: tuple[str, ...] = ()
+    #: Previously suspect nodes that answered within the grace window
+    #: and were re-integrated this epoch (detection only).
+    reintegrated: tuple[str, ...] = ()
+    #: Servers drained-and-replaced by an applied ``evict`` this epoch.
+    evictions: tuple[str, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -224,6 +274,32 @@ class ControlTimeline:
     #: Conversations dropped without resubmission — the self-healing
     #: invariant keeps this at zero, and tests assert it.
     lost_conversations: int = 0
+    #: Failures confirmed through the suspicion lifecycle (detection
+    #: runs only; oracle runs leave it 0).
+    detection_count: int = 0
+    #: Servers drained-and-replaced by ``evict`` decisions.
+    eviction_count: int = 0
+
+    @property
+    def detection_records(self) -> tuple[DetectionRecord, ...]:
+        """Every confirmation across the run, in epoch order."""
+        return tuple(
+            detection
+            for record in self.records
+            for detection in record.detections
+        )
+
+    @property
+    def mean_detection_latency(self) -> float:
+        """Mean injection-to-confirmation delay (0 when nothing matched)."""
+        latencies = [
+            detection.latency
+            for detection in self.detection_records
+            if detection.latency is not None
+        ]
+        if not latencies:
+            return 0.0
+        return sum(latencies) / len(latencies)
 
     @property
     def served_in_epochs(self) -> int:
@@ -263,6 +339,14 @@ class ControlTimeline:
             if self.fault_count
             else ""
         )
+        if self.detection_count:
+            faults += (
+                f", {self.detection_count} confirmed by timeout "
+                f"(mean detection latency "
+                f"{self.mean_detection_latency:.2f}s)"
+            )
+        if self.eviction_count:
+            faults += f", {self.eviction_count} evicted"
         return (
             f"ControlTimeline[{self.policy}] on {self.trace_name} "
             f"({self.migration} migration): "
@@ -333,6 +417,24 @@ class ControlLoop:
         observed damage, and repair-enabled policies heal through the
         migration machinery.  Fault and repair records land in the
         timeline, so runs stay bit-reproducible per seed.
+    detection:
+        Optional :class:`~repro.middleware.detection.DetectionParams`
+        (or a ``parse_detection`` spec string such as
+        ``"timeout=0.5,retries=1,threshold=3"``).  When set, failures
+        are *inferred*, never announced: crashes land silently, agents
+        watch their children with timeout/retry ladders, and the loop
+        only acts when the monitor's suspicion lifecycle confirms a
+        death — at which point the subtree is excised and a
+        :class:`DetectionRecord` (with measured detection latency)
+        lands in the timeline.  ``None`` keeps the oracle health model
+        bit-exactly.
+    spare_reserve:
+        Fraction of the pool (rounded to a node count) held back from
+        scale-ups as a repair reserve.  ``improve`` decisions only see
+        the scalable remainder; ``repair`` and ``evict`` draw on the
+        whole spare set, so a damaged platform always has material to
+        heal with.  A ``reserve=`` key in a detection spec string
+        overrides this argument.
     """
 
     def __init__(
@@ -356,6 +458,8 @@ class ControlLoop:
         think_time: float = 0.0,
         seed: int = 0,
         faults: FaultSchedule | str | None = None,
+        detection: DetectionParams | str | None = None,
+        spare_reserve: float = 0.0,
     ):
         if len(pool) < 2:
             raise ControlError(
@@ -397,6 +501,21 @@ class ControlLoop:
                 "faults must be a FaultSchedule or a fault-spec string, "
                 f"got {type(faults).__name__}"
             )
+        if isinstance(detection, str):
+            detection, spec_reserve = parse_detection(detection)
+            if spec_reserve is not None:
+                spare_reserve = spec_reserve
+        if detection is not None and not isinstance(
+            detection, DetectionParams
+        ):
+            raise ControlError(
+                "detection must be DetectionParams or a spec string, "
+                f"got {type(detection).__name__}"
+            )
+        if not 0.0 <= spare_reserve < 1.0:
+            raise ControlError(
+                f"spare_reserve must be in [0, 1), got {spare_reserve}"
+            )
         self.pool = pool
         self.app_work = float(app_work)
         self.trace = trace
@@ -417,8 +536,19 @@ class ControlLoop:
         self.think_time = float(think_time)
         self.seed = seed
         self.faults = faults
+        self.detection = detection
+        self.spare_reserve = float(spare_reserve)
+        # Reserve size in nodes, fixed at construction: a fraction of
+        # the *full* pool, so attrition cannot silently shrink it.
+        self._reserve_target = int(round(self.spare_reserve * len(pool)))
         # Names of crashed nodes; they leave the usable pool for good.
         self._failed_names: set[str] = set()
+        # Names of evicted nodes; the controller gave up on them, so
+        # they leave the usable pool exactly like crashed ones.
+        self._evicted_names: set[str] = set()
+        # node -> injection time of a not-yet-confirmed silent fault
+        # (detection accounting only; never consulted by decisions).
+        self._pending_injections: dict[str, float] = {}
         #: Wall-clock seconds the controller itself spent (planning,
         #: observing, deciding, pricing) in the last :meth:`run` —
         #: telemetry only, never part of the timeline.
@@ -430,16 +560,20 @@ class ControlLoop:
         #: for equivalence tests (the timeline itself only carries the
         #: shape signature).
         self.final_hierarchy: Hierarchy | None = None
-        # Memoized demand-free (maximum-capacity) replan; reset per run.
-        self._max_capacity_plan = None
+        # Memoized demand-free (maximum-capacity) replans, keyed by the
+        # excluded-name set (the repair reserve); reset per run and
+        # whenever attrition shrinks the live pool.
+        self._capacity_plans: dict[frozenset, object] = {}
 
     # ------------------------------------------------------------------ #
 
     def run(self) -> ControlTimeline:
         """Execute the simulate → observe → decide → act loop."""
         self.overhead_seconds = 0.0
-        self._max_capacity_plan = None
+        self._capacity_plans = {}
         self._failed_names = set()
+        self._evicted_names = set()
+        self._pending_injections = {}
         injector = (
             FaultInjector(self.faults) if self.faults is not None else None
         )
@@ -546,37 +680,72 @@ class ControlLoop:
                 demand_unit = max(demand_unit, observation.per_client_rate)
 
             # reconcile: observed damage is the truth the controller
-            # plans from.  Crash surgery already pruned the dead subtree
-            # out of the running system, so adopt the survivors' tree;
-            # crashed nodes leave the usable pool for good.
-            crashed_nodes = sorted(
-                name
-                for record in faults_this_epoch
-                if record.applied and record.kind == "crash"
-                for name in record.nodes
-            )
-            if crashed_nodes:
-                self._failed_names.update(crashed_nodes)
-                hierarchy = system.hierarchy
-                spares = self._spares_for(hierarchy)
-                self._max_capacity_plan = None
-            if any(
-                record.applied and record.kind != "degrade"
-                for record in faults_this_epoch
-            ):
-                # Crashes shrink the tree, partitions dark a subtree,
-                # heals light it back up — all change what the model
-                # says the platform can serve.  (Degrades don't touch
-                # the structure; the straggler still reports nominal.)
-                capacity = self._effective_capacity(system, hierarchy)
+            # plans from.
+            detections: list[DetectionRecord] = []
+            if self.detection is None:
+                # Oracle health: crash surgery already pruned the dead
+                # subtree out of the running system, so adopt the
+                # survivors' tree; crashed nodes leave the usable pool
+                # for good.
+                crashed_nodes = sorted(
+                    name
+                    for record in faults_this_epoch
+                    if record.applied and record.kind == "crash"
+                    for name in record.nodes
+                )
+                if crashed_nodes:
+                    self._failed_names.update(crashed_nodes)
+                    hierarchy = system.hierarchy
+                    spares = self._spares_for(hierarchy)
+                    self._capacity_plans.clear()
+                if any(
+                    record.applied and record.kind != "degrade"
+                    for record in faults_this_epoch
+                ):
+                    # Crashes shrink the tree, partitions dark a
+                    # subtree, heals light it back up — all change what
+                    # the model says the platform can serve.  (Degrades
+                    # don't touch the structure; the straggler still
+                    # reports nominal.)
+                    capacity = self._effective_capacity(system, hierarchy)
+            else:
+                # Inferred health: faults landed silently, so the tree
+                # the controller plans from only changes when the
+                # monitor *confirms* a death.  Injection times are
+                # remembered purely for latency accounting.
+                for record in faults_this_epoch:
+                    if not record.applied:
+                        continue
+                    if record.kind in ("crash", "partition"):
+                        for name in record.nodes:
+                            self._pending_injections.setdefault(
+                                name, record.at
+                            )
+                    elif record.kind == "heal":
+                        for name in record.nodes:
+                            self._pending_injections.pop(name, None)
+                if observation.failed_nodes:
+                    detections = self._excise_confirmed(
+                        system, monitor, observation.failed_nodes, end
+                    )
+                if detections:
+                    for detection in detections:
+                        self._failed_names.update(detection.nodes)
+                        for name in detection.nodes:
+                            self._pending_injections.pop(name, None)
+                    hierarchy = system.hierarchy
+                    spares = self._spares_for(hierarchy)
+                    self._capacity_plans.clear()
+                    capacity = self._effective_capacity(system, hierarchy)
 
             # decide.
+            scalable, reserved = self._split_spares(spares)
             context = ControlContext(
                 observations=tuple(observations),
                 capacity=capacity,
                 deployed_nodes=len(hierarchy),
                 pool_size=len(self._live_pool()),
-                spares=len(spares),
+                spares=len(scalable),
                 min_nodes=self.min_nodes,
                 epoch_duration=self.epoch_duration,
                 next_start=sim.now,
@@ -584,13 +753,16 @@ class ControlLoop:
                 demand_unit=demand_unit,
                 redeploys=redeploys,
                 epochs_since_redeploy=epochs_since_redeploy,
+                repair_spares=len(spares) if reserved else 0,
+                server_shares=self._server_shares(hierarchy),
             )
             decision = self.policy.decide(context)
 
             # act.
             candidate, reason, predicted_cost, new_capacity, plan = (
                 self._realize(
-                    decision, hierarchy, spares, capacity, observation
+                    decision, hierarchy, scalable, capacity, observation,
+                    reserved=reserved,
                 )
             )
 
@@ -601,6 +773,13 @@ class ControlLoop:
             step_records: tuple[MigrationStepRecord, ...] = ()
             migration_window = 0.0
             if candidate is not None:
+                if decision.action == "evict":
+                    # The drained server leaves the usable pool for
+                    # good — the controller decided it cannot be
+                    # trusted — and capacity memos keyed on the old
+                    # pool go stale with it.
+                    self._evicted_names.update(decision.targets)
+                    self._capacity_plans.clear()
                 hierarchy = candidate
                 spares = self._spares_for(hierarchy)
                 capacity = new_capacity
@@ -688,6 +867,14 @@ class ControlLoop:
                     migration_steps=step_records,
                     migration_window=migration_window,
                     faults=tuple(faults_this_epoch),
+                    detections=tuple(detections),
+                    suspects=observation.suspect_nodes,
+                    reintegrated=observation.reintegrated_nodes,
+                    evictions=(
+                        decision.targets
+                        if applied and decision.action == "evict"
+                        else ()
+                    ),
                 )
             )
 
@@ -707,9 +894,66 @@ class ControlLoop:
             fault_count=sum(len(record.faults) for record in records),
             dead_letters=dead_letters_base + system.dead_letters,
             lost_conversations=lost_base + system.lost_conversations,
+            detection_count=sum(
+                len(record.detections) for record in records
+            ),
+            eviction_count=sum(
+                len(record.evictions) for record in records
+            ),
         )
 
     # ------------------------------------------------------------------ #
+
+    def _excise_confirmed(
+        self,
+        system: MiddlewareSystem,
+        monitor: SLOMonitor,
+        confirmed: tuple,
+        now: float,
+    ) -> list[DetectionRecord]:
+        """Cut every newly confirmed subtree out of the live system.
+
+        Ancestors first: confirming an agent takes its whole subtree
+        with it, so a server confirmed in the same window is skipped if
+        an ancestor's excision already removed it.  Each excision runs
+        the ordinary dead-letter machinery — in-flight conversations
+        resubmit elsewhere — and yields a :class:`DetectionRecord`
+        pairing the measured suspicion timeline with the (accounting
+        only) injection time.
+        """
+        by_name = {str(node): node for node in system.hierarchy}
+        ordered = sorted(
+            confirmed,
+            key=lambda name: (
+                system.hierarchy.depth(by_name[name])
+                if name in by_name
+                else len(by_name),
+                name,
+            ),
+        )
+        records: list[DetectionRecord] = []
+        for name in ordered:
+            if name not in system.agents and name not in system.servers:
+                continue  # excised with an ancestor this pass
+            report = monitor.detection_report(name)
+            suspected_at, confirmed_at = (
+                report if report is not None else (now, now)
+            )
+            if name in system.servers:
+                members, dead = system.fail_server(name)
+            else:
+                members, dead = system.fail_subtree(name)
+            records.append(
+                DetectionRecord(
+                    node=name,
+                    nodes=members,
+                    injected_at=self._pending_injections.get(name),
+                    suspected_at=suspected_at,
+                    confirmed_at=confirmed_at,
+                    dead_letters=dead,
+                )
+            )
+        return records
 
     def _spares_for(self, hierarchy: Hierarchy):
         deployed = {str(node) for node in hierarchy}
@@ -718,13 +962,45 @@ class ControlLoop:
             for node in self.pool
             if node.name not in deployed
             and node.name not in self._failed_names
+            and node.name not in self._evicted_names
         ]
 
+    def _split_spares(self, spares) -> tuple[list, list]:
+        """``(scalable, reserved)`` — strongest spares held for repairs.
+
+        The reserve takes the highest-power spares (ties by name): a
+        repair wants the best material available, and holding the best
+        back costs scale-ups the least relative capacity.  With no
+        reserve configured the split is the identity.
+        """
+        if self._reserve_target <= 0 or not spares:
+            return list(spares), []
+        ranked = sorted(spares, key=lambda node: (-node.power, node.name))
+        reserved = ranked[: self._reserve_target]
+        held = {node.name for node in reserved}
+        scalable = [node for node in spares if node.name not in held]
+        return scalable, reserved
+
+    @staticmethod
+    def _server_shares(hierarchy: Hierarchy) -> tuple:
+        """Power-proportional modeled share per deployed server."""
+        powers = {
+            str(node): hierarchy.power(node) for node in hierarchy.servers
+        }
+        total = sum(powers.values())
+        if total <= 0.0:
+            return ()
+        return tuple(
+            (name, power / total) for name, power in sorted(powers.items())
+        )
+
     def _live_pool(self) -> NodePool:
-        """The pool minus crashed nodes — what planning may still use."""
-        if not self._failed_names:
+        """The pool minus crashed and evicted nodes — what planning may
+        still use."""
+        unusable = self._failed_names | self._evicted_names
+        if not unusable:
             return self.pool
-        return self.pool.without(self._failed_names)
+        return self.pool.without(unusable)
 
     def _effective_capacity(
         self, system: MiddlewareSystem, hierarchy: Hierarchy
@@ -736,10 +1012,16 @@ class ControlLoop:
         over the tree with them pruned out.  A platform whose servers
         are all dark has zero capacity — the model is never consulted
         on a serverless tree.
+
+        Under timeout-modelled detection the oracle partition registry
+        is off-limits — the controller only knows what the watchdogs
+        told it — so capacity is the model over the tree it believes
+        in (confirmed subtrees were already excised from it).
         """
         dark: set[str] = set()
-        for members in system.partitioned_subtrees.values():
-            dark.update(members)
+        if self.detection is None:
+            for members in system.partitioned_subtrees.values():
+                dark.update(members)
         reachable = hierarchy
         if dark:
             reachable = _hierarchy_without(hierarchy, dark)
@@ -749,23 +1031,30 @@ class ControlLoop:
             reachable, self.params, self.app_work
         ).throughput
 
-    def _plan_full_capacity(self):
+    def _plan_full_capacity(self, exclude: frozenset = frozenset()):
         """Demand-free replan over the live pool, memoized per run.
 
-        The memo is dropped whenever a crash shrinks the pool, so it is
-        always the maximum-capacity plan over the *surviving* nodes.
+        ``exclude`` holds names additionally withheld (the repair
+        reserve, for policy-driven restructures).  The memo is keyed by
+        it and dropped whenever attrition (crash, confirmation,
+        eviction) shrinks the pool, so each entry is always the
+        maximum-capacity plan over the nodes it may actually use.
         """
-        if self._max_capacity_plan is None:
-            self._max_capacity_plan = self.registry.plan(
+        plan = self._capacity_plans.get(exclude)
+        if plan is None:
+            pool = self._live_pool()
+            if exclude:
+                pool = pool.without(exclude & set(pool.names))
+            plan = self._capacity_plans[exclude] = self.registry.plan(
                 PlanRequest(
-                    pool=self._live_pool(),
+                    pool=pool,
                     app_work=self.app_work,
                     params=self.params,
                     method=self.base_method,
                     seed=self.seed,
                 )
             )
-        return self._max_capacity_plan
+        return plan
 
     def _build_system(
         self, sim: Simulator, hierarchy: Hierarchy, generation: int
@@ -777,6 +1066,7 @@ class ControlLoop:
             self.app_work,
             trace=self.recorder,
             seed=self.seed + generation,
+            detection=self.detection,
         )
 
     def _plan_and_price(
@@ -980,6 +1270,7 @@ class ControlLoop:
         spares,
         capacity: float,
         observation: WindowObservation,
+        reserved=(),
     ) -> tuple[
         Hierarchy | None, str, float, float, MigrationPlan | None
     ]:
@@ -991,13 +1282,26 @@ class ControlLoop:
         throughput — already computed by the improve/replan machinery,
         so the caller never re-evaluates the model — and ``plan`` the
         migration recipe the act stage executes.
+
+        ``spares`` is the *scalable* spare set; ``reserved`` the
+        repair reserve held back from scale-ups.  ``improve`` and
+        policy replans see only the former; ``repair`` and ``evict``
+        draw on both.
         """
         reason = decision.reason
         if decision.action == "hold":
             return None, reason, 0.0, 0.0, None
+        if decision.action == "evict":
+            return self._realize_evict(
+                decision, hierarchy, list(spares) + list(reserved), reason
+            )
         if decision.action == "improve":
             if not spares:
-                return None, f"{reason} [no-op: no spares]", 0.0, 0.0, None
+                qualifier = (
+                    "spares held in repair reserve" if reserved
+                    else "no spares"
+                )
+                return None, f"{reason} [no-op: {qualifier}]", 0.0, 0.0, None
             result = improve_deployment(
                 hierarchy, list(spares), self.params, self.app_work
             )
@@ -1015,10 +1319,13 @@ class ControlLoop:
             # Healing is exempt from the amortization veto: the platform
             # is damaged, and the gate's served-rate arithmetic would
             # read the post-fault slump as "not worth migrating for".
-            if spares:
+            # It is also what the reserve exists for, so repairs splice
+            # from the scalable spares *and* the reserve.
+            repair_spares = list(spares) + list(reserved)
+            if repair_spares:
                 try:
                     result = improve_deployment(
-                        hierarchy, list(spares), self.params, self.app_work
+                        hierarchy, repair_spares, self.params, self.app_work
                     )
                 except HierarchyError:
                     # Crash surgery can leave survivors the strict
@@ -1069,18 +1376,24 @@ class ControlLoop:
                 f"{reason} [no-op: planner {self.base_method!r} ignores "
                 "demand caps]"
             ), 0.0, 0.0, None
+        # Policy-driven replans never touch the repair reserve; only
+        # repair (above) and evict may spend it.
+        held = frozenset(node.name for node in reserved)
         if decision.demand is None:
             # Demand-free replans (the saturation restructure above all)
             # are a pure function of run constants — live pool, work,
             # params, method, seed — so a persistently saturated policy
             # proposing one every epoch must not pay the planner again
-            # each time.  (The memo drops whenever a crash shrinks the
-            # pool.)
-            planned = self._plan_full_capacity()
+            # each time.  (The memo drops whenever attrition shrinks
+            # the pool.)
+            planned = self._plan_full_capacity(held)
         else:
+            pool = self._live_pool()
+            if held:
+                pool = pool.without(held & set(pool.names))
             planned = self.registry.plan(
                 PlanRequest(
-                    pool=self._live_pool(),
+                    pool=pool,
                     app_work=self.app_work,
                     demand=decision.demand,
                     params=self.params,
@@ -1118,6 +1431,47 @@ class ControlLoop:
             ), 0.0, 0.0, None
         plan, cost = self._plan_and_price(hierarchy, candidate)
         return candidate, reason, cost, planned.throughput, plan
+
+    def _realize_evict(
+        self,
+        decision: ControlDecision,
+        hierarchy: Hierarchy,
+        all_spares: list,
+        reason: str,
+    ) -> tuple[
+        Hierarchy | None, str, float, float, MigrationPlan | None
+    ]:
+        """Drain-and-replace a persistently degraded server.
+
+        The target leaf is swapped for the strongest available spare
+        under the same parent — an ordinary one-region migration, so
+        live modes drain only that subtree.  Like repair, eviction is
+        exempt from the amortization veto: it is triage, not a
+        throughput play (the replacement may even be weaker on paper —
+        the model's rate for the evictee was a lie).
+        """
+        target = decision.targets[0]
+        if not all_spares:
+            return None, f"{reason} [no-op: no spares]", 0.0, 0.0, None
+        server_names = {str(node) for node in hierarchy.servers}
+        if target not in server_names:
+            return None, (
+                f"{reason} [no-op: {target} is not a deployed server]"
+            ), 0.0, 0.0, None
+        replacement = max(
+            all_spares, key=lambda node: (node.power, node.name)
+        )
+        candidate = hierarchy.copy()
+        doomed = {str(node): node for node in candidate}[target]
+        parent = candidate.parent(doomed)
+        candidate.remove_leaf(doomed)
+        candidate.add_server(replacement.name, replacement.power, parent)
+        candidate.validate(strict=False)
+        rho = hierarchy_throughput(
+            candidate, self.params, self.app_work
+        ).throughput
+        plan, cost = self._plan_and_price(hierarchy, candidate)
+        return candidate, reason, cost, rho, plan
 
     def _gate_scale_up(
         self,

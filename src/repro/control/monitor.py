@@ -53,11 +53,26 @@ class WindowObservation:
         Work items waiting across all node resources at window end.
     failed_nodes:
         Nodes *newly* observed failed during this window (each failure
-        is reported exactly once, in the window it happened).
+        is reported exactly once, in the window it happened).  Under
+        oracle health this mirrors ``system.failed_nodes``; under
+        timeout-modelled detection it holds *newly confirmed* suspects
+        only — the monitor never reads the oracle registries.
     degraded_nodes:
-        Nodes running below nominal rate at window end.
+        Nodes running below nominal rate at window end (oracle health
+        only; empty under detection — stragglers surface through
+        ``server_rates`` instead).
     partitioned_nodes:
-        Roots of subtrees partitioned off the fan-out at window end.
+        Roots of subtrees partitioned off the fan-out at window end
+        (oracle health only; a silent partition manifests as suspicion).
+    suspect_nodes:
+        Detection only: nodes past the suspicion threshold at window
+        end, still inside their grace window.
+    reintegrated_nodes:
+        Detection only: previously suspect nodes that answered within
+        the grace window and dropped back to healthy this window.
+    server_rates:
+        ``(name, served_per_second)`` per deployed server over this
+        window — the raw material of the eviction rule.
     """
 
     index: int
@@ -74,6 +89,9 @@ class WindowObservation:
     failed_nodes: tuple = ()
     degraded_nodes: tuple = ()
     partitioned_nodes: tuple = ()
+    suspect_nodes: tuple = ()
+    reintegrated_nodes: tuple = ()
+    server_rates: tuple = ()
 
     @property
     def per_client_rate(self) -> float:
@@ -103,16 +121,33 @@ class SLOMonitor:
         # redeploy (which replaces the system object) cannot make an old
         # failure look new again.
         self._failed_seen: set[str] = set()
+        # Per-server completed-services snapshot (window rates).
+        self._served_snapshot: dict[str, int] = {}
+        # Suspicion lifecycle (timeout-modelled detection only).
+        # healthy → suspect (threshold crossed) → confirmed-dead (grace
+        # elapsed with no answer); an answer at any point before
+        # confirmation re-integrates the node.
+        self._detection = None
+        self._suspect_since: dict[str, float] = {}
+        self._was_suspect: set[str] = set()
+        # node -> (suspected_at, confirmed_at); confirmations are final
+        # and reported exactly once, in the window they happen.
+        self._confirmed: dict[str, tuple[float, float]] = {}
 
     # ------------------------------------------------------------------ #
 
     def attach(self, system: MiddlewareSystem) -> None:
         """Point the monitor at a (new) platform and reset busy baselines."""
         self._system = system
+        self._detection = getattr(system, "detection", None)
         self._snapshot_time = system.sim.now
         self._busy_snapshot = {
             name: element.resource.busy_seconds()
             for name, element in self._elements(system)
+        }
+        self._served_snapshot = {
+            name: server.services_done
+            for name, server in system.servers.items()
         }
 
     @staticmethod
@@ -164,8 +199,33 @@ class SLOMonitor:
             name: element.resource.busy_seconds()
             for name, element in self._elements(system)
         }
-        new_failed = tuple(sorted(system.failed_nodes - self._failed_seen))
-        self._failed_seen.update(system.failed_nodes)
+        duration = end - start
+        server_rates = tuple(
+            (
+                name,
+                (server.services_done - self._served_snapshot.get(name, 0))
+                / duration,
+            )
+            for name, server in sorted(system.servers.items())
+        )
+        self._served_snapshot = {
+            name: server.services_done
+            for name, server in system.servers.items()
+        }
+        if self._detection is None:
+            new_failed = tuple(sorted(system.failed_nodes - self._failed_seen))
+            self._failed_seen.update(system.failed_nodes)
+            degraded = tuple(sorted(system.degraded))
+            partitioned = tuple(sorted(system.partitioned_subtrees))
+            suspects: tuple = ()
+            reintegrated: tuple = ()
+        else:
+            suspects, reintegrated, new_failed = self._suspicion_pass(
+                system, end
+            )
+            # Inferred health only: the oracle registries stay unread.
+            degraded = ()
+            partitioned = ()
         return WindowObservation(
             index=index,
             start=start,
@@ -183,6 +243,66 @@ class SLOMonitor:
             busiest_utilization=utilization[busiest],
             queue_depth=queue_depth,
             failed_nodes=new_failed,
-            degraded_nodes=tuple(sorted(system.degraded)),
-            partitioned_nodes=tuple(sorted(system.partitioned_subtrees)),
+            degraded_nodes=degraded,
+            partitioned_nodes=partitioned,
+            suspect_nodes=suspects,
+            reintegrated_nodes=reintegrated,
+            server_rates=server_rates,
         )
+
+    # ------------------------------------------------------------------ #
+    # suspicion lifecycle (timeout-modelled detection)
+
+    def _suspicion_pass(
+        self, system: MiddlewareSystem, now: float
+    ) -> tuple[tuple, tuple, tuple]:
+        """Advance every node's health state at a window boundary.
+
+        Reads only the evidence a real aggregator would have — the
+        liveness table the watchdogs feed — never the oracle registries.
+        A node whose consecutive-timeout count crossed the threshold
+        becomes *suspect*; a suspect that stays silent for the grace
+        window is *confirmed* dead (final, reported once); a suspect
+        that answers anything first drops back to healthy and is
+        reported as re-integrated.  Returns ``(suspects, reintegrated,
+        confirmed)``, each name-sorted.
+        """
+        grace = self._detection.grace
+        suspects: list[str] = []
+        reintegrated: list[str] = []
+        confirmed: list[str] = []
+        deployed = set(system.agents) | set(system.servers)
+        for name, entry in system.liveness.items():
+            if name in self._confirmed:
+                continue  # confirmation is final
+            if name not in deployed:
+                # Excised (or migrated away) between windows: stale
+                # suspicion must not outlive the node.
+                self._suspect_since.pop(name, None)
+                self._was_suspect.discard(name)
+                continue
+            if entry.crossed_at is None:
+                if name in self._was_suspect:
+                    reintegrated.append(name)
+                    self._was_suspect.discard(name)
+                self._suspect_since.pop(name, None)
+                continue
+            since = self._suspect_since.get(name)
+            if since is None or entry.crossed_at > since:
+                # First sighting — or the node answered (resetting the
+                # crossing) and went silent again since the last window:
+                # the grace clock restarts from the fresh crossing.
+                since = self._suspect_since[name] = entry.crossed_at
+            if now - since >= grace:
+                confirmed.append(name)
+                self._confirmed[name] = (since, now)
+                self._suspect_since.pop(name, None)
+                self._was_suspect.discard(name)
+            else:
+                suspects.append(name)
+                self._was_suspect.add(name)
+        return tuple(suspects), tuple(reintegrated), tuple(confirmed)
+
+    def detection_report(self, name: str) -> tuple[float, float] | None:
+        """``(suspected_at, confirmed_at)`` for a confirmed node, else None."""
+        return self._confirmed.get(name)

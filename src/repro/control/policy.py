@@ -122,21 +122,38 @@ class ControlDecision:
     improve/replan machinery, but the loop exempts it from the scale-up
     amortization veto — a repair restores the SLO, it does not chase
     marginal gain.
+
+    ``evict`` drains-and-replaces a persistently degraded server
+    (named in ``targets``) with a spare through the ordinary migration
+    machinery; like repair it is veto-exempt — cutting a straggler
+    loose restores the SLO too.
     """
 
-    action: str  # "hold" | "improve" | "replan" | "repair"
+    action: str  # "hold" | "improve" | "replan" | "repair" | "evict"
     reason: str = ""
     demand: float | None = None
+    #: Nodes the decision names explicitly (evict: the server to drain).
+    targets: tuple = ()
 
     def __post_init__(self) -> None:
-        if self.action not in ("hold", "improve", "replan", "repair"):
+        if self.action not in (
+            "hold", "improve", "replan", "repair", "evict"
+        ):
             raise ControlError(
                 f"unknown control action {self.action!r}; "
-                "expected hold, improve, replan or repair"
+                "expected hold, improve, replan, repair or evict"
             )
         if self.demand is not None and self.demand <= 0.0:
             raise ControlError(
                 f"replan demand must be > 0, got {self.demand}"
+            )
+        if self.action == "evict" and not self.targets:
+            raise ControlError("evict decisions must name their targets")
+        if self.targets and not all(
+            isinstance(t, str) and t for t in self.targets
+        ):
+            raise ControlError(
+                f"decision targets must be node names, got {self.targets!r}"
             )
 
     @classmethod
@@ -170,6 +187,16 @@ class ControlContext:
         levels (clients) to capacity targets (requests/s).
     redeploys, epochs_since_redeploy:
         Redeploy accounting, the raw material of cooldown gates.
+    repair_spares:
+        Spares available to *repairs and evictions* specifically.  With
+        a ``spare_reserve`` in force this exceeds ``spares`` (which
+        counts only what scale-ups may consume); without one the loop
+        leaves it 0 and repairs fall back to ``spares``.
+    server_shares:
+        ``(name, share)`` per deployed server — its power as a fraction
+        of total deployed server power, i.e. the service share the model
+        expects it to carry.  Compared against the observed
+        ``WindowObservation.server_rates`` by the eviction rule.
     """
 
     observations: tuple[WindowObservation, ...]
@@ -184,6 +211,8 @@ class ControlContext:
     demand_unit: float
     redeploys: int
     epochs_since_redeploy: int
+    repair_spares: int = 0
+    server_shares: tuple = ()
 
     @property
     def last(self) -> WindowObservation | None:
@@ -643,7 +672,10 @@ def _failure_decision(
     if not broken:
         return None
     what = ", ".join(broken)
-    if ctx.spares > 0:
+    # Repairs draw on the reserved pool too (that is what the reserve
+    # is *for*); without a reserve, repair_spares is 0 and this reduces
+    # to the plain spare count.
+    if max(ctx.spares, ctx.repair_spares) > 0:
         return ControlDecision(
             "repair", f"observed failure of {what}; splicing in spares"
         )
@@ -655,6 +687,76 @@ def _failure_decision(
         )
     return ControlDecision.hold(
         f"observed failure of {what} but no spares to repair with"
+    )
+
+
+def _validate_evict(evict_after: int, evict_fraction: float) -> None:
+    if evict_after < 0:
+        raise ControlError(
+            f"evict_after must be >= 0 (0 disables), got {evict_after}"
+        )
+    if not (0.0 < evict_fraction < 1.0):
+        raise ControlError(
+            f"evict_fraction must be in (0, 1), got {evict_fraction}"
+        )
+
+
+def _eviction_decision(
+    ctx: ControlContext, evict_after: int, evict_fraction: float
+) -> ControlDecision | None:
+    """Drain-and-replace a persistently under-serving server.
+
+    The straggler rule, in load-independent form: a server whose
+    *observed share* of completed services stays below ``evict_fraction``
+    of its *modeled share* (power-proportional — what Eq. 8's balanced
+    split expects it to carry) for ``evict_after`` consecutive windows
+    is evicted.  Comparing shares rather than absolute rates keeps the
+    rule honest at low offered load, where every absolute rate is small.
+
+    Fires only when a spare exists to take the straggler's place, and
+    only on windows measured entirely under the current deployment —
+    windows spanning a redeploy compare a server against a tree it was
+    not part of.  Returns ``None`` when nothing qualifies.
+    """
+    if evict_after < 1 or len(ctx.observations) < evict_after:
+        return None
+    if max(ctx.spares, ctx.repair_spares) < 1:
+        return None
+    if ctx.redeploys > 0 and ctx.epochs_since_redeploy + 1 < evict_after:
+        return None
+    shares = dict(ctx.server_shares)
+    if not shares:
+        return None
+    candidates: set[str] | None = None
+    for observation in ctx.observations[-evict_after:]:
+        rates = dict(observation.server_rates)
+        total = sum(rates.values())
+        if total <= 0.0:
+            return None  # idle window: no evidence either way
+        lagging = {
+            name
+            for name, share in shares.items()
+            if share > 0.0
+            and name in rates
+            and rates[name] / total < evict_fraction * share
+        }
+        candidates = lagging if candidates is None else candidates & lagging
+        if not candidates:
+            return None
+    assert candidates  # non-empty by the loop's early return
+    # Deterministic pick: the worst laggard in the latest window, ties
+    # by name.
+    latest_rates = dict(ctx.observations[-1].server_rates)
+    target = min(
+        sorted(candidates),
+        key=lambda name: (latest_rates.get(name, 0.0), name),
+    )
+    return ControlDecision(
+        "evict",
+        f"server {target} served under {evict_fraction:.0%} of its "
+        f"modeled share for {evict_after} consecutive window(s); "
+        "draining and replacing it",
+        targets=(target,),
     )
 
 
@@ -681,8 +783,14 @@ class ReactiveOptions(PolicyOptions):
     #: Self-healing: answer observed node failures and fresh partitions
     #: with a ``repair`` decision, ahead of every other gate.
     repair: bool = True
+    #: Straggler eviction: drain-and-replace a server whose observed
+    #: service share stays below ``evict_fraction`` of its modeled share
+    #: for ``evict_after`` consecutive windows.  0 disables (default).
+    evict_after: int = 0
+    evict_fraction: float = 0.5
 
     def __post_init__(self) -> None:
+        _validate_evict(self.evict_after, self.evict_fraction)
         if not (0.0 < self.up_utilization <= 1.0):
             raise ControlError(
                 f"up_utilization must be in (0, 1], got {self.up_utilization}"
@@ -718,8 +826,12 @@ class PredictiveOptions(PolicyOptions):
     #: Self-healing: answer observed node failures and fresh partitions
     #: with a ``repair`` decision, ahead of every other gate.
     repair: bool = True
+    #: Straggler eviction, as in :class:`ReactiveOptions`.  0 disables.
+    evict_after: int = 0
+    evict_fraction: float = 0.5
 
     def __post_init__(self) -> None:
+        _validate_evict(self.evict_after, self.evict_fraction)
         if self.lookahead < 1:
             raise ControlError(
                 f"lookahead must be >= 1, got {self.lookahead}"
@@ -801,6 +913,8 @@ class ReactivePolicy(ControlPolicy):
         headroom: float = 1.3,
         restructure: bool = True,
         repair: bool = True,
+        evict_after: int = 0,
+        evict_fraction: float = 0.5,
     ):
         self._apply_options(
             ReactiveOptions(
@@ -812,6 +926,8 @@ class ReactivePolicy(ControlPolicy):
                 headroom=headroom,
                 restructure=restructure,
                 repair=repair,
+                evict_after=evict_after,
+                evict_fraction=evict_fraction,
             )
         )
 
@@ -820,6 +936,12 @@ class ReactivePolicy(ControlPolicy):
             healing = _failure_decision(ctx, self.restructure)
             if healing is not None:
                 return healing
+        if self.evict_after:
+            evicting = _eviction_decision(
+                ctx, self.evict_after, self.evict_fraction
+            )
+            if evicting is not None:
+                return evicting
         if len(ctx.observations) < self.hysteresis:
             return ControlDecision.hold("warming up")
         if ctx.redeploys > 0 and ctx.epochs_since_redeploy < self.cooldown:
@@ -905,6 +1027,8 @@ class PredictivePolicy(ControlPolicy):
         cooldown: int = 2,
         restructure: bool = True,
         repair: bool = True,
+        evict_after: int = 0,
+        evict_fraction: float = 0.5,
     ):
         self._apply_options(
             PredictiveOptions(
@@ -915,6 +1039,8 @@ class PredictivePolicy(ControlPolicy):
                 cooldown=cooldown,
                 restructure=restructure,
                 repair=repair,
+                evict_after=evict_after,
+                evict_fraction=evict_fraction,
             )
         )
 
@@ -923,6 +1049,12 @@ class PredictivePolicy(ControlPolicy):
             healing = _failure_decision(ctx, self.restructure)
             if healing is not None:
                 return healing
+        if self.evict_after:
+            evicting = _eviction_decision(
+                ctx, self.evict_after, self.evict_fraction
+            )
+            if evicting is not None:
+                return evicting
         if len(ctx.observations) < self.window or ctx.demand_unit <= 0.0:
             return ControlDecision.hold("warming up")
         if ctx.redeploys > 0 and ctx.epochs_since_redeploy < self.cooldown:
@@ -982,8 +1114,12 @@ class SeasonalPredictiveOptions(PolicyOptions):
     warmup: int = 3
     restructure: bool = True
     repair: bool = True
+    #: Straggler eviction, as in :class:`ReactiveOptions`.  0 disables.
+    evict_after: int = 0
+    evict_fraction: float = 0.5
 
     def __post_init__(self) -> None:
+        _validate_evict(self.evict_after, self.evict_fraction)
         for name in ("alpha", "beta", "gamma"):
             value = getattr(self, name)
             if not (0.0 < value <= 1.0):
@@ -1041,6 +1177,8 @@ class SeasonalPredictivePolicy(ControlPolicy):
         warmup: int = 3,
         restructure: bool = True,
         repair: bool = True,
+        evict_after: int = 0,
+        evict_fraction: float = 0.5,
     ):
         self._apply_options(
             SeasonalPredictiveOptions(
@@ -1055,6 +1193,8 @@ class SeasonalPredictivePolicy(ControlPolicy):
                 warmup=warmup,
                 restructure=restructure,
                 repair=repair,
+                evict_after=evict_after,
+                evict_fraction=evict_fraction,
             )
         )
 
@@ -1090,6 +1230,12 @@ class SeasonalPredictivePolicy(ControlPolicy):
             healing = _failure_decision(ctx, self.restructure)
             if healing is not None:
                 return healing
+        if self.evict_after:
+            evicting = _eviction_decision(
+                ctx, self.evict_after, self.evict_fraction
+            )
+            if evicting is not None:
+                return evicting
         if len(ctx.observations) < self.warmup or ctx.demand_unit <= 0.0:
             return ControlDecision.hold("warming up")
         if ctx.redeploys > 0 and ctx.epochs_since_redeploy < self.cooldown:

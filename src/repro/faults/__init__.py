@@ -17,6 +17,7 @@ from repro.faults.schedule import (
     from_spec,
     heal,
     partition,
+    subtree_storm,
 )
 
 __all__ = [
@@ -32,4 +33,5 @@ __all__ = [
     "from_spec",
     "heal",
     "partition",
+    "subtree_storm",
 ]

@@ -132,6 +132,16 @@ class FaultInjector:
                 f"with {event.kind!r}; the root cannot fail"
             )
         if event.kind == "crash":
+            if getattr(system, "detection", None) is not None:
+                # Timeout-modelled detection: the crash is silent.  The
+                # structural surgery (and its dead-letter accounting)
+                # happens when the control plane confirms the failure.
+                members = system.fail_silent(resolved)
+                return FaultRecord(
+                    at=now, kind="crash", target=resolved,
+                    nodes=members, dead_letters=0,
+                    detail=f"{len(members)} node(s) down silently",
+                )
             if resolved in system.servers:
                 members, dead = system.fail_server(resolved)
             else:

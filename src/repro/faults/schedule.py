@@ -18,10 +18,20 @@ time:
   most busy seconds (the paper-level "kill the hot region" scenario);
 * ``busiest-server`` — the single server with the most busy seconds.
 
-Seeded generators (:func:`crash_storm`) materialize their randomness at
-construction time, so a generated schedule serializes to — and parses
-back from — an explicit event list: the round trip is exact even though
-the generator itself is random.
+Seeded generators (:func:`crash_storm`, :func:`subtree_storm`)
+materialize their randomness at construction time, so a generated
+schedule serializes to — and parses back from — an explicit event list:
+the round trip is exact even though the generator itself is random.
+
+**Seeding contract.**  :func:`crash_storm` draws every crash time from
+its own sub-stream keyed by ``(seed, target, draw index)`` — the draws
+are *per-node independent*, so storms composed with ``+`` sample
+disjoint streams whenever their targets differ (even under one shared
+``seed``), and widening one storm's ``count`` never reshuffles
+another's times.  :func:`subtree_storm` is the deliberate opposite: a
+*correlated* (rack-scoped) generator whose draws all come from one
+``random.Random(seed)`` stream, modelling whole-subtree bursts whose
+members fail together rather than independently.
 """
 
 from __future__ import annotations
@@ -41,6 +51,7 @@ __all__ = [
     "partition",
     "heal",
     "crash_storm",
+    "subtree_storm",
     "from_spec",
 ]
 
@@ -201,6 +212,17 @@ def heal(target: str, at: float) -> FaultSchedule:
     return FaultSchedule([FaultEvent(at, "heal", target)])
 
 
+def _stream(seed: int, *scope) -> random.Random:
+    """Deterministic sub-stream keyed by ``(seed, *scope)``.
+
+    String seeding goes through CPython's version-2 init (SHA-512 over
+    the bytes), which is stable across processes and platforms — unlike
+    ``hash()`` of a tuple, which ``PYTHONHASHSEED`` salts.
+    """
+    key = ":".join((str(seed),) + tuple(str(part) for part in scope))
+    return random.Random(key)
+
+
 def crash_storm(
     count: int,
     start: float,
@@ -209,6 +231,14 @@ def crash_storm(
     target: str = "busiest-server",
 ) -> FaultSchedule:
     """``count`` crashes at seeded-uniform times in ``[start, end)``.
+
+    **Seeding contract.**  Each crash time is drawn from its own
+    sub-stream keyed by ``(seed, target, draw index)``, so the draws
+    are per-node independent: two storms composed with ``+`` sample
+    disjoint streams whenever their targets differ — even when they
+    share one ``seed`` — and raising one storm's ``count`` only *adds*
+    draws, it never reshuffles the times already generated (for this
+    storm or any composed with it).
 
     Randomness is materialized here, so the resulting schedule is plain
     data: its :attr:`~FaultSchedule.spec` lists the concrete crash
@@ -220,9 +250,56 @@ def crash_storm(
         raise FaultError(
             f"crash storm window is empty: start={start} > end={end}"
         )
-    rng = random.Random(seed)
-    times = sorted(rng.uniform(start, end) for _ in range(count))
+    times = sorted(
+        _stream(seed, "crash-storm", target, index).uniform(start, end)
+        for index in range(count)
+    )
     return FaultSchedule(FaultEvent(at, "crash", target) for at in times)
+
+
+def subtree_storm(
+    targets: str | Iterable[str],
+    count: int,
+    start: float,
+    end: float,
+    seed: int = 0,
+) -> FaultSchedule:
+    """Correlated (rack-scoped) storm: ``count`` crashes over ``targets``.
+
+    The deliberate opposite of :func:`crash_storm`'s independence
+    contract: every draw — a crash time uniform in ``[start, end)``
+    *and* the subtree root it hits — comes from **one**
+    ``random.Random(seed)`` stream, so the per-target draws are
+    correlated by construction (the storm models a rack or site whose
+    members share fate, not independent node lotteries).  ``targets``
+    is an iterable of subtree-root names, or one ``"a|b|c"``
+    pipe-joined string (the spec spelling).
+
+    Like every generator, randomness is materialized here: the schedule
+    serializes to concrete crash events and
+    ``from_spec(storm.spec)`` rebuilds it exactly.
+    """
+    if isinstance(targets, str):
+        targets = tuple(part.strip() for part in targets.split("|"))
+    targets = tuple(str(target).strip() for target in targets)
+    if not targets or any(not target for target in targets):
+        raise FaultError(
+            "subtree storm needs a non-empty list of non-empty "
+            f"target names, got {targets!r}"
+        )
+    if count < 1:
+        raise FaultError(f"subtree storm needs count >= 1, got {count}")
+    if not start <= end:
+        raise FaultError(
+            f"subtree storm window is empty: start={start} > end={end}"
+        )
+    rng = random.Random(seed)
+    draws = sorted(
+        (rng.uniform(start, end), rng.choice(targets)) for _ in range(count)
+    )
+    return FaultSchedule(
+        FaultEvent(at, "crash", target) for at, target in draws
+    )
 
 
 # ------------------------------------------------------------------ #
@@ -238,12 +315,16 @@ _SPEC_FIELDS: dict[str, dict[str, type]] = {
         "count": int, "start": float, "end": float, "seed": int,
         "target": str,
     },
+    "subtree_storm": {
+        "count": int, "start": float, "end": float, "seed": int,
+        "targets": str,
+    },
 }
 
 
 def _parse_event(item: str) -> FaultSchedule:
     name, _, body = item.partition(":")
-    name = name.strip().lower()
+    name = name.strip().lower().replace("-", "_")
     if name not in _SPEC_FIELDS:
         raise FaultError(
             f"unknown fault kind {name!r}; expected one of "
@@ -276,6 +357,8 @@ def _parse_event(item: str) -> FaultSchedule:
     try:
         if name == "storm":
             return crash_storm(**kwargs)  # type: ignore[arg-type]
+        if name == "subtree_storm":
+            return subtree_storm(**kwargs)  # type: ignore[arg-type]
         builder = {
             "crash": crash, "degrade": degrade,
             "partition": partition, "heal": heal,
@@ -298,11 +381,12 @@ def from_spec(spec: str) -> FaultSchedule:
         degrade:target=s2,at=30,factor=0.25
         partition:target=a1,at=30;heal:target=a1,at=60
         storm:count=3,start=20,end=80,seed=7
+        subtree-storm:targets=a1|a2|a3,count=2,start=20,end=80,seed=7
 
     Each item is ``kind:key=value,...``; items are joined by ``;`` and
-    compose like ``+`` on schedules.  ``storm`` materializes its seeded
-    crash times immediately, so ``from_spec(schedule.spec)`` rebuilds
-    any schedule exactly — including generated ones.
+    compose like ``+`` on schedules.  The storm generators materialize
+    their seeded crash times immediately, so ``from_spec(schedule.spec)``
+    rebuilds any schedule exactly — including generated ones.
     """
     schedule = FaultSchedule()
     saw_item = False

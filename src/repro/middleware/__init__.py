@@ -8,12 +8,28 @@ request lifecycle of Figure 1 on M(r,s,w) serial resources.
 * :mod:`repro.middleware.agent` — request fan-out, reply merge/selection;
 * :mod:`repro.middleware.server` — prediction + application execution;
 * :mod:`repro.middleware.client` — closed-loop unit-of-load clients (§5.1);
+* :mod:`repro.middleware.detection` — timeout-modelled failure
+  detection (watchdogs, retry/backoff, suspicion evidence);
 * :mod:`repro.middleware.system` — assembles a deployment plan into a
   running simulated platform.
 """
 
+from repro.middleware.detection import (
+    DetectionError,
+    DetectionParams,
+    DetectionState,
+    parse_detection,
+)
 from repro.middleware.messages import Request
 from repro.middleware.system import MiddlewareSystem
 from repro.middleware.client import ClosedLoopClient
 
-__all__ = ["Request", "MiddlewareSystem", "ClosedLoopClient"]
+__all__ = [
+    "Request",
+    "MiddlewareSystem",
+    "ClosedLoopClient",
+    "DetectionError",
+    "DetectionParams",
+    "DetectionState",
+    "parse_detection",
+]

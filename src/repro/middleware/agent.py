@@ -41,11 +41,16 @@ class _PendingRequest:
     (discarded as each reply's send lands, before the receive is
     billed): when a child crashes mid-round, the failure layer consults
     it to synthesize the exact set of replies that will never arrive.
+
+    ``timed_out`` (detection mode only; ``None`` otherwise) holds the
+    children this round gave up on after the retry ladder ran dry —
+    their late replies, should they straggle in after all, must not be
+    merged a second time.
     """
 
     __slots__ = (
         "remaining", "best_server", "best_estimate", "ties", "origin",
-        "awaiting",
+        "awaiting", "timed_out",
     )
 
     def __init__(
@@ -60,6 +65,7 @@ class _PendingRequest:
         self.ties = 0
         self.origin = origin
         self.awaiting: set = awaiting if awaiting is not None else set()
+        self.timed_out: set | None = None
 
 
 class AgentElement:
@@ -79,6 +85,9 @@ class AgentElement:
         "trace",
         "requests_done",
         "_pending",
+        "detection",
+        "liveness",
+        "reachable",
     )
 
     def __init__(
@@ -90,6 +99,8 @@ class AgentElement:
         trace: TraceRecorder | None = None,
         rng: "random.Random | None" = None,
         bandwidth: float | None = None,
+        detection=None,
+        liveness=None,
     ):
         self.sim = sim
         self.name = name
@@ -110,6 +121,15 @@ class AgentElement:
         self.trace = trace
         self.requests_done = 0
         self._pending: dict[int, _PendingRequest] = {}
+        # Detection mode (both None when failures are announced by the
+        # oracle): `detection` is the system's DetectionParams, `liveness`
+        # the shared DetectionState every watchdog reports into.
+        self.detection = detection
+        self.liveness = liveness
+        # False while a network partition severs this element from its
+        # parent; deliveries to an unreachable element vanish (the sender
+        # cannot tell — that is the point of modelling detection).
+        self.reachable = True
 
     # ------------------------------------------------------------------ #
 
@@ -169,10 +189,19 @@ class AgentElement:
         migration has detached its last subtree — replies "no server"
         immediately; the client layer resubmits.
         """
+        if self.detection is not None and request_id in self._pending:
+            # A parent's retry re-delivered a request whose first copy
+            # is still being merged here — the original round answers
+            # for both, so the duplicate is dropped (the recv/compute
+            # cost it already incurred is the price of retrying a slow
+            # but live child).
+            return
         pending = _PendingRequest(
             len(self.children), origin,
             awaiting={child.name for child in self.children},
         )
+        if self.detection is not None:
+            pending.timed_out = set()
         self._pending[request_id] = pending
         if not self.children:
             merge_work = self.params.wrep(0)
@@ -184,7 +213,9 @@ class AgentElement:
         params = self.params
         send_time = params.agent_sizes.sreq / self.bandwidth
         for child in self.children:
-            if isinstance(child, AgentElement):
+            if self.detection is not None:
+                deliver = self._make_watched_delivery(child, request_id, 0)
+            elif isinstance(child, AgentElement):
                 deliver = self._make_agent_delivery(child, request_id)
             else:
                 deliver = self._make_server_delivery(child, request_id)
@@ -195,6 +226,66 @@ class AgentElement:
 
     def _make_server_delivery(self, child, request_id: int):
         return lambda: child.receive_schedule(request_id, self)
+
+    # ------------------------------------------------------------------ #
+    # Detection mode: watched deliveries and watchdogs.
+
+    def _deliver_to_child(self, child, request_id: int) -> None:
+        """Hand the request to the child — if the network still can.
+
+        An unreachable child (severed by a partition) simply never sees
+        the message; a crashed child's halted resource black-holes it.
+        Either way the sender learns nothing until the watchdog fires.
+        """
+        if not child.reachable:
+            return
+        if isinstance(child, AgentElement):
+            child.receive_request(request_id, self)
+        else:
+            child.receive_schedule(request_id, self)
+
+    def _make_watched_delivery(self, child, request_id: int, attempt: int):
+        def deliver() -> None:
+            self._deliver_to_child(child, request_id)
+            # Arm the watchdog whether or not the message got through —
+            # the sender cannot know the difference.
+            wait = self.detection.timeout * (self.detection.backoff**attempt)
+            self.sim.schedule(
+                wait, self._make_watchdog(child, request_id, attempt)
+            )
+
+        return deliver
+
+    def _make_watchdog(self, child, request_id: int, attempt: int):
+        def fired() -> None:
+            if self.resource.is_halted:
+                return  # a dead process has no timers
+            pending = self._pending.get(request_id)
+            if pending is None or child.name not in pending.awaiting:
+                return  # answered (or the round resolved) in time
+            if self.liveness is not None:
+                self.liveness.note_timeout(child.name, self.sim.now)
+            if attempt < self.detection.retries:
+                send_time = self.params.agent_sizes.sreq / self.bandwidth
+                self.resource.submit(
+                    send_time, "send",
+                    self._make_watched_delivery(child, request_id, attempt + 1),
+                )
+                return
+            # Retry ladder exhausted: give up on this child for the
+            # round and let the merge proceed over the survivors.
+            pending.awaiting.discard(child.name)
+            if pending.timed_out is not None:
+                pending.timed_out.add(child.name)
+            pending.remaining -= 1
+            if pending.remaining == 0:
+                merge_work = self.params.wrep(len(self.children))
+                self.resource.submit(
+                    merge_work / self.power, "compute",
+                    self._make_reply_up(request_id),
+                )
+
+        return fired
 
     # ------------------------------------------------------------------ #
 
@@ -214,11 +305,23 @@ class AgentElement:
         delivered.
         """
         params = self.params
+        if self.liveness is not None and sender is not None:
+            # Any answer is proof of life, even one too late to merge.
+            self.liveness.note_answer(sender, self.sim.now)
         # Reply size depends on who sent it; both agent and server replies
         # are received at the size the sender produced.  The sender already
         # paid its send time; we pay the receive time here.
         pending = self._pending.get(request_id)
         if pending is None:  # late reply for an aborted request
+            return
+        if (
+            pending.timed_out is not None
+            and sender is not None
+            and sender not in pending.awaiting
+        ):
+            # Detection mode: the round already gave up on this child
+            # (or merged its earlier reply, and this is a retry-induced
+            # duplicate).  Liveness was noted above; the merge moved on.
             return
         if sender is not None:
             pending.awaiting.discard(sender)
@@ -257,8 +360,11 @@ class AgentElement:
 
         For every in-flight merge still awaiting ``child_name``, account
         the reply as arrived-with-no-candidate (no receive time is
-        billed — failure detection is modelled as instantaneous, the
-        paper's model has no timeout machinery).  Rounds whose last
+        billed).  Under oracle detection this runs at the instant of the
+        fault; under timeout-modelled detection it runs only when the
+        control plane *confirms* the failure and excises the subtree —
+        closing out the rounds whose watchdogs had not yet expired.
+        Rounds whose last
         outstanding reply this was proceed to the merge; rounds that
         lose *every* candidate reply "no server" and the client layer
         resubmits.  Returns the number of affected merges.

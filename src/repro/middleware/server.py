@@ -54,6 +54,7 @@ class ServerElement:
         "predictions_done",
         "services_done",
         "pending_service_work",
+        "reachable",
     )
 
     def __init__(
@@ -81,6 +82,9 @@ class ServerElement:
         # Seconds of committed service work (accepted but not finished) —
         # the quantity the availability prediction reports.
         self.pending_service_work = 0.0
+        # False while a partition severs this server from the network;
+        # deliveries to an unreachable server vanish (detection mode).
+        self.reachable = True
 
     @property
     def in_flight(self) -> int:

@@ -43,6 +43,7 @@ from repro.core.hierarchy import Hierarchy, Role
 from repro.core.params import ModelParams
 from repro.errors import DeploymentError, SimulationError
 from repro.middleware.agent import AgentElement
+from repro.middleware.detection import DetectionParams, DetectionState
 from repro.middleware.messages import Request
 from repro.middleware.server import ServerElement
 from repro.sim.engine import Simulator
@@ -67,6 +68,14 @@ class MiddlewareSystem:
         ``Wapp`` per service request (MFlop), scalar or per-server mapping.
     trace:
         Optional trace recorder wired into every element.
+    detection:
+        Optional :class:`~repro.middleware.detection.DetectionParams`.
+        When set, failures are *inferred*: agent→child conversations run
+        under watchdog timeouts with retry/backoff, crashes and
+        partitions are silent (no oracle announcement), and the shared
+        :attr:`liveness` table accumulates the timeout evidence the
+        control plane's monitor reads.  When ``None`` (the default) the
+        PR 6 oracle semantics apply unchanged, bit for bit.
     """
 
     def __init__(
@@ -78,6 +87,7 @@ class MiddlewareSystem:
         trace: TraceRecorder | None = None,
         seed: int = 0,
         bandwidths: Mapping[str, float] | None = None,
+        detection: DetectionParams | None = None,
     ):
         hierarchy.validate(strict=False)
         self.sim = sim
@@ -85,6 +95,18 @@ class MiddlewareSystem:
         self.params = params
         self.app_work = app_work
         self.trace = trace
+        if detection is not None and not isinstance(detection, DetectionParams):
+            raise DeploymentError(
+                f"detection must be DetectionParams or None, got "
+                f"{type(detection).__name__}"
+            )
+        self.detection = detection
+        #: Shared liveness-evidence table (detection mode only).
+        self.liveness: DetectionState | None = (
+            DetectionState(detection.suspicion_threshold)
+            if detection is not None
+            else None
+        )
         self._rng = random.Random(seed)
         self._bandwidths = bandwidths
         if bandwidths is not None:
@@ -153,6 +175,7 @@ class MiddlewareSystem:
             element = AgentElement(
                 self.sim, name, power, self.params, trace=self.trace,
                 rng=self._rng, bandwidth=bandwidth,
+                detection=self.detection, liveness=self.liveness,
             )
             self.agents[name] = element
         else:
@@ -324,6 +347,9 @@ class MiddlewareSystem:
                 self.agents.pop(name, None)
                 self.servers.pop(name, None)
                 self._unlinked.pop(name, None)
+                # An evicted/removed node takes its health annotations
+                # with it; a later re-attach starts clean.
+                self.degraded.pop(name, None)
             elif step.op in ("promote", "demote"):
                 old = self.element(name)
                 parent = old.parent
@@ -386,9 +412,16 @@ class MiddlewareSystem:
             agent = self.agents[str(node)]
             expected = [str(child) for child in target.children(node)]
             wired = {element.name for element in agent.children}
-            # Partitioned roots are legitimately absent from the live
-            # fan-out; the normalization below keeps them dark.
-            dark = {name for name in expected if name in self._partitioned}
+            # Under oracle semantics partitioned roots are legitimately
+            # absent from the live fan-out and the normalization keeps
+            # them dark.  Under detection, partitions never touch the
+            # wiring (the edges stay up; messages just vanish), so the
+            # normalization must not sever them either.
+            dark = (
+                {name for name in expected if name in self._partitioned}
+                if self.detection is None
+                else set()
+            )
             if wired != set(expected) and wired != set(expected) - dark:
                 raise DeploymentError(
                     f"agent {node!r} wiring diverges from the target: "
@@ -397,7 +430,8 @@ class MiddlewareSystem:
             agent.children = [
                 self._element(name)
                 for name in expected
-                if name not in self._partitioned
+                if self.detection is not None
+                or name not in self._partitioned
             ]
         self.hierarchy = target
         self._unlinked.clear()
@@ -455,6 +489,33 @@ class MiddlewareSystem:
         if name in self.servers:
             return self._fail_elements(frozenset((name,)))
         return self._fail_elements(self._subtree_names(name))
+
+    def fail_silent(self, name: str) -> tuple[str, ...]:
+        """Crash ``name`` (and its subtree) *without telling anyone*.
+
+        The detection-mode crash: every member's resource is halted (work
+        in progress vanishes, new deliveries are black-holed) and marked
+        unreachable, but the registries, the hierarchy, and the fan-out
+        are all left intact — the rest of the platform only learns of
+        the death through timed-out conversations, and the structural
+        surgery (:meth:`fail_subtree`) happens later, when the control
+        plane *confirms* the failure.  Returns the affected names.
+        """
+        element = self.element(name)
+        if element is self.root:
+            raise DeploymentError("cannot fail the root agent")
+        members = (
+            frozenset((name,))
+            if name in self.servers
+            else self._subtree_names(name)
+        )
+        for member in sorted(members):
+            el = self.agents.get(member) or self.servers.get(member)
+            if el is None:
+                continue
+            el.resource.halt()
+            el.reachable = False
+        return tuple(sorted(members))
 
     def _fail_elements(self, names: frozenset[str]) -> tuple[tuple[str, ...], int]:
         """Kill ``names`` (a subtree-closed set) in one atomic operation.
@@ -554,7 +615,16 @@ class MiddlewareSystem:
                     f"cannot partition {name!r}: nodes {sorted(overlap)} "
                     f"are already dark under partition {other!r}"
                 )
-        self._unwire(element)
+        if self.detection is None:
+            self._unwire(element)
+        else:
+            # Silent partition: the fan-out edge stays up, but every
+            # delivery into the subtree vanishes — parents discover the
+            # cut only through watchdog timeouts.
+            for member in sorted(members):
+                el = self.agents.get(member) or self.servers.get(member)
+                if el is not None:
+                    el.reachable = False
         self._partitioned[name] = members
         return tuple(sorted(members))
 
@@ -568,6 +638,17 @@ class MiddlewareSystem:
         members = self._partitioned.pop(name, None)
         if members is None:
             return None
+        if self.detection is not None:
+            # Silent heal: the wiring never changed; flip reachability
+            # back on and let the next answered conversation clear the
+            # accumulated suspicion.
+            restored = False
+            for member in sorted(members):
+                el = self.agents.get(member) or self.servers.get(member)
+                if el is not None:
+                    el.reachable = True
+                    restored = True
+            return tuple(sorted(members)) if restored else None
         element = self.agents.get(name) or self.servers.get(name)
         by_name = {str(node): node for node in self.hierarchy}
         node = by_name.get(name)
@@ -688,6 +769,67 @@ class MiddlewareSystem:
             # tree, with the caller's callbacks intact.
             self.submit(request.client_name, on_complete, on_scheduled)
             return
+        if self.detection is not None and (
+            server.resource.is_halted or not server.reachable
+        ):
+            # Detection mode: the client cannot know the server is dead
+            # or cut off — the connection attempt hangs, times out, and
+            # retries up the backoff ladder before giving up and paying
+            # a fresh scheduling round.
+            self._retry_service(request, on_complete, on_scheduled,
+                                server.name, 0)
+            return
+        self._begin_service(request, on_complete, on_scheduled, server)
+
+    def _retry_service(
+        self,
+        request: Request,
+        on_complete: Callable[[Request], None],
+        on_scheduled: Callable[[Request], None] | None,
+        server_name: str,
+        attempt: int,
+    ) -> None:
+        """One rung of the client-side service-connection timeout ladder.
+
+        These conversations are never entered into ``_in_service`` (no
+        server accepted them), so a later excision of the dead server
+        cannot double-resubmit them.
+        """
+        detection = self.detection
+        wait = detection.timeout * (detection.backoff**attempt)
+
+        def expired() -> None:
+            if self.liveness is not None:
+                self.liveness.note_timeout(server_name, self.sim.now)
+            server = self.servers.get(server_name)
+            if (
+                server is not None
+                and server.reachable
+                and not server.resource.is_halted
+            ):
+                # The peer came back (a healed partition) before the
+                # ladder ran out: the retry connects and service runs.
+                self._begin_service(request, on_complete, on_scheduled,
+                                    server)
+                return
+            if attempt < detection.retries:
+                self._retry_service(request, on_complete, on_scheduled,
+                                    server_name, attempt + 1)
+                return
+            # Ladder exhausted: give the conversation to a surviving
+            # server through a fresh scheduling round.
+            self.dead_letters += 1
+            self.submit(request.client_name, on_complete, on_scheduled)
+
+        self.sim.schedule(wait, expired)
+
+    def _begin_service(
+        self,
+        request: Request,
+        on_complete: Callable[[Request], None],
+        on_scheduled: Callable[[Request], None] | None,
+        server: ServerElement,
+    ) -> None:
         request.service_started_at = self.sim.now
         self._in_service[request.request_id] = (
             request, on_complete, on_scheduled, server.name
