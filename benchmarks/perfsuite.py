@@ -825,6 +825,102 @@ def bench_fault_detection(quick):
     return results
 
 
+def bench_obs_overhead(quick):
+    from repro.control import ControlLoop, fixture
+    from repro.obs import NULL_OBS, Obs
+
+    if quick:
+        pool_size, epochs, epoch_duration = 12, 10, 4.0
+    else:
+        pool_size, epochs, epoch_duration = 16, 24, 4.0
+    trace = fixture("black_friday")
+    pool = NodePool.uniform_random(pool_size, low=80, high=400, seed=7)
+    app_work = dgemm_mflop(200)
+
+    def run(obs):
+        loop = ControlLoop(
+            pool,
+            app_work,
+            trace,
+            policy="reactive",
+            policy_options={"hysteresis": 1, "cooldown": 1},
+            epochs=epochs,
+            epoch_duration=epoch_duration,
+            initial_fraction=0.4,
+            seed=3,
+            faults="crash:target=busiest-child,at=18",
+            detection="timeout=0.5,retries=1,threshold=3,grace=2",
+            obs=obs,
+        )
+        best = None
+        for _ in range(2):
+            start = time.perf_counter()
+            timeline = loop.run()
+            wall = time.perf_counter() - start
+            if best is None or wall < best[0]:
+                best = (wall, timeline)
+        return best + (loop,)
+
+    disabled_wall, disabled_timeline, _ = run(None)
+    traced = Obs()
+    enabled_wall, enabled_timeline, _ = run(traced)
+
+    # The determinism half of the contract: tracing must not perturb the
+    # run.  Records carry their metrics snapshots in both modes (the
+    # registry is always live), so whole-timeline equality is the
+    # strongest possible check.
+    assert enabled_timeline == disabled_timeline
+
+    # The cost half: with tracing disabled every site is one attribute
+    # check on the null probe.  Wall-clock A/B deltas of two ~second
+    # runs drown in scheduler noise on CI, so bound the overhead from
+    # first principles instead: microbenchmark the guard, multiply by a
+    # deliberately generous count of guard evaluations (one per engine
+    # event plus a per-epoch allowance — far more sites than actually
+    # exist), and compare against the measured baseline wall.
+    probe = NULL_OBS
+    iterations = 1_000_000
+    start = time.perf_counter()
+    hits = 0
+    for _ in range(iterations):
+        if probe.enabled:  # the exact guard used at every disabled site
+            hits += 1
+    per_check = (time.perf_counter() - start) / iterations
+    assert hits == 0
+    events = disabled_timeline.records[-1].metrics.value("engine_events")
+    guard_evaluations = events + 50 * epochs
+    estimated_fraction = per_check * guard_evaluations / disabled_wall
+    assert estimated_fraction <= 0.01, (
+        f"disabled-mode obs overhead estimated at "
+        f"{estimated_fraction:.2%} of the run (> 1% budget)"
+    )
+
+    results = [
+        {
+            "name": "obs_overhead",
+            "params": {"pool": pool_size, "epochs": epochs},
+            "metric": "fraction",
+            "value": round(estimated_fraction, 6),
+            "extra": {
+                "disabled_wall_s": round(disabled_wall, 6),
+                "enabled_wall_s": round(enabled_wall, 6),
+                "per_check_ns": round(per_check * 1e9, 3),
+                "guard_evaluations": int(guard_evaluations),
+                "trace_records": len(traced.tracer),
+                "timeline_identical": True,
+            },
+        }
+    ]
+    print(
+        f"  obs_overhead: guard {per_check * 1e9:.1f} ns x "
+        f"{int(guard_evaluations)} sites = {estimated_fraction:.4%} of "
+        f"{disabled_wall:.3f} s (budget 1%); traced run "
+        f"{enabled_wall:.3f} s, {len(traced.tracer)} records, "
+        f"timelines identical"
+    )
+    return results
+
+
 # --------------------------------------------------------------------- #
 
 
@@ -870,6 +966,7 @@ def main(argv=None):
     results += bench_concurrent_migration(args.quick)
     results += bench_fault_recovery(args.quick)
     results += bench_fault_detection(args.quick)
+    results += bench_obs_overhead(args.quick)
 
     payload = {
         "schema": "repro-bench/1",

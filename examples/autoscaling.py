@@ -49,6 +49,13 @@ only a *confirmed* death triggers the repair.  The timeline then carries
 a measured quantity oracle health never could: per-fault detection
 latency, injection to confirmation.
 
+The fifth act turns on the **flight recorder**: the act-four run once
+more with a ``repro.obs`` handle attached, asserting that tracing
+changes nothing (the traced timeline equals the untraced one bit for
+bit), that the detection spans on the trace measure exactly the
+latencies the timeline records, and exporting the whole run as a
+Chrome trace-event file for chrome://tracing / ui.perfetto.dev.
+
 Run:  python examples/autoscaling.py
 """
 
@@ -211,6 +218,40 @@ def run_fault_detection(verbose: bool = True) -> object:
         print(render_timeline(timeline))
         print()
     return timeline
+
+
+def run_traced_detection(verbose: bool = True) -> tuple[object, object]:
+    """Act four once more, with the flight recorder on.
+
+    The same silent-crash scenario, re-run with a ``repro.obs`` handle:
+    every epoch stage, watchdog timeout, fault injection and detection
+    window lands on a sim-time-keyed trace that exports to Chrome
+    trace-event JSON.  Returns ``(timeline, obs)``; because the tracer
+    only observes, the timeline must equal the untraced act-four run
+    bit for bit — the test suite and act five both assert it.
+    """
+    from repro.obs import Obs
+
+    session, pool, app_work = _session_pool()
+    obs = Obs()
+    timeline = session.control_run(
+        pool,
+        app_work,
+        trace=from_spec("black_friday"),
+        policy="reactive",
+        policy_options={**REACTIVE_OPTIONS, "repair": True},
+        epochs=EPOCHS,
+        epoch_duration=EPOCH_DURATION,
+        initial_fraction=0.4,
+        seed=SEED,
+        faults=FAULT_SPEC,
+        detection=DETECTION_SPEC,
+        obs=obs,
+    )
+    if verbose:
+        print(render_timeline(timeline))
+        print()
+    return timeline, obs
 
 
 def _migration_step_rows(timeline) -> list[list[object]]:
@@ -391,6 +432,47 @@ def main() -> None:
         assert confirmation.latency is None or confirmation.latency > 0.0, (
             f"non-positive detection latency on {confirmation.node}"
         )
+
+    # ------------------------------------------------------------------ #
+    # Act five: the same run again, exported as a flight-recorder trace.
+
+    import json
+    import tempfile
+    from pathlib import Path
+
+    traced, obs = run_traced_detection(verbose=False)
+    assert traced == detected, (
+        "tracing perturbed the run: the traced timeline differs from "
+        "the act-four timeline at the same seed"
+    )
+    detection_spans = [
+        span for span in obs.tracer.spans() if span.cat == "detection"
+    ]
+    measured = [
+        record
+        for record in traced.detection_records
+        if record.latency is not None
+    ]
+    assert len(detection_spans) == len(measured), (
+        f"{len(measured)} measured detection(s) but "
+        f"{len(detection_spans)} detection span(s) on the trace"
+    )
+    for span, record in zip(detection_spans, measured):
+        assert span.name == record.node
+        assert dict(span.args)["latency"] == record.latency, (
+            f"trace says {dict(span.args)['latency']}s for {span.name}, "
+            f"timeline says {record.latency}s"
+        )
+    trace_path = Path(tempfile.gettempdir()) / "autoscaling_trace.json"
+    trace_path.write_text(obs.tracer.to_chrome(), encoding="utf-8")
+    events = json.loads(trace_path.read_text())["traceEvents"]
+    print(
+        f"\nflight recorder: {len(obs.tracer)} records "
+        f"({len(detection_spans)} detection span(s), latency matching "
+        f"the timeline exactly) exported as {len(events)} Chrome trace "
+        f"events to {trace_path} — load it at chrome://tracing or "
+        "https://ui.perfetto.dev"
+    )
 
 
 if __name__ == "__main__":

@@ -81,7 +81,22 @@ def render_timeline(timeline, max_reason: int = 44) -> str:
     ``?suspect(x)`` marks epochs that ended with ``x`` inside its
     grace window, and ``~evict(x)`` the epoch a persistently degraded
     server was drained-and-replaced.
+
+    The numeric columns read from each epoch's frozen
+    :class:`~repro.obs.MetricsSnapshot` (``record.metrics``), falling
+    back to the record fields for timelines recorded before snapshots
+    existed — both views are fed from the same deterministic
+    simulation state, so a rendered table never mixes sources.
     """
+
+    def column(record, name, attribute):
+        snapshot = getattr(record, "metrics", None)
+        if snapshot is not None:
+            value = snapshot.value(name)
+            if value is not None:
+                return value
+        return getattr(record, attribute)
+
     rows = []
     for record in timeline.records:
         reason = record.reason
@@ -121,12 +136,12 @@ def render_timeline(timeline, max_reason: int = 44) -> str:
             [
                 record.index,
                 f"{record.start:.0f}",
-                record.offered,
-                format_rate(record.served_rate),
-                format_rate(record.capacity),
-                record.deployed_nodes,
-                record.spares,
-                f"{record.busiest_utilization:.2f}",
+                column(record, "offered_clients", "offered"),
+                format_rate(column(record, "served_rate", "served_rate")),
+                format_rate(column(record, "capacity", "capacity")),
+                column(record, "deployed_nodes", "deployed_nodes"),
+                column(record, "spares", "spares"),
+                f"{column(record, 'busiest_utilization', 'busiest_utilization'):.2f}",
                 down,
                 window,
                 detect,

@@ -239,24 +239,35 @@ def _plan_request(request: PlanRequest) -> Deployment:
 
 @dataclass(frozen=True)
 class ControlCell:
-    """One (trace, policy, seed) cell of a controller sweep."""
+    """One (trace, policy, seed) cell of a controller sweep.
+
+    ``trace_jsonl`` carries the cell's exported deterministic trace
+    when the sweep ran with ``obs=True`` (``None`` otherwise).  Tracers
+    do not transport across processes, so each cell — worker or serial
+    — builds its own and exports to the byte-identity JSONL format,
+    which is how the test suite asserts serial and process-pool sweeps
+    trace identically.
+    """
 
     trace: str
     policy: str
     seed: int
     timeline: object  # repro.control.loop.ControlTimeline
+    trace_jsonl: str | None = None
 
     @property
     def label(self) -> str:
         return f"{self.trace}/{self.policy}/s{self.seed}"
 
 
-def _control_cell(args: tuple) -> object:
+def _control_cell(args: tuple) -> tuple:
     """Process-pool worker: run one controller cell.
 
     Traces travel as ``from_spec`` strings and policies as
     ``(name, options)`` pairs, so every argument pickles by value; the
-    child rebuilds the loop against the global registry.
+    child rebuilds the loop against the global registry.  Returns
+    ``(timeline, trace_jsonl)`` — the trace export is ``None`` unless
+    the cell ran with ``obs=True``.
     """
     (pool, app_work, trace_spec, policy, policy_options, params,
      control_kwargs) = args
@@ -272,7 +283,11 @@ def _control_cell(args: tuple) -> object:
         policy_options=dict(policy_options) if policy_options else None,
         **control_kwargs,
     )
-    return loop.run()
+    timeline = loop.run()
+    trace_jsonl = (
+        loop.obs.tracer.to_jsonl() if loop.obs.enabled else None
+    )
+    return timeline, trace_jsonl
 
 
 class PlanningSession:
@@ -609,6 +624,13 @@ class PlanningSession:
         ``max_workers=1``, single-CPU machines, or sessions with a
         custom registry (which does not transport across processes).
 
+        Pass ``obs=True`` to trace every cell: each run builds its own
+        :class:`repro.obs.Obs` (tracers do not transport across
+        processes) and the exported JSONL lands on
+        :attr:`ControlCell.trace_jsonl` — byte-identical between serial
+        and pooled execution of the same grid.  ``obs`` must be a bool
+        here; a shared ``Obs`` instance would be cleared by every cell.
+
         Returns one :class:`ControlCell` per grid point, in
         trace-major, then policy, then seed order.
         """
@@ -649,6 +671,14 @@ class PlanningSession:
             from repro.faults import from_spec as fault_spec
 
             fault_spec(control_kwargs["faults"])
+        if not isinstance(control_kwargs.get("obs", False), bool):
+            # Tracers are per-run state: a single shared Obs would be
+            # cleared by every cell in turn and could not cross process
+            # boundaries anyway.  The sweep builds one per cell.
+            raise PlanningError(
+                "control_sweep obs must be a bool (each cell builds its "
+                "own tracer); pass obs=True and read cell.trace_jsonl"
+            )
         if isinstance(control_kwargs.get("detection"), str):
             # And for a detection spec ("timeout=0.5,retries=1,..."):
             # malformed timeout grammar fails eagerly, not mid-grid.
@@ -685,29 +715,45 @@ class PlanningSession:
         if serial:
             # The in-process path goes through control_run, so a custom
             # session registry applies (it cannot transport to workers).
-            timelines = [
-                self.control_run(
+            # Each traced cell still gets a fresh Obs, mirroring what a
+            # worker process would build, so serial and pooled sweeps
+            # export byte-identical traces.
+            from repro.obs import Obs
+
+            traced = bool(control_kwargs.get("obs", False))
+            serial_kwargs = {
+                k: v for k, v in control_kwargs.items() if k != "obs"
+            }
+            results = []
+            for spec, policy, seed in grid:
+                cell_obs = Obs() if traced else None
+                timeline = self.control_run(
                     pool,
                     app_work,
                     trace=from_spec(spec),
                     policy=policy,
                     policy_options=policy_options.get(policy),
                     seed=seed,
-                    **control_kwargs,
+                    obs=cell_obs,
+                    **serial_kwargs,
                 )
-                for spec, policy, seed in grid
-            ]
+                results.append((
+                    timeline,
+                    cell_obs.tracer.to_jsonl() if traced else None,
+                ))
         else:
             chunk = max(1, math.ceil(len(grid) / (workers * 4)))
             with ProcessPoolExecutor(max_workers=workers) as executor:
-                timelines = list(
+                results = list(
                     executor.map(_control_cell, cell_args, chunksize=chunk)
                 )
         return [
             ControlCell(
-                trace=spec, policy=policy, seed=seed, timeline=timeline
+                trace=spec, policy=policy, seed=seed,
+                timeline=timeline, trace_jsonl=trace_jsonl,
             )
-            for (spec, policy, seed), timeline in zip(grid, timelines)
+            for (spec, policy, seed), (timeline, trace_jsonl)
+            in zip(grid, results)
         ]
 
     # -------------------------------------------------------------- #

@@ -18,6 +18,10 @@ Subcommands mirror the paper's workflow:
   concurrent wave-parallel drains, or stop-the-world restarts
   (``--migration``); ``--sweep`` fans a (trace x policy x seed) grid
   over a process pool;
+* ``trace``     — run one traced control loop and export its
+  deterministic Chrome trace-event file (plus optional per-epoch
+  metrics JSONL) via :mod:`repro.obs`, for chrome://tracing or
+  ui.perfetto.dev;
 * ``planners``  — list every registered planner, its capabilities and
   its typed options;
 * ``calibrate`` — run the §5.1 calibration campaign and print Table 3.
@@ -443,6 +447,59 @@ def _cmd_control(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.control.traces import from_spec
+    from repro.obs import Obs
+
+    pool = _pool_from_args(args)
+    app_work = _app_work_from_args(args)
+    obs = Obs()
+    session = PlanningSession()
+    timeline = session.control_run(
+        pool,
+        app_work,
+        trace=from_spec(args.trace[0] if isinstance(args.trace, list)
+                        else args.trace),
+        policy=args.policy,
+        epochs=args.epochs,
+        epoch_duration=args.epoch_duration,
+        migration=args.migration,
+        seed=args.seed,
+        obs=obs,
+        **({"faults": args.faults} if args.faults else {}),
+        **({"detection": args.detection} if args.detection else {}),
+    )
+    output = Path(args.output)
+    output.write_text(obs.tracer.to_chrome(), encoding="utf-8")
+    lines = []
+    if args.metrics_output:
+        for record in timeline.records:
+            payload = {"epoch": record.index, "t": record.start}
+            payload.update(record.metrics.as_dict())
+            lines.append(
+                json.dumps(payload, sort_keys=True, separators=(",", ":"))
+            )
+        Path(args.metrics_output).write_text(
+            "\n".join(lines) + "\n", encoding="utf-8"
+        )
+    spans = len(obs.tracer.spans())
+    events = len(obs.tracer.events())
+    print(
+        f"wrote {output} ({spans} spans, {events} events, "
+        f"{len(obs.tracer)} records) — load it at chrome://tracing "
+        "or https://ui.perfetto.dev"
+    )
+    if args.metrics_output:
+        print(
+            f"wrote {args.metrics_output} "
+            f"({len(lines)} per-epoch metric snapshots)"
+        )
+    print(timeline.describe())
+    return 0
+
+
 def _cmd_planners(args: argparse.Namespace) -> int:
     rows = []
     for planner in REGISTRY:
@@ -647,6 +704,52 @@ def build_parser() -> argparse.ArgumentParser:
         "that fraction of the pool back from scale-ups for repairs)",
     )
     p_control.set_defaults(func=_cmd_control)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="run one traced control loop and export a Chrome trace",
+    )
+    _add_pool_args(p_trace)
+    _add_workload_args(p_trace)
+    p_trace.add_argument(
+        "--trace", type=str, required=True,
+        help="workload trace spec (same grammar as 'control --trace')",
+    )
+    p_trace.add_argument(
+        "--policy", choices=available_policies(), default="reactive",
+        help="autoscaling policy (default reactive)",
+    )
+    p_trace.add_argument(
+        "--migration", choices=MIGRATION_MODES, default="live",
+        help="redeploy mechanism (default live)",
+    )
+    p_trace.add_argument(
+        "--epochs", type=int, default=30,
+        help="number of control epochs (default 30)",
+    )
+    p_trace.add_argument(
+        "--epoch-duration", type=float, default=5.0,
+        help="simulated seconds per epoch (default 5)",
+    )
+    p_trace.add_argument(
+        "--faults", type=str, default=None, metavar="SPEC",
+        help="fault schedule spec (same grammar as 'control --faults')",
+    )
+    p_trace.add_argument(
+        "--detection", type=str, default=None, metavar="SPEC",
+        help="timeout-modelled detection spec (same grammar as "
+        "'control --detection')",
+    )
+    p_trace.add_argument(
+        "--output", type=str, default="trace.json", metavar="FILE",
+        help="Chrome trace-event JSON output (default trace.json; "
+        "open in chrome://tracing or ui.perfetto.dev)",
+    )
+    p_trace.add_argument(
+        "--metrics-output", type=str, default=None, metavar="FILE",
+        help="also write one JSON line of frozen metrics per epoch",
+    )
+    p_trace.set_defaults(func=_cmd_trace)
 
     p_list = sub.add_parser(
         "planners", help="list registered planners and their options"

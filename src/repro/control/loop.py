@@ -62,7 +62,6 @@ benchmark suite.
 from __future__ import annotations
 
 import heapq
-import time
 from dataclasses import dataclass, field
 
 from repro.api import PlanRequest
@@ -77,9 +76,9 @@ from repro.control.policy import (
 )
 from repro.control.traces import Trace
 from repro.core.hierarchy import Hierarchy
+from repro.core.kernels import HierarchyEvaluator
 from repro.core.params import DEFAULT_PARAMS, ModelParams
 from repro.core.registry import CAP_DEMAND, REGISTRY, PlannerRegistry
-from repro.core.throughput import hierarchy_throughput
 from repro.deploy.migration import MigrationPlan, plan_migration
 from repro.errors import ControlError, HierarchyError
 from repro.extensions.redeploy import improve_deployment
@@ -88,6 +87,7 @@ from repro.faults import from_spec as fault_spec
 from repro.middleware.client import ClosedLoopClient
 from repro.middleware.detection import DetectionParams, parse_detection
 from repro.middleware.system import MiddlewareSystem
+from repro.obs import NULL_OBS, MetricsRegistry, MetricsSnapshot, Obs, Stopwatch
 from repro.platforms.pool import NodePool
 from repro.sim.engine import Simulator
 from repro.sim.stats import IntervalCounter
@@ -250,6 +250,12 @@ class EpochRecord:
     reintegrated: tuple[str, ...] = ()
     #: Servers drained-and-replaced by an applied ``evict`` this epoch.
     evictions: tuple[str, ...] = ()
+    #: Frozen :class:`~repro.obs.MetricsSnapshot` at this epoch's
+    #: boundary — cumulative conversation/engine/migration counters plus
+    #: this epoch's gauges.  Always populated by :meth:`ControlLoop.run`
+    #: and fed exclusively from deterministic simulation state, so it is
+    #: bit-identical whether tracing is enabled or not.
+    metrics: MetricsSnapshot | None = None
 
 
 @dataclass(frozen=True)
@@ -435,6 +441,15 @@ class ControlLoop:
         whole spare set, so a damaged platform always has material to
         heal with.  A ``reserve=`` key in a detection spec string
         overrides this argument.
+    obs:
+        Observability handle.  ``None``/``False`` (default) runs with
+        the shared null handle — disabled instrumentation costs one
+        attribute check per site; ``True`` creates a fresh
+        :class:`~repro.obs.Obs` (read it back via :attr:`obs`); an
+        :class:`~repro.obs.Obs` instance is used as given.  Tracing
+        never changes the timeline: every :class:`EpochRecord` metric
+        is fed from deterministic simulation state whether or not a
+        tracer records, so same-seed runs are bit-identical either way.
     """
 
     def __init__(
@@ -460,6 +475,7 @@ class ControlLoop:
         faults: FaultSchedule | str | None = None,
         detection: DetectionParams | str | None = None,
         spare_reserve: float = 0.0,
+        obs: Obs | bool | None = None,
     ):
         if len(pool) < 2:
             raise ControlError(
@@ -516,6 +532,15 @@ class ControlLoop:
             raise ControlError(
                 f"spare_reserve must be in [0, 1), got {spare_reserve}"
             )
+        if obs is None or obs is False:
+            obs = NULL_OBS
+        elif obs is True:
+            obs = Obs()
+        elif not isinstance(obs, Obs):
+            raise ControlError(
+                f"obs must be an Obs handle or a bool, got "
+                f"{type(obs).__name__}"
+            )
         self.pool = pool
         self.app_work = float(app_work)
         self.trace = trace
@@ -549,10 +574,29 @@ class ControlLoop:
         # node -> injection time of a not-yet-confirmed silent fault
         # (detection accounting only; never consulted by decisions).
         self._pending_injections: dict[str, float] = {}
-        #: Wall-clock seconds the controller itself spent (planning,
-        #: observing, deciding, pricing) in the last :meth:`run` —
-        #: telemetry only, never part of the timeline.
-        self.overhead_seconds = 0.0
+        #: The observability handle (the shared null handle when none
+        #: was configured); callers read traces back from
+        #: ``loop.obs.tracer`` after :meth:`run`.
+        self.obs = obs
+        # The metrics registry is *always* live — fed exclusively from
+        # deterministic simulation state, so EpochRecord snapshots are
+        # identical whether or not a tracer records.  A configured Obs
+        # brings its own registry; the null handle gets a private one.
+        self._metrics = (
+            obs.metrics if obs.metrics is not None else MetricsRegistry()
+        )
+        # Centralized wall-clock accounting for controller bookkeeping
+        # (planning, observing, deciding, pricing): one stopwatch
+        # context manager instead of hand-paired perf_counter deltas,
+        # so new control stages cannot double-count.  Telemetry only.
+        self._overhead = Stopwatch()
+        # Loop-owned memoizing evaluator for capacity evaluations
+        # (bit-identical to cold hierarchy_throughput); recreated per
+        # run so serial and process-pool sweeps see identical cache
+        # hit-rate metrics.
+        self._evaluator = HierarchyEvaluator(self.params)
+        # The live run's simulator (sim-time source for planner spans).
+        self._sim: Simulator | None = None
         #: The last run's final demand-unit estimate (req/s one
         #: unsaturated client generates); telemetry only.
         self.demand_unit_estimate = 0.0
@@ -567,9 +611,21 @@ class ControlLoop:
 
     # ------------------------------------------------------------------ #
 
+    @property
+    def overhead_seconds(self) -> float:
+        """Wall-clock seconds the controller itself spent (planning,
+        observing, deciding, pricing) in the last :meth:`run` —
+        telemetry only, never part of the timeline."""
+        return self._overhead.total
+
     def run(self) -> ControlTimeline:
         """Execute the simulate → observe → decide → act loop."""
-        self.overhead_seconds = 0.0
+        self._overhead.reset()
+        self._metrics.reset()
+        self._evaluator = HierarchyEvaluator(self.params)
+        obs = self.obs
+        tracer = obs.tracer
+        tracer.clear()
         self._capacity_plans = {}
         self._failed_names = set()
         self._evicted_names = set()
@@ -577,37 +633,44 @@ class ControlLoop:
         injector = (
             FaultInjector(self.faults) if self.faults is not None else None
         )
-        # Dead-letter/lost totals survive stop-the-world rebuilds: the
-        # counters live on the system object, which restarts replace.
+        # Dead-letter/lost/resubmission totals survive stop-the-world
+        # rebuilds: the counters live on the system object, which
+        # restarts replace.
         dead_letters_base = 0
+        resubmissions_base = 0
         lost_base = 0
         params = self.params
-        tick = time.perf_counter()
-        initial = min(
-            len(self.pool),
-            max(self.min_nodes, round(self.initial_fraction * len(self.pool))),
-        )
-        deployment = self.registry.plan(
-            PlanRequest(
-                pool=self.pool.take(initial),
-                app_work=self.app_work,
-                params=params,
-                method=self.base_method,
-                seed=self.seed,
-            )
-        )
         sim = Simulator()
-        completions = IntervalCounter()
-        monitor = SLOMonitor(completions)
-        hierarchy = deployment.hierarchy
-        spares = self._spares_for(hierarchy)
-        system = self._build_system(sim, hierarchy, generation=0)
-        monitor.attach(system)
-        # Model capacity of the live deployment; only changes on redeploy.
-        capacity = hierarchy_throughput(
-            hierarchy, params, self.app_work
-        ).throughput
-        self.overhead_seconds += time.perf_counter() - tick
+        self._sim = sim
+        with self._overhead:
+            initial = min(
+                len(self.pool),
+                max(
+                    self.min_nodes,
+                    round(self.initial_fraction * len(self.pool)),
+                ),
+            )
+            deployment = self._traced_plan(
+                PlanRequest(
+                    pool=self.pool.take(initial),
+                    app_work=self.app_work,
+                    params=params,
+                    method=self.base_method,
+                    seed=self.seed,
+                ),
+                purpose="initial",
+            )
+            completions = IntervalCounter()
+            monitor = SLOMonitor(completions)
+            hierarchy = deployment.hierarchy
+            spares = self._spares_for(hierarchy)
+            system = self._build_system(sim, hierarchy, generation=0)
+            monitor.attach(system)
+            # Model capacity of the live deployment; only changes on
+            # redeploy.
+            capacity = self._evaluator.evaluate(
+                hierarchy, self.app_work
+            ).throughput
 
         clients: list[ClosedLoopClient] = []
         observations: list[WindowObservation] = []
@@ -631,6 +694,13 @@ class ControlLoop:
             start = sim.now
             end = start + self.epoch_duration
             offered = self.trace.level(start)
+            sim_span = (
+                tracer.begin(
+                    start, "epoch", "simulate", index=index, offered=offered
+                )
+                if obs.enabled
+                else -1
+            )
 
             # simulate: reconcile the client population, advance one epoch.
             while len(clients) < offered:
@@ -659,131 +729,145 @@ class ControlLoop:
                     faults_this_epoch.append(injector.apply(event, system))
             sim.run_until(end)
             draining = [client for client in draining if client.active]
+            if obs.enabled:
+                tracer.end(end, sim_span)
 
-            # observe.
-            tick = time.perf_counter()
-            observation = monitor.observe(index, start, end, offered)
-            observations.append(observation)
-            if observation.offered > 0 and not window_contaminated:
-                # served/offered never exceeds the rate one unsaturated
-                # client generates (latency only grows with contention),
-                # so the running max is a safe demand-unit estimate — but
-                # only for windows free of drain contamination: clients
-                # stopped by a population shrink complete their final
-                # requests inside windows whose `offered` no longer
-                # counts them, inflating the ratio for as long as the
-                # drain lasts.  Calibration waits until every stopped
-                # client has gone quiet; the estimate stays a lower
-                # bound.  (Redeploys don't contaminate: a stop-the-world
-                # restart aborts its fleet — disowned completions are
-                # never counted — and a live migration stops nobody.)
-                demand_unit = max(demand_unit, observation.per_client_rate)
-
-            # reconcile: observed damage is the truth the controller
-            # plans from.
-            detections: list[DetectionRecord] = []
-            if self.detection is None:
-                # Oracle health: crash surgery already pruned the dead
-                # subtree out of the running system, so adopt the
-                # survivors' tree; crashed nodes leave the usable pool
-                # for good.
-                crashed_nodes = sorted(
-                    name
-                    for record in faults_this_epoch
-                    if record.applied and record.kind == "crash"
-                    for name in record.nodes
-                )
-                if crashed_nodes:
-                    self._failed_names.update(crashed_nodes)
-                    hierarchy = system.hierarchy
-                    spares = self._spares_for(hierarchy)
-                    self._capacity_plans.clear()
-                if any(
-                    record.applied and record.kind != "degrade"
-                    for record in faults_this_epoch
-                ):
-                    # Crashes shrink the tree, partitions dark a
-                    # subtree, heals light it back up — all change what
-                    # the model says the platform can serve.  (Degrades
-                    # don't touch the structure; the straggler still
-                    # reports nominal.)
-                    capacity = self._effective_capacity(system, hierarchy)
-            else:
-                # Inferred health: faults landed silently, so the tree
-                # the controller plans from only changes when the
-                # monitor *confirms* a death.  Injection times are
-                # remembered purely for latency accounting.
-                for record in faults_this_epoch:
-                    if not record.applied:
-                        continue
-                    if record.kind in ("crash", "partition"):
-                        for name in record.nodes:
-                            self._pending_injections.setdefault(
-                                name, record.at
-                            )
-                    elif record.kind == "heal":
-                        for name in record.nodes:
-                            self._pending_injections.pop(name, None)
-                if observation.failed_nodes:
-                    detections = self._excise_confirmed(
-                        system, monitor, observation.failed_nodes, end
+            # observe → reconcile → decide → realize: controller
+            # bookkeeping, accounted by the overhead stopwatch (the
+            # simulated migration below is the platform's time, not the
+            # controller's, so it stays outside the block).
+            with self._overhead:
+                observation = monitor.observe(index, start, end, offered)
+                observations.append(observation)
+                if observation.offered > 0 and not window_contaminated:
+                    # served/offered never exceeds the rate one
+                    # unsaturated client generates (latency only grows
+                    # with contention), so the running max is a safe
+                    # demand-unit estimate — but only for windows free
+                    # of drain contamination: clients stopped by a
+                    # population shrink complete their final requests
+                    # inside windows whose `offered` no longer counts
+                    # them, inflating the ratio for as long as the
+                    # drain lasts.  Calibration waits until every
+                    # stopped client has gone quiet; the estimate stays
+                    # a lower bound.  (Redeploys don't contaminate: a
+                    # stop-the-world restart aborts its fleet —
+                    # disowned completions are never counted — and a
+                    # live migration stops nobody.)
+                    demand_unit = max(
+                        demand_unit, observation.per_client_rate
                     )
-                if detections:
-                    for detection in detections:
-                        self._failed_names.update(detection.nodes)
-                        for name in detection.nodes:
-                            self._pending_injections.pop(name, None)
-                    hierarchy = system.hierarchy
-                    spares = self._spares_for(hierarchy)
-                    self._capacity_plans.clear()
-                    capacity = self._effective_capacity(system, hierarchy)
 
-            # decide.
-            scalable, reserved = self._split_spares(spares)
-            context = ControlContext(
-                observations=tuple(observations),
-                capacity=capacity,
-                deployed_nodes=len(hierarchy),
-                pool_size=len(self._live_pool()),
-                spares=len(scalable),
-                min_nodes=self.min_nodes,
-                epoch_duration=self.epoch_duration,
-                next_start=sim.now,
-                trace=self.trace,
-                demand_unit=demand_unit,
-                redeploys=redeploys,
-                epochs_since_redeploy=epochs_since_redeploy,
-                repair_spares=len(spares) if reserved else 0,
-                server_shares=self._server_shares(hierarchy),
-            )
-            decision = self.policy.decide(context)
+                # reconcile: observed damage is the truth the controller
+                # plans from.
+                detections: list[DetectionRecord] = []
+                if self.detection is None:
+                    # Oracle health: crash surgery already pruned the
+                    # dead subtree out of the running system, so adopt
+                    # the survivors' tree; crashed nodes leave the
+                    # usable pool for good.
+                    crashed_nodes = sorted(
+                        name
+                        for record in faults_this_epoch
+                        if record.applied and record.kind == "crash"
+                        for name in record.nodes
+                    )
+                    if crashed_nodes:
+                        self._failed_names.update(crashed_nodes)
+                        hierarchy = system.hierarchy
+                        spares = self._spares_for(hierarchy)
+                        self._capacity_plans.clear()
+                    if any(
+                        record.applied and record.kind != "degrade"
+                        for record in faults_this_epoch
+                    ):
+                        # Crashes shrink the tree, partitions dark a
+                        # subtree, heals light it back up — all change
+                        # what the model says the platform can serve.
+                        # (Degrades don't touch the structure; the
+                        # straggler still reports nominal.)
+                        capacity = self._effective_capacity(
+                            system, hierarchy
+                        )
+                else:
+                    # Inferred health: faults landed silently, so the
+                    # tree the controller plans from only changes when
+                    # the monitor *confirms* a death.  Injection times
+                    # are remembered purely for latency accounting.
+                    for record in faults_this_epoch:
+                        if not record.applied:
+                            continue
+                        if record.kind in ("crash", "partition"):
+                            for name in record.nodes:
+                                self._pending_injections.setdefault(
+                                    name, record.at
+                                )
+                        elif record.kind == "heal":
+                            for name in record.nodes:
+                                self._pending_injections.pop(name, None)
+                    if observation.failed_nodes:
+                        detections = self._excise_confirmed(
+                            system, monitor, observation.failed_nodes, end
+                        )
+                    if detections:
+                        for detection in detections:
+                            self._failed_names.update(detection.nodes)
+                            for name in detection.nodes:
+                                self._pending_injections.pop(name, None)
+                        hierarchy = system.hierarchy
+                        spares = self._spares_for(hierarchy)
+                        self._capacity_plans.clear()
+                        capacity = self._effective_capacity(
+                            system, hierarchy
+                        )
 
-            # act.
-            candidate, reason, predicted_cost, new_capacity, plan = (
-                self._realize(
-                    decision, hierarchy, scalable, capacity, observation,
-                    reserved=reserved,
+                # decide.
+                scalable, reserved = self._split_spares(spares)
+                context = ControlContext(
+                    observations=tuple(observations),
+                    capacity=capacity,
+                    deployed_nodes=len(hierarchy),
+                    pool_size=len(self._live_pool()),
+                    spares=len(scalable),
+                    min_nodes=self.min_nodes,
+                    epoch_duration=self.epoch_duration,
+                    next_start=sim.now,
+                    trace=self.trace,
+                    demand_unit=demand_unit,
+                    redeploys=redeploys,
+                    epochs_since_redeploy=epochs_since_redeploy,
+                    repair_spares=len(spares) if reserved else 0,
+                    server_shares=self._server_shares(hierarchy),
                 )
-            )
+                decision = self.policy.decide(context)
 
-            applied = False
-            epoch_capacity = capacity
-            epoch_nodes = len(hierarchy)
-            epoch_spares = len(spares)
-            step_records: tuple[MigrationStepRecord, ...] = ()
-            migration_window = 0.0
+                # act.
+                candidate, reason, predicted_cost, new_capacity, plan = (
+                    self._realize(
+                        decision, hierarchy, scalable, capacity,
+                        observation, reserved=reserved,
+                    )
+                )
+
+                applied = False
+                epoch_capacity = capacity
+                epoch_nodes = len(hierarchy)
+                epoch_spares = len(spares)
+                step_records: tuple[MigrationStepRecord, ...] = ()
+                migration_window = 0.0
+                if candidate is not None:
+                    if decision.action == "evict":
+                        # The drained server leaves the usable pool for
+                        # good — the controller decided it cannot be
+                        # trusted — and capacity memos keyed on the old
+                        # pool go stale with it.
+                        self._evicted_names.update(decision.targets)
+                        self._capacity_plans.clear()
+                    hierarchy = candidate
+                    spares = self._spares_for(hierarchy)
+                    capacity = new_capacity
+            act_start = sim.now
             if candidate is not None:
-                if decision.action == "evict":
-                    # The drained server leaves the usable pool for
-                    # good — the controller decided it cannot be
-                    # trusted — and capacity memos keyed on the old
-                    # pool go stale with it.
-                    self._evicted_names.update(decision.targets)
-                    self._capacity_plans.clear()
-                hierarchy = candidate
-                spares = self._spares_for(hierarchy)
-                capacity = new_capacity
-                self.overhead_seconds += time.perf_counter() - tick
                 if (
                     self.migration in _LIVE_MODES
                     and plan is not None
@@ -804,8 +888,8 @@ class ControlLoop:
                             sim, system, plan, candidate
                         )
                     migration_window = sim.now - migrate_start
-                    tick = time.perf_counter()
-                    monitor.attach(system)  # fresh busy baselines
+                    with self._overhead:
+                        monitor.attach(system)  # fresh busy baselines
                 else:
                     # Stop-the-world: the old platform's daemons are
                     # killed, so every in-flight request dies with them
@@ -830,19 +914,91 @@ class ControlLoop:
                             started_at=restart_start,
                         ),
                     )
-                    tick = time.perf_counter()
-                    dead_letters_base += system.dead_letters
-                    lost_base += system.lost_conversations
-                    generation += 1
-                    system = self._build_system(sim, hierarchy, generation)
-                    monitor.attach(system)
+                    with self._overhead:
+                        dead_letters_base += system.dead_letters
+                        resubmissions_base += system.resubmissions
+                        lost_base += system.lost_conversations
+                        generation += 1
+                        system = self._build_system(
+                            sim, hierarchy, generation
+                        )
+                        monitor.attach(system)
                 redeploys += 1
-                self.overhead_seconds += time.perf_counter() - tick
                 applied = True
                 epochs_since_redeploy = 0
             else:
-                self.overhead_seconds += time.perf_counter() - tick
                 epochs_since_redeploy += 1
+
+            if obs.enabled:
+                tracer.event(
+                    end, "epoch", "observe",
+                    index=index,
+                    served=observation.served,
+                    queue_depth=observation.queue_depth,
+                    suspects=len(observation.suspect_nodes),
+                )
+                tracer.event(
+                    end, "epoch", "decide",
+                    index=index,
+                    action=decision.action,
+                    applied=applied,
+                )
+                for detection in detections:
+                    tracer.span(
+                        detection.injected_at
+                        if detection.injected_at is not None
+                        else detection.suspected_at,
+                        detection.confirmed_at,
+                        "detection",
+                        detection.node,
+                        latency=detection.latency,
+                        dead_letters=detection.dead_letters,
+                        nodes=len(detection.nodes),
+                    )
+                if applied:
+                    for step in step_records:
+                        tracer.span(
+                            step.started_at,
+                            step.started_at + step.seconds,
+                            "migration",
+                            f"{step.op}:{step.target}",
+                            drained_nodes=step.drained_nodes,
+                            epoch=index,
+                        )
+                    tracer.span(
+                        act_start, sim.now, "epoch", "act",
+                        index=index,
+                        action=decision.action,
+                        steps=len(step_records),
+                    )
+                tracer.sample(end, "served_rate", observation.served_rate)
+                tracer.sample(end, "queue_depth", observation.queue_depth)
+
+            with self._overhead:
+                snapshot = self._epoch_metrics(
+                    sim=sim,
+                    system=system,
+                    observation=observation,
+                    completions=completions,
+                    dead_letters_base=dead_letters_base,
+                    resubmissions_base=resubmissions_base,
+                    lost_base=lost_base,
+                    faults=faults_this_epoch,
+                    detections=detections,
+                    step_records=step_records,
+                    migration_window=migration_window,
+                    capacity=epoch_capacity,
+                    deployed_nodes=epoch_nodes,
+                    spares=epoch_spares,
+                    offered=offered,
+                    demand_unit=demand_unit,
+                    applied=applied,
+                    evictions=(
+                        len(decision.targets)
+                        if applied and decision.action == "evict"
+                        else 0
+                    ),
+                )
 
             records.append(
                 EpochRecord(
@@ -875,6 +1031,7 @@ class ControlLoop:
                         if applied and decision.action == "evict"
                         else ()
                     ),
+                    metrics=snapshot,
                 )
             )
 
@@ -903,6 +1060,111 @@ class ControlLoop:
         )
 
     # ------------------------------------------------------------------ #
+
+    def _traced_plan(self, request: PlanRequest, purpose: str):
+        """One planner invocation, counted and (when enabled) spanned.
+
+        The span opens and closes at the current simulation time (the
+        planner is instantaneous in sim time); its wall duration lands
+        in the profiling field the tracer keeps out of deterministic
+        exports.  Every planner call in the loop goes through here, so
+        the ``planner_calls`` counter is exact.
+        """
+        self._metrics.counter("planner_calls").inc()
+        if not self.obs.enabled:
+            return self.registry.plan(request)
+        now = self._sim.now if self._sim is not None else 0.0
+        span_id = self.obs.tracer.begin(
+            now, "planner", request.method, purpose=purpose
+        )
+        deployment = self.registry.plan(request)
+        self.obs.tracer.end(
+            now, span_id, nodes=len(deployment.hierarchy)
+        )
+        return deployment
+
+    def _epoch_metrics(
+        self,
+        *,
+        sim: Simulator,
+        system: MiddlewareSystem,
+        observation: WindowObservation,
+        completions: IntervalCounter,
+        dead_letters_base: int,
+        resubmissions_base: int,
+        lost_base: int,
+        faults,
+        detections,
+        step_records,
+        migration_window: float,
+        capacity: float,
+        deployed_nodes: int,
+        spares: int,
+        offered: int,
+        demand_unit: float,
+        applied: bool,
+        evictions: int,
+    ) -> MetricsSnapshot:
+        """Fold one epoch's deterministic state into the registry and
+        freeze it.
+
+        Every input is a pure function of simulation state — engine and
+        middleware counters, the monitor's window, the epoch's migration
+        and detection records — so the returned snapshot is identical
+        whether or not a tracer records (asserted by the obs test
+        battery).  Cumulative counters adopt their authoritative totals;
+        per-epoch quantities increment.
+        """
+        metrics = self._metrics
+        metrics.counter("conversations_served").set_total(completions.count)
+        metrics.counter("conversations_dead_lettered").set_total(
+            dead_letters_base + system.dead_letters
+        )
+        metrics.counter("conversations_resubmitted").set_total(
+            resubmissions_base + system.resubmissions
+        )
+        metrics.counter("conversations_lost").set_total(
+            lost_base + system.lost_conversations
+        )
+        metrics.counter("engine_events").set_total(sim.events_processed)
+        metrics.counter("engine_heap_compactions").set_total(
+            sim.heap_compactions
+        )
+        metrics.counter("faults_injected").inc(len(faults))
+        metrics.counter("detections_confirmed").inc(len(detections))
+        metrics.counter("redeploys").inc(1 if applied else 0)
+        metrics.counter("evictions").inc(evictions)
+        metrics.counter("migration_steps").inc(len(step_records))
+        metrics.counter("migration_downtime_seconds").inc(
+            sum(step.downtime for step in step_records)
+        )
+        metrics.counter("migration_window_seconds").inc(migration_window)
+        cache = self._evaluator.cache_info()
+        metrics.counter("evaluator_cache_hits").set_total(cache["hits"])
+        metrics.counter("evaluator_cache_misses").set_total(cache["misses"])
+        lookups = cache["hits"] + cache["misses"]
+        metrics.gauge("evaluator_cache_hit_rate").set(
+            cache["hits"] / lookups if lookups else 0.0
+        )
+        metrics.gauge("offered_clients").set(offered)
+        metrics.gauge("served_rate").set(observation.served_rate)
+        metrics.gauge("capacity").set(capacity)
+        metrics.gauge("deployed_nodes").set(deployed_nodes)
+        metrics.gauge("spares").set(spares)
+        metrics.gauge("queue_depth").set(observation.queue_depth)
+        metrics.gauge("busiest_utilization").set(
+            observation.busiest_utilization
+        )
+        metrics.gauge("suspect_nodes").set(len(observation.suspect_nodes))
+        metrics.gauge("demand_unit_estimate").set(demand_unit)
+        for detection in detections:
+            if detection.latency is not None:
+                metrics.histogram("detection_latency").observe(
+                    detection.latency
+                )
+        for step in step_records:
+            metrics.histogram("migration_step_seconds").observe(step.seconds)
+        return metrics.snapshot()
 
     def _excise_confirmed(
         self,
@@ -1027,8 +1289,8 @@ class ControlLoop:
             reachable = _hierarchy_without(hierarchy, dark)
         if not reachable.servers:
             return 0.0
-        return hierarchy_throughput(
-            reachable, self.params, self.app_work
+        return self._evaluator.evaluate(
+            reachable, self.app_work
         ).throughput
 
     def _plan_full_capacity(self, exclude: frozenset = frozenset()):
@@ -1045,14 +1307,15 @@ class ControlLoop:
             pool = self._live_pool()
             if exclude:
                 pool = pool.without(exclude & set(pool.names))
-            plan = self._capacity_plans[exclude] = self.registry.plan(
+            plan = self._capacity_plans[exclude] = self._traced_plan(
                 PlanRequest(
                     pool=pool,
                     app_work=self.app_work,
                     params=self.params,
                     method=self.base_method,
                     seed=self.seed,
-                )
+                ),
+                purpose="full-capacity",
             )
         return plan
 
@@ -1067,6 +1330,7 @@ class ControlLoop:
             trace=self.recorder,
             seed=self.seed + generation,
             detection=self.detection,
+            obs=self.obs,
         )
 
     def _plan_and_price(
@@ -1185,7 +1449,7 @@ class ControlLoop:
         """
         records: list[MigrationStepRecord] = []
         deployed = max(1, plan.source_nodes)
-        for wave in plan.concurrent_schedule():
+        for wave_index, wave in enumerate(plan.concurrent_schedule()):
             start = sim.now
             # Wave-aware drain budget: the serial executor grants each
             # region the full cap back to back, but a wave drains its
@@ -1260,6 +1524,11 @@ class ControlLoop:
                             started_at=start,
                         )
                     )
+            if self.obs.enabled:
+                self.obs.tracer.span(
+                    start, sim.now, "migration",
+                    f"wave:{wave_index}", regions=len(wave),
+                )
         system.complete_migration(target)
         return tuple(records)
 
@@ -1391,7 +1660,7 @@ class ControlLoop:
             pool = self._live_pool()
             if held:
                 pool = pool.without(held & set(pool.names))
-            planned = self.registry.plan(
+            planned = self._traced_plan(
                 PlanRequest(
                     pool=pool,
                     app_work=self.app_work,
@@ -1399,7 +1668,8 @@ class ControlLoop:
                     params=self.params,
                     method=self.base_method,
                     seed=self.seed,
-                )
+                ),
+                purpose="demand",
             )
         candidate = planned.hierarchy
         if self.cost_model.touched_nodes(hierarchy, candidate) == 0:
@@ -1467,8 +1737,8 @@ class ControlLoop:
         candidate.remove_leaf(doomed)
         candidate.add_server(replacement.name, replacement.power, parent)
         candidate.validate(strict=False)
-        rho = hierarchy_throughput(
-            candidate, self.params, self.app_work
+        rho = self._evaluator.evaluate(
+            candidate, self.app_work, validate=False
         ).throughput
         plan, cost = self._plan_and_price(hierarchy, candidate)
         return candidate, reason, cost, rho, plan

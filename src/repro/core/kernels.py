@@ -417,13 +417,24 @@ class HierarchyEvaluator:
     SERVICE_CACHE_MAX = 4096
     RATE_CACHE_MAX = 65536
 
-    __slots__ = ("params", "_agent_rates", "_server_rates", "_service_rates")
+    __slots__ = (
+        "params",
+        "_agent_rates",
+        "_server_rates",
+        "_service_rates",
+        "hits",
+        "misses",
+    )
 
     def __init__(self, params: ModelParams):
         self.params = params
         self._agent_rates: dict[tuple[float, int], float] = {}
         self._server_rates: dict[float, float] = {}
         self._service_rates: dict[tuple, float] = {}
+        #: Cache lookups answered from a cache / recomputed — observability
+        #: counters (``repro.obs`` feeds per-epoch hit rates from them).
+        self.hits = 0
+        self.misses = 0
 
     # -- cached scalar rates ------------------------------------------- #
 
@@ -432,6 +443,7 @@ class HierarchyEvaluator:
         key = (power, degree)
         rate = self._agent_rates.get(key)
         if rate is None:
+            self.misses += 1
             work, comm = _agent_rate_constants(self.params, degree)
             if power <= 0.0:
                 raise ParameterError(f"power must be > 0, got {power}")
@@ -439,18 +451,23 @@ class HierarchyEvaluator:
             if len(self._agent_rates) >= self.RATE_CACHE_MAX:
                 self._agent_rates.clear()
             self._agent_rates[key] = rate
+        else:
+            self.hits += 1
         return rate
 
     def server_rate(self, power: float) -> float:
         """Cached :func:`~repro.core.throughput.server_sched_throughput`."""
         rate = self._server_rates.get(power)
         if rate is None:
+            self.misses += 1
             if power <= 0.0:
                 raise ParameterError(f"power must be > 0, got {power}")
             rate = 1.0 / (self.params.wpre / power + self.params.server_comm)
             if len(self._server_rates) >= self.RATE_CACHE_MAX:
                 self._server_rates.clear()
             self._server_rates[power] = rate
+        else:
+            self.hits += 1
         return rate
 
     def service_rate(
@@ -460,10 +477,13 @@ class HierarchyEvaluator:
         key = (tuple(powers), tuple(app_works))
         rate = self._service_rates.get(key)
         if rate is None:
+            self.misses += 1
             rate = service_throughput(self.params, powers, app_works)
             if len(self._service_rates) >= self.SERVICE_CACHE_MAX:
                 self._service_rates.clear()
             self._service_rates[key] = rate
+        else:
+            self.hits += 1
         return rate
 
     # -- whole-hierarchy evaluation ------------------------------------ #
@@ -487,6 +507,7 @@ class HierarchyEvaluator:
         server_powers: list[float] = []
         queue: list[NodeId] = [hierarchy.root]
         index = 0
+        hits = 0
         # Track the minimum on the fly; like min(), ties keep the first
         # BFS-encountered node.
         limiting = queue[0]
@@ -502,16 +523,21 @@ class HierarchyEvaluator:
                 rate = agent_rates.get(key)
                 if rate is None:
                     rate = self.agent_rate(power, len(children))
+                else:
+                    hits += 1
             else:
                 rate = server_rates.get(power)
                 if rate is None:
                     rate = self.server_rate(power)
+                else:
+                    hits += 1
                 server_nodes.append(node)
                 server_powers.append(power)
             rates[node] = rate
             if rate < limit_rate:
                 limit_rate = rate
                 limiting = node
+        self.hits += hits
         return rates, limiting, server_nodes, server_powers
 
     def sched_throughput(
@@ -580,6 +606,7 @@ class HierarchyEvaluator:
         server_powers: list[float] = []
         queue: list[NodeId] = [hierarchy.root]
         index = 0
+        hits = 0
         sched = math.inf
         while index < len(queue):
             node = queue[index]
@@ -592,10 +619,14 @@ class HierarchyEvaluator:
                 rate = agent_rates.get(key)
                 if rate is None:
                     rate = self.agent_rate(power, len(children))
+                else:
+                    hits += 1
             else:
                 rate = server_rates.get(power)
                 if rate is None:
                     rate = self.server_rate(power)
+                else:
+                    hits += 1
                 server_nodes.append(node)
                 server_powers.append(power)
             if rate < sched:
@@ -606,12 +637,16 @@ class HierarchyEvaluator:
             )
         works = resolve_app_work_list(server_nodes, app_work)
         service = self.service_rate(server_powers, works)
+        self.hits += hits
         return sched if sched <= service else service
 
     def cache_info(self) -> dict[str, int]:
-        """Sizes of the rate caches (diagnostics for tests/benchmarks)."""
+        """Cache sizes plus cumulative hit/miss counts (diagnostics for
+        tests, benchmarks and the per-epoch cache-hit-rate metric)."""
         return {
             "agent_rates": len(self._agent_rates),
             "server_rates": len(self._server_rates),
             "service_rates": len(self._service_rates),
+            "hits": self.hits,
+            "misses": self.misses,
         }

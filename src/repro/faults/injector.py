@@ -114,7 +114,26 @@ class FaultInjector:
         return None
 
     def apply(self, event: FaultEvent, system) -> FaultRecord:
-        """Apply one event to the running system; always returns a record."""
+        """Apply one event to the running system; always returns a record.
+
+        When the system carries an enabled observability handle, the
+        record is also emitted as a ``fault`` trace event at its
+        injection time.
+        """
+        record = self._apply(event, system)
+        obs = getattr(system, "obs", None)
+        if obs is not None and obs.enabled:
+            obs.tracer.event(
+                record.at, "fault", record.kind,
+                target=record.target,
+                applied=record.applied,
+                nodes=len(record.nodes),
+                dead_letters=record.dead_letters,
+            )
+        return record
+
+    def _apply(self, event: FaultEvent, system) -> FaultRecord:
+        """The surgery behind :meth:`apply`, sans instrumentation."""
         now = system.sim.now
         resolved = self.resolve(event.target, system)
         if resolved is None:

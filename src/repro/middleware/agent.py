@@ -88,6 +88,7 @@ class AgentElement:
         "detection",
         "liveness",
         "reachable",
+        "obs",
     )
 
     def __init__(
@@ -101,6 +102,7 @@ class AgentElement:
         bandwidth: float | None = None,
         detection=None,
         liveness=None,
+        obs=None,
     ):
         self.sim = sim
         self.name = name
@@ -130,6 +132,13 @@ class AgentElement:
         # parent; deliveries to an unreachable element vanish (the sender
         # cannot tell — that is the point of modelling detection).
         self.reachable = True
+        # Observability handle; the shared null handle keeps disabled
+        # watchdog instrumentation at one attribute check.
+        if obs is None:
+            from repro.obs.probe import NULL_OBS
+
+            obs = NULL_OBS
+        self.obs = obs
 
     # ------------------------------------------------------------------ #
 
@@ -266,6 +275,11 @@ class AgentElement:
             if self.liveness is not None:
                 self.liveness.note_timeout(child.name, self.sim.now)
             if attempt < self.detection.retries:
+                if self.obs.enabled:
+                    self.obs.tracer.event(
+                        self.sim.now, "watchdog", "retry",
+                        agent=self.name, child=child.name, attempt=attempt,
+                    )
                 send_time = self.params.agent_sizes.sreq / self.bandwidth
                 self.resource.submit(
                     send_time, "send",
@@ -274,6 +288,11 @@ class AgentElement:
                 return
             # Retry ladder exhausted: give up on this child for the
             # round and let the merge proceed over the survivors.
+            if self.obs.enabled:
+                self.obs.tracer.event(
+                    self.sim.now, "watchdog", "gaveup",
+                    agent=self.name, child=child.name,
+                )
             pending.awaiting.discard(child.name)
             if pending.timed_out is not None:
                 pending.timed_out.add(child.name)

@@ -46,6 +46,7 @@ from repro.middleware.agent import AgentElement
 from repro.middleware.detection import DetectionParams, DetectionState
 from repro.middleware.messages import Request
 from repro.middleware.server import ServerElement
+from repro.obs.probe import NULL_OBS, Obs
 from repro.sim.engine import Simulator
 from repro.sim.stats import IntervalCounter
 from repro.sim.trace import TraceRecorder
@@ -76,6 +77,13 @@ class MiddlewareSystem:
         :attr:`liveness` table accumulates the timeout evidence the
         control plane's monitor reads.  When ``None`` (the default) the
         PR 6 oracle semantics apply unchanged, bit for bit.
+    obs:
+        Optional :class:`~repro.obs.Obs` observability handle.  When
+        enabled, the system emits trace events (dead-letter storms,
+        unlink drains, client-side watchdog timeouts) keyed by sim
+        time; when ``None`` the shared null handle makes every
+        instrumentation site a single attribute check.  Tracing never
+        changes behaviour — all counters are maintained either way.
     """
 
     def __init__(
@@ -88,6 +96,7 @@ class MiddlewareSystem:
         seed: int = 0,
         bandwidths: Mapping[str, float] | None = None,
         detection: DetectionParams | None = None,
+        obs: Obs | None = None,
     ):
         hierarchy.validate(strict=False)
         self.sim = sim
@@ -95,6 +104,7 @@ class MiddlewareSystem:
         self.params = params
         self.app_work = app_work
         self.trace = trace
+        self.obs = obs if obs is not None else NULL_OBS
         if detection is not None and not isinstance(detection, DetectionParams):
             raise DeploymentError(
                 f"detection must be DetectionParams or None, got "
@@ -146,6 +156,12 @@ class MiddlewareSystem:
         #: Conversations dropped without resubmission — structurally
         #: zero; the counter exists to state (and test) the invariant.
         self.lost_conversations = 0
+        #: Conversations that went through an *internal* re-submit (no
+        #: route found mid-migration, dead-lettered by a crash or an
+        #: exhausted connection ladder, or a server migrated away
+        #: between scheduling and service).  Observability counter —
+        #: each one still completes exactly once for its client.
+        self.resubmissions = 0
 
         # Instantiate elements, then wire parent/child links.
         for node in hierarchy:
@@ -176,6 +192,7 @@ class MiddlewareSystem:
                 self.sim, name, power, self.params, trace=self.trace,
                 rng=self._rng, bandwidth=bandwidth,
                 detection=self.detection, liveness=self.liveness,
+                obs=self.obs,
             )
             self.agents[name] = element
         else:
@@ -257,6 +274,11 @@ class MiddlewareSystem:
                 )
         self._unwire(element)
         self._unlinked[name] = scope
+        if self.obs.enabled:
+            self.obs.tracer.event(
+                self.sim.now, "migration", "unlink",
+                root=name, members=len(scope),
+            )
 
     @property
     def unlinked_subtrees(self) -> dict[str, frozenset[str]]:
@@ -560,8 +582,14 @@ class MiddlewareSystem:
                 # Resubmit-elsewhere: the conversation restarts from a
                 # fresh scheduling round with the caller's callbacks
                 # intact, so on_complete still fires exactly once.
+                self.resubmissions += 1
                 self.submit(request.client_name, on_complete, on_scheduled)
         self.dead_letters += dead
+        if dead and self.obs.enabled:
+            self.obs.tracer.event(
+                self.sim.now, "middleware", "dead_letters",
+                count=dead, nodes=len(names),
+            )
         for agent_name in sorted(self.agents):
             agent = self.agents[agent_name]
             for name in sorted(names):
@@ -718,6 +746,7 @@ class MiddlewareSystem:
                 # Every route was dark — possible only transiently, while
                 # a live migration drains the last subtree an agent had.
                 # Resubmit; the retry pays a fresh scheduling round trip.
+                self.resubmissions += 1
                 self.submit(client_name, on_complete, on_scheduled)
                 return
             self._start_service(req, on_complete, on_scheduled)
@@ -767,6 +796,7 @@ class MiddlewareSystem:
             # The selected server was migrated away (or crashed) between
             # scheduling and service — reschedule through the current
             # tree, with the caller's callbacks intact.
+            self.resubmissions += 1
             self.submit(request.client_name, on_complete, on_scheduled)
             return
         if self.detection is not None and (
@@ -801,6 +831,11 @@ class MiddlewareSystem:
         def expired() -> None:
             if self.liveness is not None:
                 self.liveness.note_timeout(server_name, self.sim.now)
+            if self.obs.enabled:
+                self.obs.tracer.event(
+                    self.sim.now, "watchdog", "timeout",
+                    node=server_name, attempt=attempt, side="client",
+                )
             server = self.servers.get(server_name)
             if (
                 server is not None
@@ -819,6 +854,12 @@ class MiddlewareSystem:
             # Ladder exhausted: give the conversation to a surviving
             # server through a fresh scheduling round.
             self.dead_letters += 1
+            self.resubmissions += 1
+            if self.obs.enabled:
+                self.obs.tracer.event(
+                    self.sim.now, "watchdog", "gaveup",
+                    node=server_name, side="client",
+                )
             self.submit(request.client_name, on_complete, on_scheduled)
 
         self.sim.schedule(wait, expired)

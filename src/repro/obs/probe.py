@@ -1,0 +1,143 @@
+"""Near-zero-cost instrumentation points: the null tracer and the
+:class:`Obs` handle.
+
+Instrumented code never branches on "is observability configured" —
+it holds an :class:`Obs` (defaulting to the module-level
+:data:`NULL_OBS`) and guards every recording site with a single
+attribute check::
+
+    if self._obs.enabled:
+        self._obs.tracer.event(self.sim.now, "fault", "crash", node=name)
+
+Disabled-mode overhead is therefore one attribute load and one branch
+per site (budgeted by the ``obs_overhead`` perfsuite cell); the null
+tracer's methods additionally no-op defensively, so even an unguarded
+call is harmless.
+
+This module (together with :mod:`repro.obs.trace`) is the **only**
+place in the library allowed to read the wall clock — the
+:class:`Stopwatch` below centralizes every ``time.perf_counter()``
+pairing that used to be scattered through ``control/loop.py``, and
+``tools/check_wallclock.py`` lints the rest of the tree against
+wall-clock leaks (the standing determinism hazard: wall time must
+never enter a :class:`~repro.control.loop.ControlTimeline`).
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["NullTracer", "NULL_TRACER", "Obs", "NULL_OBS", "Stopwatch"]
+
+
+class NullTracer:
+    """A tracer that records nothing — the disabled-mode stand-in.
+
+    Mirrors the :class:`~repro.obs.trace.Tracer` recording API with
+    no-ops, so instrumentation sites that skip the ``enabled`` guard
+    still cost only a method call.  ``enabled`` is ``False``, which is
+    what guarded sites actually check.
+    """
+
+    __slots__ = ()
+
+    #: Guarded sites branch on this; it is the whole point of the class.
+    enabled = False
+
+    def clear(self) -> None:
+        """Nothing recorded, nothing to drop."""
+
+    def event(self, ts, cat, name, **args) -> None:
+        """Discard an instant event."""
+
+    def begin(self, ts, cat, name, **args) -> int:
+        """Discard a span opening; the returned id is inert."""
+        return -1
+
+    def end(self, ts, span_id, **args) -> None:
+        """Discard a span closing."""
+
+    def span(self, ts, ts_end, cat, name, **args) -> None:
+        """Discard a complete span."""
+
+    def sample(self, ts, name, value) -> None:
+        """Discard a counter sample."""
+
+
+#: The module-level null tracer every un-configured component shares.
+NULL_TRACER = NullTracer()
+
+
+class Stopwatch:
+    """Accumulating wall-clock context manager — overhead telemetry.
+
+    The one sanctioned way to measure controller bookkeeping cost:
+    every ``with stopwatch:`` block adds its wall duration to
+    :attr:`total`.  Centralizing the measurement here (instead of
+    hand-paired ``time.perf_counter()`` deltas at each call site)
+    removes the double-count hazard new control-loop stages used to
+    carry, and keeps wall-clock reads inside :mod:`repro.obs` where
+    the determinism lint allows them.  Nested blocks are safe (each
+    level pairs its own start), though the outer block then includes
+    the inner time once, as wall time actually elapsed.
+
+    The accumulated total is **telemetry only** — callers expose it
+    next to, never inside, deterministic results.
+    """
+
+    __slots__ = ("total", "_starts")
+
+    def __init__(self) -> None:
+        self.total = 0.0
+        self._starts: list[float] = []
+
+    def reset(self) -> None:
+        """Zero the accumulated total (one controller run's scope)."""
+        self.total = 0.0
+        self._starts.clear()
+
+    def __enter__(self) -> "Stopwatch":
+        """Start timing one block."""
+        self._starts.append(time.perf_counter())
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Stop timing the innermost open block and accumulate it."""
+        self.total += time.perf_counter() - self._starts.pop()
+
+
+class Obs:
+    """One observability handle: a tracer plus a metrics registry.
+
+    The single object threaded through
+    :class:`~repro.control.loop.ControlLoop`,
+    :class:`~repro.middleware.system.MiddlewareSystem` and the fault
+    injector.  ``enabled`` mirrors the tracer's flag so instrumented
+    sites pay one attribute check; :attr:`metrics` may be ``None``
+    (the null handle), in which case components that need a registry
+    create their own private one.
+    """
+
+    __slots__ = ("tracer", "metrics", "enabled")
+
+    def __init__(self, tracer=None, metrics=None):
+        if tracer is None:
+            from repro.obs.trace import Tracer
+
+            tracer = Tracer()
+        if metrics is None and tracer.enabled:
+            from repro.obs.metrics import MetricsRegistry
+
+            metrics = MetricsRegistry()
+        self.tracer = tracer
+        self.metrics = metrics
+        self.enabled = bool(tracer.enabled)
+
+    @staticmethod
+    def disabled() -> "Obs":
+        """The shared null handle (identical to :data:`NULL_OBS`)."""
+        return NULL_OBS
+
+
+#: Shared disabled handle: null tracer, no registry, ``enabled=False``.
+NULL_OBS = Obs(tracer=NULL_TRACER, metrics=None)

@@ -1,0 +1,345 @@
+"""Deterministic tracing: typed spans/events keyed by **simulation time**.
+
+A :class:`Tracer` records what the control plane and middleware did —
+epoch stages (``simulate``/``observe``/``decide``/``act``), migration
+regions and waves, watchdog lifecycles, fault injections, planner
+calls, failure detections — as a flat list of typed records, each
+stamped with the *simulation* clock of the component that emitted it.
+
+**Determinism contract.**  Everything that identifies a record (time,
+category, name, args) is a pure function of the run's inputs, so two
+runs with the same seed produce bit-identical traces — asserted by the
+test suite across serial and process-pool ``control_sweep`` execution.
+Wall-clock profiling is kept in one clearly-marked field
+(:attr:`TraceSpan.wall`, measured by the tracer itself so call sites
+never touch the wall clock) and is **excluded from every export by
+default**; passing ``include_wall=True`` opts into a profiling export
+that is *not* reproducible and must never be compared or fed back into
+a :class:`~repro.control.loop.ControlTimeline`.
+
+Exports:
+
+* :meth:`Tracer.to_jsonl` — one compact, key-sorted JSON object per
+  record, in recording order (the byte-identity format);
+* :meth:`Tracer.to_chrome` — the Chrome ``chrome://tracing`` /
+  Perfetto trace-event JSON format (complete ``"X"`` events for spans,
+  instant ``"i"`` events, counter ``"C"`` samples; simulation seconds
+  scaled to microseconds) — load the file via ``chrome://tracing`` or
+  https://ui.perfetto.dev to see the run on a timeline.
+
+This module (with :mod:`repro.obs.probe`) is the only place in the
+library allowed to read the wall clock; ``tools/check_wallclock.py``
+enforces that.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["TraceEvent", "TraceSpan", "TraceSample", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One instant event: something that happened at one sim time."""
+
+    #: Simulation time of the occurrence (seconds).
+    ts: float
+    #: Category — the subsystem vocabulary (``epoch``, ``migration``,
+    #: ``fault``, ``detection``, ``watchdog``, ``planner``, ...).
+    cat: str
+    #: Event name within the category (``crash``, ``expired``, ...).
+    name: str
+    #: Deterministic payload (node names, counts, latencies).
+    args: tuple = ()
+
+
+@dataclass(frozen=True)
+class TraceSpan:
+    """One closed span: an interval of simulation time.
+
+    ``wall`` is the clearly-marked **profiling** field: wall seconds
+    the span took in the hosting process, measured by the tracer
+    between :meth:`Tracer.begin` and :meth:`Tracer.end`.  It is
+    ``None`` for spans recorded retroactively via :meth:`Tracer.span`
+    and is stripped from exports unless ``include_wall=True``.
+    """
+
+    ts: float
+    dur: float
+    cat: str
+    name: str
+    args: tuple = ()
+    wall: float | None = field(default=None, compare=False)
+
+
+@dataclass(frozen=True)
+class TraceSample:
+    """One counter sample (renders as a Chrome ``"C"`` counter track)."""
+
+    ts: float
+    name: str
+    value: float
+
+
+class Tracer:
+    """Deterministic recorder of spans, events and counter samples.
+
+    All recording methods take the simulation time explicitly — the
+    tracer has no clock of its own (the wall clock it *does* read goes
+    only into the profiling :attr:`TraceSpan.wall` field).  Records
+    keep their recording order, which is itself deterministic because
+    every emitting site is driven by the simulation.
+    """
+
+    __slots__ = ("records", "_open")
+
+    #: Real tracers record; the null tracer's ``False`` is what guarded
+    #: instrumentation sites check.
+    enabled = True
+
+    def __init__(self) -> None:
+        #: Flat record list in recording order (events, spans, samples).
+        self.records: list = []
+        # span_id -> (ts, cat, name, args, wall_started) for open spans;
+        # the id is the index the closed span will occupy.
+        self._open: dict[int, tuple] = {}
+
+    # -- recording ----------------------------------------------------- #
+
+    def clear(self) -> None:
+        """Drop every record — a controller run's scope.
+
+        :meth:`ControlLoop.run <repro.control.loop.ControlLoop.run>`
+        clears its tracer on entry, so a trace always describes exactly
+        one run (and a reused :class:`~repro.obs.probe.Obs` exports the
+        same bytes a fresh one would).
+        """
+        self.records.clear()
+        self._open.clear()
+
+    def event(self, ts: float, cat: str, name: str, **args) -> None:
+        """Record an instant event at sim time ``ts``."""
+        self.records.append(
+            TraceEvent(ts=ts, cat=cat, name=name, args=_freeze_args(args))
+        )
+
+    def begin(self, ts: float, cat: str, name: str, **args) -> int:
+        """Open a span at sim time ``ts``; returns its id for :meth:`end`.
+
+        A placeholder keeps the record's position, so traces stay in
+        recording order even when spans nest or interleave.
+        """
+        span_id = len(self.records)
+        self.records.append(None)
+        self._open[span_id] = (
+            ts, cat, name, _freeze_args(args), time.perf_counter()
+        )
+        return span_id
+
+    def end(self, ts: float, span_id: int, **args) -> None:
+        """Close span ``span_id`` at sim time ``ts``.
+
+        Extra ``args`` are appended to the opening ones.  The wall
+        duration between begin and end lands in the span's profiling
+        field — never in the deterministic payload.
+        """
+        if span_id < 0:
+            return
+        ts_start, cat, name, open_args, wall_started = self._open.pop(
+            span_id
+        )
+        self.records[span_id] = TraceSpan(
+            ts=ts_start,
+            dur=ts - ts_start,
+            cat=cat,
+            name=name,
+            args=open_args + _freeze_args(args),
+            wall=time.perf_counter() - wall_started,
+        )
+
+    def span(
+        self, ts: float, ts_end: float, cat: str, name: str, **args
+    ) -> None:
+        """Record a complete span retroactively (no wall profiling)."""
+        self.records.append(
+            TraceSpan(
+                ts=ts,
+                dur=ts_end - ts,
+                cat=cat,
+                name=name,
+                args=_freeze_args(args),
+            )
+        )
+
+    def sample(self, ts: float, name: str, value: float) -> None:
+        """Record one counter sample (a point on a counter track)."""
+        self.records.append(TraceSample(ts=ts, name=name, value=value))
+
+    # -- queries ------------------------------------------------------- #
+
+    def spans(self, cat: str | None = None, name: str | None = None):
+        """Closed spans, optionally filtered by category and/or name."""
+        return [
+            record
+            for record in self.records
+            if isinstance(record, TraceSpan)
+            and (cat is None or record.cat == cat)
+            and (name is None or record.name == name)
+        ]
+
+    def events(self, cat: str | None = None, name: str | None = None):
+        """Instant events, optionally filtered by category and/or name."""
+        return [
+            record
+            for record in self.records
+            if isinstance(record, TraceEvent)
+            and (cat is None or record.cat == cat)
+            and (name is None or record.name == name)
+        ]
+
+    def __len__(self) -> int:
+        """Number of records (open-span placeholders included)."""
+        return len(self.records)
+
+    # -- exports ------------------------------------------------------- #
+
+    def to_jsonl(self, include_wall: bool = False) -> str:
+        """The byte-identity export: one JSON object per line.
+
+        Keys are sorted and separators compact, so two equal traces
+        serialize to identical bytes.  ``include_wall=True`` adds the
+        profiling ``wall`` field to spans — an export that is *not*
+        reproducible across runs (and says so via a header line).
+        """
+        lines = []
+        if include_wall:
+            lines.append(
+                json.dumps(
+                    {"type": "meta", "profiling": True},
+                    sort_keys=True,
+                    separators=(",", ":"),
+                )
+            )
+        for record in self.records:
+            obj = _record_object(record, include_wall)
+            if obj is None:
+                continue
+            lines.append(
+                json.dumps(obj, sort_keys=True, separators=(",", ":"))
+            )
+        return "\n".join(lines) + "\n" if lines else ""
+
+    def to_chrome(self, include_wall: bool = False) -> str:
+        """Chrome/Perfetto trace-event JSON for ``chrome://tracing``.
+
+        Simulation seconds are scaled to trace microseconds.  Spans
+        become complete ``"X"`` events, instants ``"i"`` events and
+        counter samples ``"C"`` events; every record rides on ``pid``
+        1 with one ``tid`` per category (assigned in sorted category
+        order, so the export is deterministic).
+        """
+        cats = sorted(
+            {
+                record.cat
+                for record in self.records
+                if isinstance(record, (TraceEvent, TraceSpan))
+            }
+        )
+        tid_of = {cat: index + 1 for index, cat in enumerate(cats)}
+        sample_tid = len(cats) + 1
+        trace_events = []
+        for record in self.records:
+            if isinstance(record, TraceSpan):
+                entry = {
+                    "name": record.name,
+                    "cat": record.cat,
+                    "ph": "X",
+                    "ts": record.ts * 1e6,
+                    "dur": record.dur * 1e6,
+                    "pid": 1,
+                    "tid": tid_of[record.cat],
+                    "args": dict(record.args),
+                }
+                if include_wall and record.wall is not None:
+                    entry["args"]["wall_seconds"] = record.wall
+                trace_events.append(entry)
+            elif isinstance(record, TraceEvent):
+                trace_events.append(
+                    {
+                        "name": record.name,
+                        "cat": record.cat,
+                        "ph": "i",
+                        "s": "t",
+                        "ts": record.ts * 1e6,
+                        "pid": 1,
+                        "tid": tid_of[record.cat],
+                        "args": dict(record.args),
+                    }
+                )
+            elif isinstance(record, TraceSample):
+                trace_events.append(
+                    {
+                        "name": record.name,
+                        "ph": "C",
+                        "ts": record.ts * 1e6,
+                        "pid": 1,
+                        "tid": sample_tid,
+                        "args": {"value": record.value},
+                    }
+                )
+        # Thread names make the per-category tracks readable in the UI.
+        for cat in cats:
+            trace_events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": 1,
+                    "tid": tid_of[cat],
+                    "args": {"name": cat},
+                }
+            )
+        return json.dumps(
+            {"traceEvents": trace_events, "displayTimeUnit": "ms"},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+
+
+def _freeze_args(args: dict) -> tuple:
+    """Sorted ``(key, value)`` tuple — hashable, order-independent."""
+    return tuple(sorted(args.items()))
+
+
+def _record_object(record, include_wall: bool):
+    """The JSONL dict for one record; ``None`` for open placeholders."""
+    if isinstance(record, TraceSpan):
+        obj = {
+            "type": "span",
+            "ts": record.ts,
+            "dur": record.dur,
+            "cat": record.cat,
+            "name": record.name,
+            "args": dict(record.args),
+        }
+        if include_wall and record.wall is not None:
+            obj["wall"] = record.wall
+        return obj
+    if isinstance(record, TraceEvent):
+        return {
+            "type": "event",
+            "ts": record.ts,
+            "cat": record.cat,
+            "name": record.name,
+            "args": dict(record.args),
+        }
+    if isinstance(record, TraceSample):
+        return {
+            "type": "sample",
+            "ts": record.ts,
+            "name": record.name,
+            "value": record.value,
+        }
+    return None  # an open span's placeholder — never exported

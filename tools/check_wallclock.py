@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""Lint: wall clocks may only be read inside ``repro/obs/``.
+
+The repository's determinism contract says simulation results — and
+everything recorded on a ``ControlTimeline`` — are pure functions of
+their seeds.  The single sanctioned escape hatch is the observability
+package, whose ``Stopwatch`` and tracer profiling fields read
+``time.perf_counter`` for telemetry that never feeds back into the
+run.  This lint walks every Python file under ``src/`` and fails if a
+wall-clock source (``time.time``, ``time.perf_counter``,
+``time.monotonic``, their ``_ns`` variants, or ``datetime.now``) is
+referenced anywhere outside ``src/repro/obs/``.
+
+Run it from the repository root (CI does)::
+
+    python tools/check_wallclock.py
+
+Exits 0 when clean, 1 with one ``path:line: message`` per violation.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+#: Functions in the ``time`` module that read a wall clock.
+TIME_FUNCTIONS = frozenset(
+    {
+        "time",
+        "time_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "monotonic",
+        "monotonic_ns",
+        "process_time",
+        "process_time_ns",
+        "clock_gettime",
+    }
+)
+
+#: ``datetime``/``date`` constructors that capture "now".
+DATETIME_FUNCTIONS = frozenset({"now", "utcnow", "today"})
+
+
+def _violations(tree: ast.AST) -> list[tuple[int, str]]:
+    """Every wall-clock reference in ``tree`` as ``(line, message)``."""
+    found: list[tuple[int, str]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == "time":
+            for alias in node.names:
+                if alias.name in TIME_FUNCTIONS:
+                    found.append(
+                        (
+                            node.lineno,
+                            f"imports wall clock time.{alias.name}",
+                        )
+                    )
+        elif isinstance(node, ast.Attribute):
+            owner = node.value
+            if not isinstance(owner, ast.Name):
+                continue
+            if owner.id == "time" and node.attr in TIME_FUNCTIONS:
+                found.append(
+                    (node.lineno, f"references time.{node.attr}")
+                )
+            elif (
+                owner.id in ("datetime", "date")
+                and node.attr in DATETIME_FUNCTIONS
+            ):
+                found.append(
+                    (node.lineno, f"references {owner.id}.{node.attr}")
+                )
+    return found
+
+
+def check_tree(root: Path, allowed: str = "repro/obs") -> list[str]:
+    """Lint every ``.py`` under ``root``; return formatted violations."""
+    messages: list[str] = []
+    for path in sorted(root.rglob("*.py")):
+        relative = path.relative_to(root).as_posix()
+        if relative.startswith(allowed + "/"):
+            continue
+        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+        for line, message in _violations(tree):
+            messages.append(f"{root / relative}:{line}: {message}")
+    return messages
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point: lint ``src/`` (or the paths given) and report."""
+    arguments = sys.argv[1:] if argv is None else argv
+    roots = [Path(a) for a in arguments] or [
+        Path(__file__).resolve().parent.parent / "src"
+    ]
+    messages: list[str] = []
+    for root in roots:
+        if not root.is_dir():
+            print(f"error: {root} is not a directory", file=sys.stderr)
+            return 2
+        messages.extend(check_tree(root))
+    if messages:
+        print(
+            "wall-clock reads outside repro/obs/ "
+            "(the determinism contract forbids them):"
+        )
+        for message in messages:
+            print(f"  {message}")
+        return 1
+    print("wall-clock lint: clean (wall clocks only inside repro/obs/)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
