@@ -87,6 +87,11 @@ def render_timeline(timeline, max_reason: int = 44) -> str:
     back to the record fields for timelines recorded before snapshots
     existed — both views are fed from the same deterministic
     simulation state, so a rendered table never mixes sources.
+
+    Hybrid-population runs add a split in the ``pop(c+f)`` column:
+    ``12+40134`` means 12 discretely simulated cohort clients plus a
+    fluid mass of ~40134 carried analytically (``clients`` stays the
+    total the trace offered).  All-discrete runs show ``-``.
     """
 
     def column(record, name, attribute):
@@ -132,11 +137,18 @@ def render_timeline(timeline, max_reason: int = 44) -> str:
             if detections
             else "-"
         )
+        fluid_mass = getattr(record, "fluid_clients", 0.0)
+        population = (
+            f"{getattr(record, 'cohort_clients', 0)}+{fluid_mass:.0f}"
+            if fluid_mass > 0.0
+            else "-"
+        )
         rows.append(
             [
                 record.index,
                 f"{record.start:.0f}",
                 column(record, "offered_clients", "offered"),
+                population,
                 format_rate(column(record, "served_rate", "served_rate")),
                 format_rate(column(record, "capacity", "capacity")),
                 column(record, "deployed_nodes", "deployed_nodes"),
@@ -151,8 +163,8 @@ def render_timeline(timeline, max_reason: int = 44) -> str:
         )
     table = ascii_table(
         headers=[
-            "epoch", "t", "clients", "req/s", "cap", "nodes", "spare",
-            "util", "down/steps", "win", "detect", "act", "reason",
+            "epoch", "t", "clients", "pop(c+f)", "req/s", "cap", "nodes",
+            "spare", "util", "down/steps", "win", "detect", "act", "reason",
         ],
         rows=rows,
         title=(

@@ -47,6 +47,7 @@ _EXPORTS = {
     "available_policies": "repro.control.policy",
     "make_policy": "repro.control.policy",
     "Trace": "repro.control.traces",
+    "HybridTrace": "repro.control.traces",
     "burst": "repro.control.traces",
     "constant": "repro.control.traces",
     "diurnal": "repro.control.traces",
@@ -54,6 +55,7 @@ _EXPORTS = {
     "fixtures": "repro.control.traces",
     "flash_crowd": "repro.control.traces",
     "from_spec": "repro.control.traces",
+    "hybrid": "repro.control.traces",
     "piecewise": "repro.control.traces",
     "ramp": "repro.control.traces",
     "replay": "repro.control.traces",
@@ -98,6 +100,7 @@ __all__ = [
     "available_policies",
     "make_policy",
     "Trace",
+    "HybridTrace",
     "constant",
     "piecewise",
     "ramp",
@@ -107,5 +110,6 @@ __all__ = [
     "replay",
     "fixture",
     "fixtures",
+    "hybrid",
     "from_spec",
 ]

@@ -65,7 +65,7 @@ import heapq
 from dataclasses import dataclass, field
 
 from repro.api import PlanRequest
-from repro.control.monitor import SLOMonitor, WindowObservation
+from repro.control.monitor import SLOMonitor, WindowObservation, merge_fluid
 from repro.control.policy import (
     MIGRATION_MODES,
     ControlContext,
@@ -74,7 +74,7 @@ from repro.control.policy import (
     MigrationCostModel,
     make_policy,
 )
-from repro.control.traces import Trace
+from repro.control.traces import HybridTrace, Trace
 from repro.core.hierarchy import Hierarchy
 from repro.core.kernels import HierarchyEvaluator
 from repro.core.params import DEFAULT_PARAMS, ModelParams
@@ -90,6 +90,7 @@ from repro.middleware.system import MiddlewareSystem
 from repro.obs import NULL_OBS, MetricsRegistry, MetricsSnapshot, Obs, Stopwatch
 from repro.platforms.pool import NodePool
 from repro.sim.engine import Simulator
+from repro.sim.fluid import FluidPopulation
 from repro.sim.stats import IntervalCounter
 from repro.sim.trace import TraceRecorder
 
@@ -256,6 +257,12 @@ class EpochRecord:
     #: and fed exclusively from deterministic simulation state, so it is
     #: bit-identical whether tracing is enabled or not.
     metrics: MetricsSnapshot | None = None
+    #: Hybrid runs only: mean fluid client mass carried analytically this
+    #: epoch (``offered`` already includes it) and how many clients were
+    #: actually simulated as the discrete cohort.  Both 0 on ordinary
+    #: all-discrete runs.
+    fluid_clients: float = 0.0
+    cohort_clients: int = 0
 
 
 @dataclass(frozen=True)
@@ -380,7 +387,14 @@ class ControlLoop:
     app_work:
         Application work ``Wapp`` per request (MFlop).
     trace:
-        Target client population over time.
+        Target client population over time.  A
+        :class:`~repro.control.traces.HybridTrace` switches the loop
+        into hybrid mode: only the sampled cohort runs as discrete
+        closed-loop clients, while the fluid remainder is integrated
+        analytically each epoch (calibrated from the cohort's measured
+        per-client rate) and folded into the observations policies see
+        — which is what makes 10⁵–10⁶-client traces run at small-pool
+        wall times.
     policy:
         A registered policy name (optionally with ``policy_options``) or
         a :class:`~repro.control.policy.ControlPolicy` instance.
@@ -682,6 +696,12 @@ class ControlLoop:
         epochs_since_redeploy = self.epochs
         demand_unit = 0.0
         client_serial = 0
+        # Hybrid populations: only the sampled cohort runs as discrete
+        # clients; the remainder is integrated analytically between
+        # event boundaries by a fluid population calibrated from the
+        # cohort's own measured per-client rate.
+        hybrid = self.trace if isinstance(self.trace, HybridTrace) else None
+        fluid = FluidPopulation() if hybrid is not None else None
         # Stopped clients whose final request is still in flight; their
         # completions land in windows whose `offered` no longer counts
         # them, so calibration is suppressed until the drain finishes.
@@ -694,6 +714,11 @@ class ControlLoop:
             start = sim.now
             end = start + self.epoch_duration
             offered = self.trace.level(start)
+            # The engine only ever runs the cohort; the fluid remainder
+            # (offered - cohort_target) is integrated after the window.
+            cohort_target = (
+                hybrid.cohort_level(start) if hybrid is not None else offered
+            )
             sim_span = (
                 tracer.begin(
                     start, "epoch", "simulate", index=index, offered=offered
@@ -703,7 +728,7 @@ class ControlLoop:
             )
 
             # simulate: reconcile the client population, advance one epoch.
-            while len(clients) < offered:
+            while len(clients) < cohort_target:
                 client = ClosedLoopClient(
                     system,
                     f"c{generation}-{client_serial:05d}",
@@ -713,7 +738,7 @@ class ControlLoop:
                 client_serial += 1
                 clients.append(client)
                 client.start()
-            while len(clients) > offered:
+            while len(clients) > cohort_target:
                 stopped = clients.pop()
                 stopped.stop()
                 draining.append(stopped)
@@ -737,8 +762,9 @@ class ControlLoop:
             # simulated migration below is the platform's time, not the
             # controller's, so it stays outside the block).
             with self._overhead:
-                observation = monitor.observe(index, start, end, offered)
-                observations.append(observation)
+                observation = monitor.observe(
+                    index, start, end, cohort_target
+                )
                 if observation.offered > 0 and not window_contaminated:
                     # served/offered never exceeds the rate one
                     # unsaturated client generates (latency only grows
@@ -757,6 +783,27 @@ class ControlLoop:
                     demand_unit = max(
                         demand_unit, observation.per_client_rate
                     )
+
+                # Fluid advance: the mass not simulated as the cohort is
+                # integrated analytically over the window just run, at
+                # the per-client rate the cohort measured, against the
+                # model capacity the cohort left unused.  The merged
+                # observation (total offered, combined served) is what
+                # calibration above never sees but policies below do.
+                fluid_window = None
+                if fluid is not None:
+                    residual = max(0.0, capacity - observation.served_rate)
+                    fluid_window = fluid.advance(
+                        start, end, hybrid.fluid_level, demand_unit, residual
+                    )
+                    allocation = system.assign_fluid_rates(
+                        fluid_window.served_rate
+                    )
+                    observation = merge_fluid(
+                        observation, fluid_window, offered, allocation,
+                        residual,
+                    )
+                observations.append(observation)
 
                 # reconcile: observed damage is the truth the controller
                 # plans from.
@@ -973,6 +1020,10 @@ class ControlLoop:
                     )
                 tracer.sample(end, "served_rate", observation.served_rate)
                 tracer.sample(end, "queue_depth", observation.queue_depth)
+                if fluid is not None:
+                    tracer.sample(
+                        end, "fluid_clients", observation.fluid_clients
+                    )
 
             with self._overhead:
                 snapshot = self._epoch_metrics(
@@ -997,6 +1048,14 @@ class ControlLoop:
                         len(decision.targets)
                         if applied and decision.action == "evict"
                         else 0
+                    ),
+                    fluid_rate=(
+                        fluid_window.served_rate
+                        if fluid_window is not None
+                        else 0.0
+                    ),
+                    fluid_total=(
+                        fluid.total_served if fluid is not None else 0
                     ),
                 )
 
@@ -1032,6 +1091,8 @@ class ControlLoop:
                         else ()
                     ),
                     metrics=snapshot,
+                    fluid_clients=observation.fluid_clients,
+                    cohort_clients=observation.cohort,
                 )
             )
 
@@ -1104,6 +1165,8 @@ class ControlLoop:
         demand_unit: float,
         applied: bool,
         evictions: int,
+        fluid_rate: float = 0.0,
+        fluid_total: int = 0,
     ) -> MetricsSnapshot:
         """Fold one epoch's deterministic state into the registry and
         freeze it.
@@ -1157,6 +1220,14 @@ class ControlLoop:
         )
         metrics.gauge("suspect_nodes").set(len(observation.suspect_nodes))
         metrics.gauge("demand_unit_estimate").set(demand_unit)
+        # Hybrid-population split: all four stay 0 on all-discrete runs,
+        # set unconditionally so every epoch's snapshot has a uniform
+        # key set (tracing on/off and hybrid/non-hybrid diffs stay
+        # structural, never shape changes).
+        metrics.gauge("fluid_clients").set(observation.fluid_clients)
+        metrics.gauge("cohort_clients").set(observation.cohort)
+        metrics.gauge("fluid_served_rate").set(fluid_rate)
+        metrics.counter("fluid_served_total").set_total(fluid_total)
         for detection in detections:
             if detection.latency is not None:
                 metrics.histogram("detection_latency").observe(

@@ -17,13 +17,13 @@ never schedules events, so attaching it cannot perturb a run.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.errors import ControlError
 from repro.middleware.system import MiddlewareSystem
 from repro.sim.stats import IntervalCounter
 
-__all__ = ["WindowObservation", "SLOMonitor"]
+__all__ = ["WindowObservation", "SLOMonitor", "merge_fluid"]
 
 
 @dataclass(frozen=True)
@@ -73,6 +73,19 @@ class WindowObservation:
     server_rates:
         ``(name, served_per_second)`` per deployed server over this
         window — the raw material of the eviction rule.
+    fluid_clients:
+        Mean fluid client mass carried analytically during this window
+        (0.0 on ordinary all-discrete runs).  On hybrid runs the
+        observation is *merged* — ``offered``/``served``/``served_rate``
+        and ``server_rates`` already include the fluid contribution
+        (see :func:`merge_fluid`), and this field plus ``cohort`` record
+        how the total splits.
+    fluid_served:
+        Whole completions attributed to the fluid mass this window.
+    cohort:
+        Discrete sampled clients actually simulated this window (equals
+        ``offered`` on all-discrete runs where it is left 0 — a 0 here
+        means "no hybrid split", not "no clients").
     """
 
     index: int
@@ -92,6 +105,9 @@ class WindowObservation:
     suspect_nodes: tuple = ()
     reintegrated_nodes: tuple = ()
     server_rates: tuple = ()
+    fluid_clients: float = 0.0
+    fluid_served: int = 0
+    cohort: int = 0
 
     @property
     def per_client_rate(self) -> float:
@@ -99,6 +115,60 @@ class WindowObservation:
         if self.offered <= 0:
             return 0.0
         return self.served_rate / self.offered
+
+
+def merge_fluid(
+    observation: WindowObservation,
+    window,
+    offered: int,
+    allocation: tuple,
+    capacity: float,
+) -> WindowObservation:
+    """Fold a fluid window into a cohort-only observation.
+
+    ``observation`` is what :meth:`SLOMonitor.observe` saw of the
+    discrete sampled cohort; ``window`` the matching
+    :class:`~repro.sim.fluid.FluidWindow`; ``offered`` the *total*
+    population (trace level); ``allocation`` the per-server
+    ``(name, rate)`` fluid shares from
+    :meth:`~repro.middleware.system.MiddlewareSystem.assign_fluid_rates`;
+    ``capacity`` the residual model throughput the fluid mass was
+    integrated against.
+
+    The merged observation is what policies see: ``offered`` is the
+    total, ``served``/``served_rate``/``server_rates`` combine both
+    halves, and ``busiest_utilization`` is raised to the fluid
+    utilization (fluid served rate over residual capacity, capped at 1)
+    when the fluid side is the hotter one — without this, no measured
+    node utilization would ever reflect a capacity-saturated fluid mass
+    and reactive scale-up could not fire at 10⁶-client scale.  The
+    split itself is preserved in ``fluid_clients`` / ``fluid_served`` /
+    ``cohort``.  ``served_rate`` keeps the fluid side's *fractional*
+    mass (more faithful than the floor-carried integer ``served``), so
+    ``served_rate * duration`` and ``served`` may differ by < 1.
+    """
+    if capacity > 0.0:
+        fluid_utilization = min(1.0, window.served_rate / capacity)
+    else:
+        fluid_utilization = 1.0 if window.demand_rate > 0.0 else 0.0
+    fluid_shares = dict(allocation)
+    merged_rates = tuple(
+        (name, rate + fluid_shares.get(name, 0.0))
+        for name, rate in observation.server_rates
+    )
+    return replace(
+        observation,
+        offered=offered,
+        served=observation.served + window.served,
+        served_rate=observation.served_rate + window.served_rate,
+        busiest_utilization=max(
+            observation.busiest_utilization, fluid_utilization
+        ),
+        server_rates=merged_rates,
+        fluid_clients=window.offered_mean,
+        fluid_served=window.served,
+        cohort=observation.offered,
+    )
 
 
 class SLOMonitor:

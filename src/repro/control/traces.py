@@ -29,6 +29,17 @@ Constructors: :func:`constant`, :func:`piecewise`, :func:`ramp`,
 :func:`diurnal`, :func:`burst`, :func:`flash_crowd`, :func:`replay`, and
 :func:`from_spec` for the CLI's compact ``name:key=value,...`` syntax.
 
+**Hybrid fluid/discrete populations.**  Any spec accepts two extra keys,
+``population=`` (a multiplier taking a demo-sized shape to 10⁵–10⁶
+clients) and ``cohort=`` (how many of those clients are simulated as
+real discrete conversations).  The result is a :class:`HybridTrace`:
+``level(t)`` is the *total* population, ``cohort_level(t)`` the sampled
+discrete slice the engine runs per-message, and ``fluid_level(t)`` the
+remainder carried analytically by
+:class:`repro.sim.fluid.FluidPopulation`.  Hybrid specs round-trip
+exactly: ``from_spec(trace.name)`` rebuilds the same trace, spec string
+and all.  Programmatic construction goes through :func:`hybrid`.
+
 A small **fixture library** of named :func:`piecewise` scenarios ships
 with the package (:func:`fixture` / :func:`fixtures`): real-world-shaped
 step functions — a Wikipedia-style flash crowd, a Black-Friday double
@@ -48,6 +59,7 @@ from repro.errors import ControlError
 
 __all__ = [
     "Trace",
+    "HybridTrace",
     "constant",
     "piecewise",
     "ramp",
@@ -57,6 +69,7 @@ __all__ = [
     "replay",
     "fixture",
     "fixtures",
+    "hybrid",
     "from_spec",
 ]
 
@@ -313,6 +326,79 @@ def replay(result: object, window: float = 1.0) -> Trace:
 
 
 # ---------------------------------------------------------------------- #
+# hybrid fluid/discrete populations
+
+
+class HybridTrace(Trace):
+    """A trace split into a discrete sampled cohort and a fluid remainder.
+
+    ``population`` multiplies the base shape (so a demo-sized fixture can
+    describe 10⁶ clients without rewriting its steps); ``cohort`` caps how
+    many of the resulting clients the engine simulates as real closed-loop
+    conversations.  The partition is over the **floored** total —
+    ``cohort_level(t) + fluid_level(t) == level(t)`` exactly — so a cohort
+    at least as large as the peak level leaves zero fluid mass and the
+    hybrid run degenerates to the ordinary all-discrete simulation.
+
+    It *is a* :class:`Trace` (``level`` reports the total population), so
+    everything that samples traces — policies peeking ahead, capacity
+    planning, reports — sees the true demand without knowing about the
+    split.
+    """
+
+    __slots__ = ("population", "cohort")
+
+    def __init__(
+        self, base: Trace, population: float = 1.0, cohort: int = 16
+    ):
+        if not isinstance(base, Trace):
+            raise ControlError(
+                f"hybrid base must be a Trace, got {type(base).__name__}"
+            )
+        if population <= 0.0:
+            raise ControlError(
+                f"population multiplier must be > 0, got {population}"
+            )
+        if cohort < 1:
+            raise ControlError(f"cohort must be >= 1, got {cohort}")
+        base_fn = base._fn
+        factor = float(population)
+        if factor == 1.0:
+            fn = base_fn
+        else:
+            def fn(t: float) -> float:
+                return base_fn(t) * factor
+        super().__init__(
+            fn,
+            f"hybrid({base.name},population={factor:g},cohort={int(cohort)})",
+        )
+        self.population = factor
+        self.cohort = int(cohort)
+
+    def cohort_level(self, t: float) -> int:
+        """Discrete clients to actually run at ``t`` (≤ ``cohort``)."""
+        return min(self.cohort, self.level(t))
+
+    def fluid_level(self, t: float) -> float:
+        """Client mass carried by the fluid model at ``t``.
+
+        Exactly ``level(t) - cohort_level(t)`` — the partition covers the
+        floored total, so the two halves always recombine to ``level``.
+        """
+        return float(self.level(t) - self.cohort_level(t))
+
+
+def hybrid(base: Trace, population: float = 1.0, cohort: int = 16) -> Trace:
+    """Split ``base`` (scaled by ``population``) into cohort + fluid.
+
+    Returns a :class:`HybridTrace`.  See the class docstring for the
+    partition semantics; :func:`from_spec` reaches the same constructor
+    through the ``population=`` / ``cohort=`` spec keys.
+    """
+    return HybridTrace(base, population=population, cohort=cohort)
+
+
+# ---------------------------------------------------------------------- #
 # fixture library
 
 #: Named piecewise scenarios, each a list of ``(start_time, level)``
@@ -404,6 +490,7 @@ def from_spec(spec: str) -> Trace:
         piecewise:steps=0/4|30/40|60/4
         wikipedia_flash
         fixture:name=black_friday,scale=1.5
+        diurnal:base=4,peak=10,period=160,population=100000,cohort=24
 
     ``piecewise`` steps are ``time/level`` pairs joined by ``|``; a bare
     fixture name (see :func:`fixtures`) resolves from the shipped
@@ -413,6 +500,13 @@ def from_spec(spec: str) -> Trace:
     what :attr:`Trace.name` reports for a fixture trace, so fixture
     specs round-trip: ``from_spec(fixture(n, s).name)`` rebuilds an
     equivalent trace.
+
+    Every keyed form additionally accepts ``population=`` (a ``> 0``
+    multiplier applied to the shape) and/or ``cohort=`` (``>= 1``
+    discrete sampled clients, default 16): their presence upgrades the
+    result to a :class:`HybridTrace` whose ``name`` is the spec string
+    itself, so hybrid specs round-trip exactly through
+    ``from_spec(trace.name)``.
     """
     name, _, body = spec.partition(":")
     name = name.strip().lower()
@@ -442,6 +536,39 @@ def from_spec(spec: str) -> Trace:
                 )
             # Accept dashed keys like every other key=value CLI surface.
             kwargs[key.strip().replace("-", "_")] = value.strip()
+    # Hybrid keys are grammar-wide, not per-builder: pop them before any
+    # builder sees (and rejects) them.
+    raw_population = kwargs.pop("population", None)
+    raw_cohort = kwargs.pop("cohort", None)
+    trace = _build_base(name, kwargs)
+    if raw_population is None and raw_cohort is None:
+        return trace
+    population = 1.0
+    if raw_population is not None:
+        try:
+            population = float(raw_population)
+        except ValueError as exc:
+            raise ControlError(
+                f"trace option population={raw_population!r} is not a "
+                f"valid float"
+            ) from exc
+    cohort = 16
+    if raw_cohort is not None:
+        try:
+            cohort = int(raw_cohort)
+        except ValueError as exc:
+            raise ControlError(
+                f"trace option cohort={raw_cohort!r} is not a valid int"
+            ) from exc
+    trace = HybridTrace(trace, population=population, cohort=cohort)
+    # The spec itself is the canonical name: exact round-trip through
+    # from_spec(trace.name).
+    trace.name = spec
+    return trace
+
+
+def _build_base(name: str, kwargs: dict[str, str]) -> Trace:
+    """Dispatch the keyed spec forms (fixture / piecewise / builders)."""
     if name == "fixture":
         fixture_name = kwargs.pop("name", "")
         raw_scale = kwargs.pop("scale", "1.0")

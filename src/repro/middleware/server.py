@@ -55,6 +55,7 @@ class ServerElement:
         "services_done",
         "pending_service_work",
         "reachable",
+        "fluid_rate",
     )
 
     def __init__(
@@ -85,6 +86,12 @@ class ServerElement:
         # False while a partition severs this server from the network;
         # deliveries to an unreachable server vanish (detection mode).
         self.reachable = True
+        # Aggregate fluid load (req/s) assigned by the control loop's
+        # hybrid-population accounting.  Pure bookkeeping: the fluid
+        # mass never enters this server's resource queue, it only rides
+        # along in served-rate reports
+        # (MiddlewareSystem.assign_fluid_rates).
+        self.fluid_rate = 0.0
 
     @property
     def in_flight(self) -> int:

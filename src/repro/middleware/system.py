@@ -36,6 +36,7 @@ predicate it can interleave against the engine
 
 from __future__ import annotations
 
+import math
 import random
 from collections.abc import Callable, Iterable, Mapping
 
@@ -912,6 +913,40 @@ class MiddlewareSystem:
         return {
             name: server.services_done for name, server in self.servers.items()
         }
+
+    def assign_fluid_rates(
+        self, total_rate: float
+    ) -> tuple[tuple[str, float], ...]:
+        """Distribute an aggregate fluid load over the deployed servers.
+
+        The hybrid population's served rate (integrated analytically by
+        :class:`~repro.sim.fluid.FluidPopulation`) is attributed to
+        servers in proportion to their power — the allocation the
+        paper's homogeneous-throughput model implies at saturation.
+        Each server's :attr:`~repro.middleware.server.ServerElement.
+        fluid_rate` is updated (bookkeeping only; nothing enters a
+        resource queue) and the ``(name, rate)`` pairs are returned in
+        sorted name order.  Deterministic: pure arithmetic over the
+        current registry, summed with ``fsum`` so both kernel backends
+        agree bit for bit.
+        """
+        names = sorted(self.servers)
+        if total_rate <= 0.0 or not names:
+            for name in names:
+                self.servers[name].fluid_rate = 0.0
+            return tuple((name, 0.0) for name in names)
+        total_power = math.fsum(self.servers[name].power for name in names)
+        allocation = []
+        for name in names:
+            server = self.servers[name]
+            share = (
+                total_rate * (server.power / total_power)
+                if total_power > 0.0
+                else total_rate / len(names)
+            )
+            server.fluid_rate = share
+            allocation.append((name, share))
+        return tuple(allocation)
 
     def total_completed(self) -> int:
         return self.completions.count

@@ -8,6 +8,7 @@ the paper (:mod:`repro.sim.resources`), and measurement utilities
 """
 
 from repro.sim.engine import Event, Simulator
+from repro.sim.fluid import FluidPopulation, FluidWindow
 from repro.sim.resources import SerialResource
 from repro.sim.stats import IntervalCounter, WindowedRate
 from repro.sim.trace import TraceRecorder
@@ -15,6 +16,8 @@ from repro.sim.trace import TraceRecorder
 __all__ = [
     "Event",
     "Simulator",
+    "FluidPopulation",
+    "FluidWindow",
     "SerialResource",
     "IntervalCounter",
     "WindowedRate",

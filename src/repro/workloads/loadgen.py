@@ -30,7 +30,14 @@ anywhere between a workload description and a measurement:
   against simulation-state predicates (never wall clock) and applies
   its :class:`~repro.deploy.migration.MigrationPlan` steps in a fixed
   order, so the timeline stays a pure function of
-  (pool, trace, policy, params, seed, migration mode).
+  (pool, trace, policy, params, seed, migration mode);
+* the hybrid fluid population path
+  (:class:`~repro.sim.fluid.FluidPopulation` driven by a
+  :class:`~repro.control.traces.HybridTrace`) is pure arithmetic on
+  simulation state — no RNG, no wall clock, and a NumPy fast path that
+  performs the identical elementwise IEEE operations as the pure-Python
+  fallback — so a million-client fluid mass adds *nothing* stochastic
+  on top of the cohort's seeded conversations.
 
 Same seeds ⇒ the same event sequence ⇒ bit-identical results, which is
 what lets the test suite compare whole experiment outputs by equality.

@@ -164,10 +164,15 @@ class TestScenarioGrid:
         assert PlanningSession().plan_many([]) == []
 
     def test_plan_many_process_pool_matches_serial(self, pool):
-        # Force the process-pool path even on single-CPU machines.
+        # Force the process-pool path even on single-CPU machines; the
+        # grid must clear _PARALLEL_MIN_UNIQUE or the small-batch fast
+        # path would keep it serial.
         grid = scenario_grid(
             pools=[pool],
-            app_works=[dgemm_mflop(100), dgemm_mflop(310)],
+            app_works=[
+                dgemm_mflop(100), dgemm_mflop(200),
+                dgemm_mflop(310), dgemm_mflop(400),
+            ],
             methods=("heuristic", "star"),
         )
         serial = PlanningSession().plan_many(grid)
@@ -209,6 +214,78 @@ class TestScenarioGrid:
             [request], parallel=True, max_workers=4
         )
         assert len(result) == 1
+
+    def test_plan_many_small_batch_takes_serial_path(self, pool, monkeypatch):
+        # Below _PARALLEL_MIN_UNIQUE unique requests, parallel=True must
+        # not pay process-pool spin-up (ROADMAP: nil gain on small
+        # batches) — and the results must still match a serial run.
+        import repro.api as api_module
+
+        def boom(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("executor must not start for small batches")
+
+        grid = scenario_grid(
+            pools=[pool],
+            app_works=[dgemm_mflop(100), dgemm_mflop(310)],
+            methods=("heuristic", "star"),
+        )
+        assert len(grid) < api_module._PARALLEL_MIN_UNIQUE
+        serial = PlanningSession().plan_many(grid)
+        monkeypatch.setattr(api_module, "ProcessPoolExecutor", boom)
+        monkeypatch.setattr(api_module, "ThreadPoolExecutor", boom)
+        small = PlanningSession().plan_many(
+            grid, parallel=True, max_workers=4
+        )
+        assert [d.describe() for d in small] == [
+            d.describe() for d in serial
+        ]
+        uncached = PlanningSession(cache=False).plan_many(
+            grid, parallel=True, max_workers=4
+        )
+        assert [d.describe() for d in uncached] == [
+            d.describe() for d in serial
+        ]
+
+    def test_plan_many_small_batch_counts_unique_requests(
+        self, pool, monkeypatch
+    ):
+        # The threshold applies to the *deduped* miss count: a long batch
+        # of repeats stays serial, and cache hits never re-trigger a pool.
+        import repro.api as api_module
+
+        calls: list[int] = []
+        real_fan_out = PlanningSession._fan_out
+
+        def recording(requests, workers, chunk):
+            calls.append(len(requests))
+            return real_fan_out(requests, workers, chunk)
+
+        monkeypatch.setattr(
+            PlanningSession, "_fan_out", staticmethod(recording)
+        )
+        request = PlanRequest(
+            pool=pool, app_work=dgemm_mflop(100), method="star"
+        )
+        session = PlanningSession()
+        batch = [
+            request.replace(label=f"r{i}")
+            for i in range(api_module._PARALLEL_MIN_UNIQUE)
+        ]
+        # All labels alias one cache key, so one unique miss: no fan-out.
+        session.plan_many(batch, parallel=True, max_workers=2)
+        assert calls == []
+        # Genuinely distinct requests at the threshold do fan out.
+        varied = scenario_grid(
+            pools=[pool],
+            app_works=[
+                dgemm_mflop(100), dgemm_mflop(200),
+                dgemm_mflop(310), dgemm_mflop(400),
+            ],
+            methods=("heuristic", "star"),
+        )
+        assert len(varied) >= api_module._PARALLEL_MIN_UNIQUE
+        PlanningSession().plan_many(varied, parallel=True, max_workers=2)
+        assert calls == [len(varied)]
 
     def test_plan_many_uncached_session_matches_serial_semantics(self, pool):
         request = PlanRequest(
