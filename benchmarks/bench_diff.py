@@ -168,7 +168,12 @@ def _compare(args: argparse.Namespace) -> int:
 #: per-epoch bookkeeping stays constant, so its overhead *fraction*
 #: rises by construction — the cell gates on absolute wall time against
 #: the discrete `control_loop` reference instead (asserted in-suite).
-_CONTROL_CELLS = ("control_loop", "live_migration", "concurrent_migration")
+_CONTROL_CELLS = (
+    "control_loop",
+    "live_migration",
+    "concurrent_migration",
+    "distributed_epoch",
+)
 
 
 def _budget_exit(current: dict, args: argparse.Namespace) -> int:

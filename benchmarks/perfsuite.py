@@ -33,6 +33,11 @@ record a *performance trajectory* across PRs.  It times
   plan's dependency waves drained in parallel, recording the total
   migration window the concurrent schedule shrinks (asserted strictly
   shorter, with served throughput no worse);
+* the distributed epoch: the same run once per act-stage executor —
+  ``inline`` (no command protocol), ``local`` (full wire round-trip,
+  in-process), ``pool`` (region commands fanned out to a process
+  pool) — with the three timelines asserted bit-identical in-cell, so
+  the cell measures purely what the master/executor protocol costs;
 * fault recovery: the ``black_friday`` reactive run with the root's
   busiest child crashed mid-surge vs. the fault-free baseline,
   recording dead-lettered/lost conversations and the served-throughput
@@ -813,6 +818,99 @@ def bench_concurrent_migration(quick):
     return results
 
 
+def bench_distributed_epoch(quick):
+    """The master/executor command protocol's act-stage overhead.
+
+    One controller configuration, three act-stage executors: ``inline``
+    (no protocol — the pre-split direct apply), ``local`` (full wire
+    round-trip in the master's process), ``pool`` (region commands
+    fanned out to a process pool).  The determinism contract is
+    asserted in-cell — all three timelines bit-identical — and the
+    wall-clock cost of the protocol is the cell's story: serializing
+    commands, replaying registry snapshots in stateless daemons, and
+    verifying acks must stay a small fraction of the run
+    (``bench_diff`` budgets the regression at ~5%).
+    """
+    from repro.control import ControlLoop, fixture
+    from repro.control.protocol import EXECUTOR_KINDS
+
+    if quick:
+        pool_size, epochs, epoch_duration = 16, 16, 4.0
+    else:
+        pool_size, epochs, epoch_duration = 16, 30, 4.0
+    trace = fixture("black_friday")
+    pool = NodePool.uniform_random(pool_size, low=80, high=400, seed=7)
+    app_work = dgemm_mflop(200)
+
+    results = []
+    timelines = {}
+    registries = {}
+    for kind in EXECUTOR_KINDS:
+        loop = ControlLoop(
+            pool,
+            app_work,
+            trace,
+            policy="reactive",
+            policy_options={"hysteresis": 1, "cooldown": 1},
+            epochs=epochs,
+            epoch_duration=epoch_duration,
+            initial_fraction=0.4,
+            migration="concurrent",
+            seed=3,
+            executor=kind,
+        )
+        best = None
+        for _ in range(2):
+            start = time.perf_counter()
+            timeline = loop.run()
+            wall = time.perf_counter() - start
+            if best is None or wall < best[0]:
+                best = (wall, loop.overhead_seconds, timeline)
+        seconds, overhead_seconds, timeline = best
+        timelines[kind] = timeline
+        registries[kind] = loop.deployment_registry
+        results.append(
+            {
+                "name": "distributed_epoch",
+                "params": {
+                    "executor": kind,
+                    "pool": pool_size,
+                    "epochs": epochs,
+                },
+                "metric": "seconds",
+                "value": round(seconds, 6),
+                "extra": {
+                    "overhead_seconds": round(overhead_seconds, 6),
+                    "overhead_fraction": round(
+                        overhead_seconds / seconds, 4
+                    ),
+                    "served": timeline.total_served,
+                    "mean_served_rate": round(
+                        timeline.mean_served_rate, 3
+                    ),
+                    "redeploys": timeline.redeploys,
+                    "generations": len(registries[kind]),
+                    "epochs_per_s": round(epochs / seconds, 2),
+                },
+            }
+        )
+        print(
+            f"  distributed_epoch executor={kind}: {seconds:.3f} s wall, "
+            f"{overhead_seconds / seconds:.1%} controller overhead, "
+            f"{len(registries[kind])} registry generations"
+        )
+    # The tentpole claim, asserted on every run: the protocol changes
+    # *where* plans are applied, never *what* the controller computes.
+    assert timelines["local"] == timelines["inline"]
+    assert timelines["pool"] == timelines["inline"]
+    assert (
+        [e.digest for e in registries["local"].entries]
+        == [e.digest for e in registries["inline"].entries]
+        == [e.digest for e in registries["pool"].entries]
+    )
+    return results
+
+
 def bench_fault_recovery(quick):
     from repro.control import ControlLoop, fixture
 
@@ -1126,6 +1224,7 @@ def main(argv=None):
     results += bench_fluid_scale(args.quick, reference_seconds)
     results += bench_live_migration(args.quick)
     results += bench_concurrent_migration(args.quick)
+    results += bench_distributed_epoch(args.quick)
     results += bench_fault_recovery(args.quick)
     results += bench_fault_detection(args.quick)
     results += bench_obs_overhead(args.quick)

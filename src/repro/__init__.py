@@ -104,7 +104,7 @@ from repro.platforms import (
 )
 from repro.units import dgemm_mflop
 
-__version__ = "1.9.0"
+__version__ = "1.10.0"
 
 #: Control-plane names exported lazily (PEP 562): repro.control pulls in
 #: the middleware/sim/extensions stack, which the registry deliberately

@@ -704,6 +704,18 @@ class PlanningSession:
             from repro.middleware.detection import parse_detection
 
             parse_detection(control_kwargs["detection"])
+        if "executor" in control_kwargs:
+            # Act-stage executors must travel as kind strings: an
+            # executor *instance* owns process state (a pool) that
+            # neither pickles nor may be shared across cells.
+            from repro.control.protocol import EXECUTOR_KINDS
+
+            if control_kwargs["executor"] not in EXECUTOR_KINDS:
+                raise PlanningError(
+                    "control_sweep executor must be one of "
+                    f"{EXECUTOR_KINDS} (a kind string — instances don't "
+                    f"pickle), got {control_kwargs['executor']!r}"
+                )
         grid = [
             (spec, policy, seed)
             for spec in traces

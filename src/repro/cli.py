@@ -48,6 +48,7 @@ from repro.analysis.report import ascii_table, format_rate
 from repro.api import PlanningSession
 from repro.calibration.table3 import calibrate, render_table3
 from repro.control.policy import MIGRATION_MODES, available_policies
+from repro.control.protocol import EXECUTOR_KINDS
 from repro.core.params import DEFAULT_PARAMS
 from repro.core.registry import REGISTRY
 from repro.deploy.godiet import GoDIET
@@ -393,6 +394,8 @@ def _cmd_control(args: argparse.Namespace) -> int:
             initial_fraction=args.initial_fraction,
             migration=args.migration,
             think_time=args.think_time,
+            executor=args.executor,
+            executor_workers=args.executor_workers,
             **({"faults": args.faults} if args.faults else {}),
             **({"detection": args.detection} if args.detection else {}),
         )
@@ -441,6 +444,8 @@ def _cmd_control(args: argparse.Namespace) -> int:
         think_time=args.think_time,
         seed=args.seed,
         faults=args.faults,
+        executor=args.executor,
+        executor_workers=args.executor_workers,
         **({"detection": args.detection} if args.detection else {}),
     )
     print(render_timeline(timeline))
@@ -468,6 +473,8 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         migration=args.migration,
         seed=args.seed,
         obs=obs,
+        executor=args.executor,
+        executor_workers=args.executor_workers,
         **({"faults": args.faults} if args.faults else {}),
         **({"detection": args.detection} if args.detection else {}),
     )
@@ -647,6 +654,17 @@ def build_parser() -> argparse.ArgumentParser:
         "concurrent wave-parallel drains, or stop-the-world restart",
     )
     p_control.add_argument(
+        "--executor", choices=EXECUTOR_KINDS, default="inline",
+        help="act-stage executor: inline direct apply (default), "
+        "local in-process daemons over the wire protocol, or pool "
+        "per-region daemon processes — the timeline is bit-identical "
+        "across all three",
+    )
+    p_control.add_argument(
+        "--executor-workers", type=int, default=None, metavar="N",
+        help="process count for --executor pool (default: pool default)",
+    )
+    p_control.add_argument(
         "--sweep", action="store_true",
         help="run the (trace x policy x seed) grid over a process pool "
         "and print one summary row per cell",
@@ -722,6 +740,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument(
         "--migration", choices=MIGRATION_MODES, default="live",
         help="redeploy mechanism (default live)",
+    )
+    p_trace.add_argument(
+        "--executor", choices=EXECUTOR_KINDS, default="inline",
+        help="act-stage executor (same choices as 'control "
+        "--executor'); local/pool add per-region command/ack spans "
+        "to the exported trace",
+    )
+    p_trace.add_argument(
+        "--executor-workers", type=int, default=None, metavar="N",
+        help="process count for --executor pool (default: pool default)",
     )
     p_trace.add_argument(
         "--epochs", type=int, default=30,

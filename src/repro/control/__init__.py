@@ -30,6 +30,24 @@ _EXPORTS = {
     "SLOMonitor": "repro.control.monitor",
     "WindowObservation": "repro.control.monitor",
     "MIGRATION_MODES": "repro.control.policy",
+    "PROTOCOL_VERSION": "repro.control.protocol",
+    "EXECUTOR_KINDS": "repro.control.protocol",
+    "MigrationCommand": "repro.control.protocol",
+    "RegionReport": "repro.control.protocol",
+    "plan_commands": "repro.control.protocol",
+    "commands_to_plan": "repro.control.protocol",
+    "parse_command": "repro.control.protocol",
+    "parse_report": "repro.control.protocol",
+    "execute_command": "repro.control.protocol",
+    "InProcessExecutor": "repro.control.protocol",
+    "ProcessExecutor": "repro.control.protocol",
+    "make_executor": "repro.control.protocol",
+    "SCHEMA_VERSION": "repro.control.registry",
+    "DeploymentRegistry": "repro.control.registry",
+    "RegistryEntry": "repro.control.registry",
+    "serialize_tree": "repro.control.registry",
+    "restore_tree": "repro.control.registry",
+    "tree_digest": "repro.control.registry",
     "ControlContext": "repro.control.policy",
     "ControlDecision": "repro.control.policy",
     "ControlPolicy": "repro.control.policy",
@@ -77,6 +95,24 @@ def __dir__():
 
 __all__ = [
     "MIGRATION_MODES",
+    "PROTOCOL_VERSION",
+    "EXECUTOR_KINDS",
+    "MigrationCommand",
+    "RegionReport",
+    "plan_commands",
+    "commands_to_plan",
+    "parse_command",
+    "parse_report",
+    "execute_command",
+    "InProcessExecutor",
+    "ProcessExecutor",
+    "make_executor",
+    "SCHEMA_VERSION",
+    "DeploymentRegistry",
+    "RegistryEntry",
+    "serialize_tree",
+    "restore_tree",
+    "tree_digest",
     "ControlLoop",
     "ControlTimeline",
     "EpochRecord",

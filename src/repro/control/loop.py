@@ -74,13 +74,27 @@ from repro.control.policy import (
     MigrationCostModel,
     make_policy,
 )
+from repro.control.protocol import (
+    EXECUTOR_KINDS,
+    commands_to_plan,
+    make_executor,
+    parse_command,
+    parse_report,
+    plan_commands,
+)
+from repro.control.registry import DeploymentRegistry, tree_digest
 from repro.control.traces import HybridTrace, Trace
 from repro.core.hierarchy import Hierarchy
 from repro.core.kernels import HierarchyEvaluator
 from repro.core.params import DEFAULT_PARAMS, ModelParams
 from repro.core.registry import CAP_DEMAND, REGISTRY, PlannerRegistry
-from repro.deploy.migration import MigrationPlan, plan_migration
-from repro.errors import ControlError, HierarchyError
+from repro.deploy.migration import (
+    MigrationPlan,
+    apply_steps,
+    hierarchies_equal,
+    plan_migration,
+)
+from repro.errors import ControlError, HierarchyError, ProtocolError
 from repro.extensions.redeploy import improve_deployment
 from repro.faults import FaultInjector, FaultRecord, FaultSchedule
 from repro.faults import from_spec as fault_spec
@@ -455,6 +469,23 @@ class ControlLoop:
         whole spare set, so a damaged platform always has material to
         heal with.  A ``reserve=`` key in a detection spec string
         overrides this argument.
+    executor:
+        How the act stage realizes live migration plans — one of
+        :data:`~repro.control.protocol.EXECUTOR_KINDS` (``"inline"``,
+        ``"local"``, ``"pool"``) or a ready-made executor object with
+        ``execute(snapshot, wires)`` / ``close()``.  ``"inline"`` (the
+        default) applies plans directly, exactly as before the
+        master/daemon split.  ``"local"`` and ``"pool"`` serialize each
+        plan into versioned :class:`~repro.control.protocol
+        .MigrationCommand` batches, execute them through stateless
+        per-region daemons (in-process or in a process pool) that
+        rebuild the deployment from a :class:`~repro.control.registry
+        .DeploymentRegistry` snapshot, and verify the acked digests
+        before the simulated apply — the timeline is bit-identical
+        across all three kinds (asserted by ``tests/test_protocol.py``).
+    executor_workers:
+        Process count for the ``"pool"`` executor (``None`` for the
+        pool default); ignored by the other kinds.
     obs:
         Observability handle.  ``None``/``False`` (default) runs with
         the shared null handle — disabled instrumentation costs one
@@ -490,6 +521,8 @@ class ControlLoop:
         detection: DetectionParams | str | None = None,
         spare_reserve: float = 0.0,
         obs: Obs | bool | None = None,
+        executor: str | object = "inline",
+        executor_workers: int | None = None,
     ):
         if len(pool) < 2:
             raise ControlError(
@@ -555,6 +588,23 @@ class ControlLoop:
                 f"obs must be an Obs handle or a bool, got "
                 f"{type(obs).__name__}"
             )
+        if isinstance(executor, str):
+            if executor not in EXECUTOR_KINDS:
+                raise ControlError(
+                    f"unknown executor kind {executor!r}; "
+                    f"expected one of {EXECUTOR_KINDS}"
+                )
+        elif not (
+            hasattr(executor, "execute") and hasattr(executor, "close")
+        ):
+            raise ControlError(
+                "executor must be an EXECUTOR_KINDS string or an object "
+                f"with execute()/close(), got {type(executor).__name__}"
+            )
+        if executor_workers is not None and executor_workers < 1:
+            raise ControlError(
+                f"executor_workers must be >= 1, got {executor_workers}"
+            )
         self.pool = pool
         self.app_work = float(app_work)
         self.trace = trace
@@ -576,6 +626,15 @@ class ControlLoop:
         self.seed = seed
         self.faults = faults
         self.detection = detection
+        self.executor = executor
+        self.executor_workers = executor_workers
+        # The live run's executor instance (None in inline mode); owned
+        # and closed by :meth:`run` when built from a kind string.
+        self._executor = None
+        #: Versioned deployment-state registry of the last :meth:`run` —
+        #: one generation per applied deployment transition, the durable
+        #: truth executors (and restarted daemons) rebuild from.
+        self.deployment_registry = DeploymentRegistry()
         self.spare_reserve = float(spare_reserve)
         # Reserve size in nodes, fixed at construction: a fraction of
         # the *full* pool, so attrition cannot silently shrink it.
@@ -634,6 +693,29 @@ class ControlLoop:
 
     def run(self) -> ControlTimeline:
         """Execute the simulate → observe → decide → act loop."""
+        if isinstance(self.executor, str):
+            executor = make_executor(self.executor, self.executor_workers)
+            owns_executor = True
+        else:
+            executor, owns_executor = self.executor, False
+        # Spin the executor up (process-pool workers included) before
+        # the run, *outside* the overhead stopwatch: worker spawn is
+        # one-time infrastructure, not per-epoch controller bookkeeping,
+        # and charging it to the first dispatch would make the
+        # adaptation-overhead budget lie about steady state.
+        if executor is not None:
+            warm = getattr(executor, "warm", None)
+            if warm is not None:
+                warm()
+        self._executor = executor
+        try:
+            return self._run_loop()
+        finally:
+            if owns_executor and executor is not None:
+                executor.close()
+            self._executor = None
+
+    def _run_loop(self) -> ControlTimeline:
         self._overhead.reset()
         self._metrics.reset()
         self._evaluator = HierarchyEvaluator(self.params)
@@ -644,6 +726,10 @@ class ControlLoop:
         self._failed_names = set()
         self._evicted_names = set()
         self._pending_injections = {}
+        # Fresh registry per run: generation 0 is the initial deployment
+        # and every applied transition (redeploy, crash adoption,
+        # confirmed-detection excision) commits the next one.
+        self.deployment_registry = DeploymentRegistry()
         injector = (
             FaultInjector(self.faults) if self.faults is not None else None
         )
@@ -677,6 +763,7 @@ class ControlLoop:
             completions = IntervalCounter()
             monitor = SLOMonitor(completions)
             hierarchy = deployment.hierarchy
+            self.deployment_registry.commit(hierarchy, "initial")
             spares = self._spares_for(hierarchy)
             system = self._build_system(sim, hierarchy, generation=0)
             monitor.attach(system)
@@ -824,6 +911,9 @@ class ControlLoop:
                         hierarchy = system.hierarchy
                         spares = self._spares_for(hierarchy)
                         self._capacity_plans.clear()
+                        self.deployment_registry.commit(
+                            hierarchy, "crash", epoch=index
+                        )
                     if any(
                         record.applied and record.kind != "degrade"
                         for record in faults_this_epoch
@@ -864,6 +954,9 @@ class ControlLoop:
                         hierarchy = system.hierarchy
                         spares = self._spares_for(hierarchy)
                         self._capacity_plans.clear()
+                        self.deployment_registry.commit(
+                            hierarchy, "detection", epoch=index
+                        )
                         capacity = self._effective_capacity(
                             system, hierarchy
                         )
@@ -914,6 +1007,7 @@ class ControlLoop:
                     spares = self._spares_for(hierarchy)
                     capacity = new_capacity
             act_start = sim.now
+            dispatched: tuple = ()
             if candidate is not None:
                 if (
                     self.migration in _LIVE_MODES
@@ -925,6 +1019,18 @@ class ControlLoop:
                     # undrained part of the platform keeps serving.
                     # Concurrent mode executes whole dependency waves
                     # at once instead of one region at a time.
+                    # With an executor configured, the plan first runs
+                    # the master/daemon protocol: serialized commands
+                    # out, acked digests back, and the wire-round-
+                    # tripped plan is what the simulated apply below
+                    # executes — so serialization is load-bearing, not
+                    # decorative.  (Restart plans bypass the protocol:
+                    # stop-the-world is a rebuild, not a command batch.)
+                    if self._executor is not None and plan.regions:
+                        with self._overhead:
+                            plan, dispatched = self._dispatch_commands(
+                                plan, candidate, index
+                            )
                     migrate_start = sim.now
                     if self.migration == "concurrent":
                         step_records = self._apply_concurrent(
@@ -970,6 +1076,16 @@ class ControlLoop:
                             sim, hierarchy, generation
                         )
                         monitor.attach(system)
+                with self._overhead:
+                    # The applied deployment becomes the next registry
+                    # generation — committed *after* the apply, so the
+                    # executors above replayed from the old one.
+                    self.deployment_registry.commit(
+                        hierarchy, decision.action, epoch=index,
+                        command_ids=tuple(
+                            command.command_id for command in dispatched
+                        ),
+                    )
                 redeploys += 1
                 applied = True
                 epochs_since_redeploy = 0
@@ -1018,6 +1134,45 @@ class ControlLoop:
                         action=decision.action,
                         steps=len(step_records),
                     )
+                if applied and dispatched:
+                    # The master/daemon exchange, folded back into the
+                    # epoch: one dispatch marker, then per region a
+                    # command span (outstanding from dispatch until the
+                    # region resumed) closed by an ack event, with flow
+                    # arrows tying each pair together across tracks.
+                    by_root = {
+                        command.root: command for command in dispatched
+                    }
+                    tracer.event(
+                        act_start, "protocol", "dispatch",
+                        epoch=index,
+                        commands=len(dispatched),
+                        generation=dispatched[0].generation,
+                    )
+                    for step in step_records:
+                        command = by_root.get(step.target)
+                        if command is None:
+                            continue
+                        done = step.started_at + step.seconds
+                        tracer.span(
+                            act_start, done, "protocol",
+                            f"command:{step.target}",
+                            command_id=command.command_id,
+                            wave=command.wave,
+                            generation=command.generation,
+                            epoch=index,
+                        )
+                        tracer.event(
+                            done, "protocol", f"ack:{step.target}",
+                            command_id=command.command_id,
+                            epoch=index,
+                        )
+                        tracer.flow(
+                            act_start, "protocol", command.command_id, "s"
+                        )
+                        tracer.flow(
+                            done, "protocol", command.command_id, "f"
+                        )
                 tracer.sample(end, "served_rate", observation.served_rate)
                 tracer.sample(end, "queue_depth", observation.queue_depth)
                 if fluid is not None:
@@ -1429,6 +1584,68 @@ class ControlLoop:
         return None, self.cost_model.cost_seconds(
             current, candidate, self.params
         )
+
+    def _dispatch_commands(
+        self, plan: MigrationPlan, candidate: Hierarchy, epoch: int
+    ) -> tuple[MigrationPlan, tuple]:
+        """Run one plan through the master/daemon command protocol.
+
+        The master side of the act-stage split: serialize ``plan`` into
+        versioned :class:`~repro.control.protocol.MigrationCommand`
+        wires against the registry's current generation, hand them to
+        the configured executor (whose stateless daemons rebuild the
+        deployment from a registry snapshot and apply the batch), then
+        verify every ack — command-id correlation, per-command digest
+        against the master's own replay, and the final tree against the
+        decided ``candidate``.  Any disagreement is a
+        :class:`~repro.errors.ProtocolError`, never a silent repair.
+
+        Returns ``(plan, commands)`` where ``plan`` is the **wire-
+        round-tripped** plan (rebuilt from the parsed command wires) —
+        the simulated apply executes that one, so a serialization bug
+        cannot hide behind the in-memory original.
+        """
+        registry = self.deployment_registry
+        generation = registry.generation
+        commands = plan_commands(plan, generation, epoch)
+        wires = [command.to_wire() for command in commands]
+        reports = self._executor.execute(registry.snapshot(), wires)
+        if len(reports) != len(commands):
+            raise ProtocolError(
+                f"executor returned {len(reports)} report(s) for "
+                f"{len(commands)} command(s)"
+            )
+        replay = registry.current()
+        for command, wire in zip(commands, reports):
+            report = parse_report(wire)
+            if (
+                report.command_id != command.command_id
+                or report.root != command.root
+                or report.generation != generation
+                or report.status != "applied"
+            ):
+                raise ProtocolError(
+                    f"bad ack for {command.command_id}: "
+                    f"got id={report.command_id!r} root={report.root!r} "
+                    f"generation={report.generation} "
+                    f"status={report.status!r}"
+                )
+            apply_steps(replay, command.steps)
+            if report.digest != tree_digest(replay):
+                raise ProtocolError(
+                    f"digest mismatch on {command.command_id}: the "
+                    "daemon built a different tree than the master's "
+                    "replay"
+                )
+        if not hierarchies_equal(replay, candidate):
+            raise ProtocolError(
+                "executed command batch does not reproduce the decided "
+                "deployment"
+            )
+        round_tripped = commands_to_plan(
+            tuple(parse_command(wire) for wire in wires)
+        )
+        return round_tripped, commands
 
     def _apply_live(
         self,

@@ -151,11 +151,17 @@ def merge_fluid(
         fluid_utilization = min(1.0, window.served_rate / capacity)
     else:
         fluid_utilization = 1.0 if window.demand_rate > 0.0 else 0.0
-    fluid_shares = dict(allocation)
-    merged_rates = tuple(
-        (name, rate + fluid_shares.get(name, 0.0))
-        for name, rate in observation.server_rates
-    )
+    # Merge over the *union* of both key sets: a server that entered the
+    # deployment between the observe snapshot and assign_fluid_rates
+    # (mid-epoch repair splice) appears in `allocation` but not yet in
+    # `observation.server_rates`, and dropping it would silently erase
+    # its fluid share — undercounting exactly the server the eviction
+    # lag rule is about to judge.  Both inputs are name-sorted, so the
+    # sorted union keeps the merged tuple deterministic.
+    merged = {name: rate for name, rate in observation.server_rates}
+    for name, share in allocation:
+        merged[name] = merged.get(name, 0.0) + share
+    merged_rates = tuple(sorted(merged.items()))
     return replace(
         observation,
         offered=offered,
@@ -210,6 +216,16 @@ class SLOMonitor:
         """Point the monitor at a (new) platform and reset busy baselines."""
         self._system = system
         self._detection = getattr(system, "detection", None)
+        # A name that re-entered the deployment (repair splices a spare,
+        # a later redeploy reuses the name) is alive again: drop it from
+        # the already-reported sets so a *second* failure of the reused
+        # name is reported — without this, `_failed_seen` grows forever
+        # and swallows every repeat failure, and a confirmed suspicion
+        # would outlive the node it was about.
+        deployed = set(system.agents) | set(system.servers)
+        self._failed_seen -= deployed
+        for name in deployed:
+            self._confirmed.pop(name, None)
         self._snapshot_time = system.sim.now
         self._busy_snapshot = {
             name: element.resource.busy_seconds()

@@ -92,6 +92,33 @@ class MigrationStep:
     def is_structural(self) -> bool:
         return self.op in _STRUCTURAL_OPS
 
+    def to_wire(self) -> dict:
+        """JSON-safe dict form for the master/executor command protocol.
+
+        Node ids are stringified (they are strings in practice — see
+        :data:`~repro.core.hierarchy.NodeId`) and the :class:`Role`
+        enum travels as its value; :meth:`from_wire` inverts exactly.
+        """
+        return {
+            "op": self.op,
+            "node": str(self.node),
+            "parent": str(self.parent) if self.parent is not None else None,
+            "role": self.role.value if self.role is not None else None,
+            "power": self.power,
+            "subtree": [str(node) for node in self.subtree],
+        }
+
+    @classmethod
+    def from_wire(cls, wire: dict) -> "MigrationStep":
+        return cls(
+            op=wire["op"],
+            node=wire["node"],
+            parent=wire["parent"],
+            role=Role(wire["role"]) if wire["role"] is not None else None,
+            power=wire["power"],
+            subtree=tuple(wire["subtree"]),
+        )
+
     def describe(self) -> str:
         if self.op == "attach":
             return f"attach {self.node}({self.role.value}) under {self.parent}"

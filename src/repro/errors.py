@@ -18,6 +18,7 @@ __all__ = [
     "CalibrationError",
     "ControlError",
     "FaultError",
+    "ProtocolError",
 ]
 
 
@@ -69,4 +70,17 @@ class FaultError(ControlError):
     Subclasses :class:`ControlError` because fault schedules are control
     plane inputs, exactly like workload traces: callers that already
     handle trace misconfiguration handle fault misconfiguration too.
+    """
+
+
+class ProtocolError(ControlError):
+    """A master/executor command exchange is malformed or inconsistent.
+
+    Raised when a wire-form :class:`~repro.control.protocol
+    .MigrationCommand` or :class:`~repro.control.protocol.RegionReport`
+    fails validation (unknown version, missing fields), when an
+    executor's acked digest disagrees with the master's replay, or when
+    a :class:`~repro.control.registry.DeploymentRegistry` snapshot
+    cannot be restored.  Subclasses :class:`ControlError`: the command
+    protocol is the control plane's act stage.
     """

@@ -471,6 +471,29 @@ class MiddlewareSystem:
                 if root in by_name
             }
 
+    def placement_signature(self) -> tuple:
+        """Name-sorted ``(name, parent, role)`` rows of the live elements.
+
+        Built from the element registry and its wiring — not from
+        :attr:`hierarchy` — so it describes what is actually deployed
+        right now, mid-migration surgery included.  The control plane's
+        registry tests compare this against the committed deployment
+        tree to pin "registry truth == middleware truth" after every
+        applied generation.
+        """
+        rows = []
+        for name, agent in self.agents.items():
+            parent = agent.parent
+            rows.append(
+                (name, parent.name if parent is not None else None, "agent")
+            )
+        for name, server in self.servers.items():
+            parent = server.parent
+            rows.append(
+                (name, parent.name if parent is not None else None, "server")
+            )
+        return tuple(sorted(rows))
+
     # ------------------------------------------------------------------ #
     # failure surgery (fault injection)
 

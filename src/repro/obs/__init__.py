@@ -44,7 +44,13 @@ from repro.obs.metrics import (
     MetricsSnapshot,
 )
 from repro.obs.probe import NULL_OBS, NULL_TRACER, NullTracer, Obs, Stopwatch
-from repro.obs.trace import Tracer, TraceEvent, TraceSample, TraceSpan
+from repro.obs.trace import (
+    Tracer,
+    TraceEvent,
+    TraceFlow,
+    TraceSample,
+    TraceSpan,
+)
 
 __all__ = [
     "Obs",
@@ -56,6 +62,7 @@ __all__ = [
     "TraceEvent",
     "TraceSpan",
     "TraceSample",
+    "TraceFlow",
     "Counter",
     "Gauge",
     "Histogram",

@@ -63,6 +63,9 @@ class NullTracer:
     def sample(self, ts, name, value) -> None:
         """Discard a counter sample."""
 
+    def flow(self, ts, cat, flow_id, phase) -> None:
+        """Discard a flow-arrow end."""
+
 
 #: The module-level null tracer every un-configured component shares.
 NULL_TRACER = NullTracer()

@@ -38,7 +38,7 @@ import json
 import time
 from dataclasses import dataclass, field
 
-__all__ = ["TraceEvent", "TraceSpan", "TraceSample", "Tracer"]
+__all__ = ["TraceEvent", "TraceSpan", "TraceSample", "TraceFlow", "Tracer"]
 
 
 @dataclass(frozen=True)
@@ -82,6 +82,23 @@ class TraceSample:
     ts: float
     name: str
     value: float
+
+
+@dataclass(frozen=True)
+class TraceFlow:
+    """One end of a flow arrow tying records together across tracks.
+
+    ``flow_id`` correlates the two ends (e.g. a protocol command id);
+    ``phase`` is ``"s"`` at the producing end and ``"f"`` at the
+    consuming end — the Chrome trace-event flow vocabulary, which the
+    exporter emits verbatim so the UI draws the arrow (dispatch → ack
+    for the control plane's command protocol).
+    """
+
+    ts: float
+    cat: str
+    flow_id: str
+    phase: str  # "s" (start) | "f" (finish)
 
 
 class Tracer:
@@ -178,6 +195,21 @@ class Tracer:
         """Record one counter sample (a point on a counter track)."""
         self.records.append(TraceSample(ts=ts, name=name, value=value))
 
+    def flow(self, ts: float, cat: str, flow_id: str, phase: str) -> None:
+        """Record one end of a flow arrow (``phase`` ``"s"`` or ``"f"``).
+
+        Emit ``"s"`` at the producing record's time and ``"f"`` with
+        the same ``flow_id`` at the consuming record's time; Chrome /
+        Perfetto draws the arrow between them.
+        """
+        if phase not in ("s", "f"):
+            raise ValueError(
+                f"flow phase must be 's' or 'f', got {phase!r}"
+            )
+        self.records.append(
+            TraceFlow(ts=ts, cat=cat, flow_id=flow_id, phase=phase)
+        )
+
     # -- queries ------------------------------------------------------- #
 
     def spans(self, cat: str | None = None, name: str | None = None):
@@ -245,7 +277,7 @@ class Tracer:
             {
                 record.cat
                 for record in self.records
-                if isinstance(record, (TraceEvent, TraceSpan))
+                if isinstance(record, (TraceEvent, TraceSpan, TraceFlow))
             }
         )
         tid_of = {cat: index + 1 for index, cat in enumerate(cats)}
@@ -290,6 +322,21 @@ class Tracer:
                         "args": {"value": record.value},
                     }
                 )
+            elif isinstance(record, TraceFlow):
+                entry = {
+                    "name": record.flow_id,
+                    "cat": record.cat,
+                    "ph": record.phase,
+                    "id": record.flow_id,
+                    "ts": record.ts * 1e6,
+                    "pid": 1,
+                    "tid": tid_of[record.cat],
+                }
+                if record.phase == "f":
+                    # Bind the arrowhead to the enclosing slice rather
+                    # than the next one (Chrome's flow-event default).
+                    entry["bp"] = "e"
+                trace_events.append(entry)
         # Thread names make the per-category tracks readable in the UI.
         for cat in cats:
             trace_events.append(
@@ -341,5 +388,13 @@ def _record_object(record, include_wall: bool):
             "ts": record.ts,
             "name": record.name,
             "value": record.value,
+        }
+    if isinstance(record, TraceFlow):
+        return {
+            "type": "flow",
+            "ts": record.ts,
+            "cat": record.cat,
+            "id": record.flow_id,
+            "phase": record.phase,
         }
     return None  # an open span's placeholder — never exported

@@ -334,6 +334,65 @@ class TestSuspicionLifecycle:
         assert monitor.detection_report("a1") is not None
 
 
+class TestRepeatFailureReporting:
+    """A monitor outlives redeploys — its memory must not outlive nodes."""
+
+    def test_refailure_of_reused_name_is_reported(self, p):
+        """Regression: ``_failed_seen`` grew forever across attaches, so
+        the second failure of a name that re-entered the deployment (a
+        repair splicing a spare, a redeploy reusing the name) was
+        silently swallowed.  ``attach()`` now prunes the set against
+        the deployed names: fail, repair, re-fail — both reported."""
+        monitor = SLOMonitor(IntervalCounter())
+        sim = Simulator()
+        system = MiddlewareSystem(sim, two_level(), p, WORK)
+        monitor.attach(system)
+        pump(system, sim, 1.0)
+        system.fail_server("s1")
+        first = monitor.observe(0, 0.0, 1.0, 0)
+        assert "s1" in first.failed_nodes
+        # A quiet window does not re-report the same failure.
+        pump(system, sim, 2.0)
+        assert "s1" not in monitor.observe(1, 1.0, 2.0, 0).failed_nodes
+        # "Repair": a redeploy replaces the platform, and the reused
+        # name is deployed — and alive — again.
+        sim2 = Simulator()
+        repaired = MiddlewareSystem(sim2, two_level(), p, WORK)
+        monitor.attach(repaired)
+        pump(repaired, sim2, 1.0)
+        repaired.fail_server("s1")
+        second = monitor.observe(2, 0.0, 1.0, 0)
+        assert "s1" in second.failed_nodes
+
+    def test_reconfirmation_after_repair_is_reported(self, p):
+        """Detection-mode twin: the confirmed-suspicion latch is final
+        for a *dead* node, but must drop when the name re-enters the
+        deployment alive — else the second death is never confirmed."""
+        detection = DetectionParams(
+            timeout=0.2, suspicion_threshold=2, grace=0.0
+        )
+        sim, system, monitor = _observed_system(p, detection)
+        pump(system, sim, 3.0)
+        system.fail_silent("s3")
+        pump(system, sim, 8.0)
+        first = monitor.observe(0, 0.0, 8.0, 0)
+        assert "s3" in first.failed_nodes
+        assert monitor.detection_report("s3") is not None
+        # Repair splices a fresh node under the reused name; attaching
+        # to the repaired platform clears the stale confirmation.
+        sim2 = Simulator()
+        repaired = MiddlewareSystem(
+            sim2, two_level(), p, WORK, detection=detection
+        )
+        monitor.attach(repaired)
+        assert monitor.detection_report("s3") is None
+        pump(repaired, sim2, 3.0)
+        repaired.fail_silent("s3")
+        pump(repaired, sim2, 8.0)
+        second = monitor.observe(1, 0.0, 8.0, 0)
+        assert "s3" in second.failed_nodes
+
+
 # ------------------------------------------------------------------ #
 # control loop end to end
 

@@ -13,12 +13,16 @@ Covers the three contracts the hybrid model ships with:
   and policies (hypothesis);
 * **determinism** — same-seed hybrid timelines are bit-identical across
   kernel backends (NumPy vs pure Python), with tracing on or off, and
-  between serial and process-pool ``control_sweep`` execution.
+  between serial and process-pool ``control_sweep`` execution;
+* **merging** — :func:`repro.control.monitor.merge_fluid` folds the
+  fluid window into the cohort observation over the *union* of both
+  server sets, so a server spliced in mid-epoch keeps its fluid share.
 """
 
 from __future__ import annotations
 
 import math
+from types import SimpleNamespace
 
 import pytest
 from hypothesis import given, settings
@@ -27,6 +31,7 @@ from hypothesis import strategies as st
 from repro.analysis.report import render_timeline
 from repro.api import PlanningSession
 from repro.control import ControlLoop, HybridTrace, from_spec, hybrid
+from repro.control.monitor import WindowObservation, merge_fluid
 from repro.core import kernels
 from repro.errors import ControlError, SimulationError
 from repro.platforms.pool import NodePool
@@ -341,3 +346,71 @@ class TestHybridDeterminism:
             run_loop(from_spec("constant:level=6"), epochs=2)
         )
         assert "pop(c+f)" in plain
+
+
+# ---------------------------------------------------------------------- #
+# merging
+
+
+class TestMergeFluid:
+    def observation(self, server_rates):
+        return WindowObservation(
+            index=0,
+            start=0.0,
+            end=2.0,
+            offered=4,
+            served=10,
+            served_rate=5.0,
+            agent_utilization=0.5,
+            server_utilization=0.4,
+            busiest_node="s1",
+            busiest_utilization=0.5,
+            queue_depth=0,
+            server_rates=server_rates,
+        )
+
+    def test_merge_covers_union_of_server_sets(self):
+        """Regression: a server that joined the deployment between the
+        observe snapshot and ``assign_fluid_rates`` (mid-epoch repair
+        splice) appears in the fluid allocation but not in the
+        observation; its share must survive the merge instead of being
+        silently dropped."""
+        observation = self.observation((("s1", 3.0), ("s2", 2.0)))
+        window = SimpleNamespace(
+            served_rate=4.0, demand_rate=4.0, served=8, offered_mean=100.0
+        )
+        allocation = (("s1", 1.5), ("s3", 2.5))  # s3: spliced mid-epoch
+        merged = merge_fluid(
+            observation, window, offered=104, allocation=allocation,
+            capacity=10.0,
+        )
+        assert merged.server_rates == (
+            ("s1", 4.5), ("s2", 2.0), ("s3", 2.5)
+        )
+        # Nothing lost in either direction: totals are the exact sum.
+        assert math.isclose(
+            sum(rate for _, rate in merged.server_rates),
+            sum(rate for _, rate in observation.server_rates)
+            + sum(share for _, share in allocation),
+        )
+        assert merged.offered == 104
+        assert merged.served == 18
+        assert merged.cohort == 4
+        assert merged.fluid_clients == 100.0
+
+    def test_merge_is_name_sorted_and_deterministic(self):
+        observation = self.observation((("s2", 2.0), ("s9", 1.0)))
+        window = SimpleNamespace(
+            served_rate=1.0, demand_rate=1.0, served=2, offered_mean=5.0
+        )
+        allocation = (("s1", 0.5), ("s2", 0.25))
+        merged = merge_fluid(
+            observation, window, offered=9, allocation=allocation,
+            capacity=4.0,
+        )
+        assert merged.server_rates == (
+            ("s1", 0.5), ("s2", 2.25), ("s9", 1.0)
+        )
+        assert [name for name, _ in merged.server_rates] == sorted(
+            name for name, _ in merged.server_rates
+        )
